@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs one (scaled-down) experiment exactly once per round via
+``benchmark.pedantic`` — the interesting output is the *simulated* throughput
+(recorded in ``extra_info``), the wall-clock time merely tells you what the
+simulator costs to run.  Pass ``--benchmark-columns=min,rounds`` to keep the
+table compact, and see EXPERIMENTS.md for paper-scale runs.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+MEGABYTE = 2 ** 20
+KILOBYTE = 1024
+
+#: File sizes used by the benchmark harness.  Small records are simulated at a
+#: smaller scale because traditional caching issues one request per record.
+BENCH_FILE_SIZE = {8192: MEGABYTE, 1024: MEGABYTE // 2, 8: MEGABYTE // 8}
+
+
+def bench_config(method, pattern, layout, record_size=8192, **overrides):
+    """An ExperimentConfig scaled for benchmark wall-clock budgets."""
+    file_size = overrides.pop("file_size", BENCH_FILE_SIZE[record_size])
+    return ExperimentConfig(
+        method=method,
+        pattern=pattern,
+        layout=layout,
+        record_size=record_size,
+        file_size=file_size,
+        **overrides,
+    )
+
+
+def run_benchmark_case(benchmark, config, seed=1):
+    """Run *config* once under pytest-benchmark and record its throughput."""
+    result_holder = {}
+
+    def _run():
+        result_holder["result"] = run_experiment(config, seed=seed)
+        return result_holder["result"]
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+    result = result_holder["result"]
+    benchmark.extra_info["throughput_MBps"] = round(result.throughput_mb, 3)
+    benchmark.extra_info["simulated_seconds"] = round(result.elapsed, 4)
+    benchmark.extra_info["pattern"] = config.pattern
+    benchmark.extra_info["method"] = config.method
+    benchmark.extra_info["layout"] = config.layout
+    return result
+
+
+@pytest.fixture
+def measure():
+    """Fixture exposing :func:`run_benchmark_case`."""
+    return run_benchmark_case

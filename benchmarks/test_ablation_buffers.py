@@ -1,0 +1,42 @@
+"""Ablation: number of DDIO buffers per disk (the paper uses two).
+
+The paper argues two one-block buffers per disk are enough to overlap disk and
+network activity; this ablation measures one, two and four buffers.
+"""
+
+import pytest
+
+from repro import DiskDirectedFS, FileSystem, Machine, MachineConfig, make_pattern
+
+from .conftest import MEGABYTE
+
+
+def _run_with_buffers(buffers, pattern_name="ra", layout="contiguous",
+                      file_size=MEGABYTE, seed=1):
+    config = MachineConfig()
+    machine = Machine(config, seed=seed)
+    striped = FileSystem(config, layout_seed=seed).create_file(
+        "f", file_size, layout=layout)
+    fs = DiskDirectedFS(machine, striped, buffers_per_disk=buffers)
+    pattern = make_pattern(pattern_name, file_size, 8192, config.n_cps)
+    return fs.transfer(pattern)
+
+
+@pytest.mark.parametrize("buffers", (1, 2, 4))
+def test_buffers_per_disk(benchmark, buffers):
+    result = benchmark.pedantic(lambda: _run_with_buffers(buffers),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["throughput_MBps"] = round(result.throughput_mb, 2)
+    benchmark.extra_info["buffers_per_disk"] = buffers
+    assert result.throughput_mb > 0
+
+
+def test_two_buffers_close_to_four(benchmark):
+    """Two buffers already capture nearly all of the overlap (paper's choice)."""
+    def compare():
+        return _run_with_buffers(2), _run_with_buffers(4)
+
+    two, four = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["two_buffers"] = round(two.throughput_mb, 2)
+    benchmark.extra_info["four_buffers"] = round(four.throughput_mb, 2)
+    assert two.throughput >= 0.95 * four.throughput

@@ -1,0 +1,42 @@
+"""Ablation: the drive-level scheduling policy under traditional caching.
+
+Disk-directed I/O owns its request order (presorted list), so the device
+scheduler matters mainly for traditional caching, whose IOPs submit requests
+in arrival order.  CSCAN at the drive recovers part of DDIO's presort benefit.
+"""
+
+import pytest
+
+from repro import FileSystem, Machine, MachineConfig, TraditionalCachingFS, make_pattern
+
+from .conftest import MEGABYTE
+
+
+def _run_tc_with_scheduler(scheduler, pattern_name="rb", layout="random",
+                           file_size=MEGABYTE, seed=1):
+    config = MachineConfig()
+    machine = Machine(config, seed=seed, disk_scheduler=scheduler)
+    striped = FileSystem(config, layout_seed=seed).create_file(
+        "f", file_size, layout=layout)
+    fs = TraditionalCachingFS(machine, striped)
+    pattern = make_pattern(pattern_name, file_size, 8192, config.n_cps)
+    return fs.transfer(pattern)
+
+
+@pytest.mark.parametrize("scheduler", ("fcfs", "sstf", "cscan"))
+def test_tc_with_scheduler(benchmark, scheduler):
+    result = benchmark.pedantic(lambda: _run_tc_with_scheduler(scheduler),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["scheduler"] = scheduler
+    benchmark.extra_info["throughput_MBps"] = round(result.throughput_mb, 2)
+    assert result.throughput_mb > 0
+
+
+def test_cscan_not_slower_than_fcfs_on_random_layout(benchmark):
+    def compare():
+        return _run_tc_with_scheduler("fcfs"), _run_tc_with_scheduler("cscan")
+
+    fcfs, cscan = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["fcfs"] = round(fcfs.throughput_mb, 2)
+    benchmark.extra_info["cscan"] = round(cscan.throughput_mb, 2)
+    assert cscan.throughput >= 0.9 * fcfs.throughput

@@ -1,0 +1,41 @@
+"""Ablation: the CP's outstanding-requests-per-disk limit in traditional caching.
+
+The paper limits each CP to one outstanding request per disk as "a compromise
+between maximising concurrency and the need to limit the potential load on
+each IOP"; this ablation raises the limit.
+"""
+
+import pytest
+
+from repro import FileSystem, Machine, MachineConfig, TraditionalCachingFS, make_pattern
+
+from .conftest import MEGABYTE
+
+
+def _run(outstanding, pattern_name="rb", layout="random", file_size=MEGABYTE,
+         seed=1):
+    config = MachineConfig()
+    machine = Machine(config, seed=seed)
+    striped = FileSystem(config, layout_seed=seed).create_file(
+        "f", file_size, layout=layout)
+    fs = TraditionalCachingFS(machine, striped, outstanding_per_disk=outstanding)
+    pattern = make_pattern(pattern_name, file_size, 8192, config.n_cps)
+    return fs.transfer(pattern)
+
+
+@pytest.mark.parametrize("outstanding", (1, 2, 4))
+def test_outstanding_per_disk(benchmark, outstanding):
+    result = benchmark.pedantic(lambda: _run(outstanding), rounds=1, iterations=1)
+    benchmark.extra_info["outstanding_per_disk"] = outstanding
+    benchmark.extra_info["throughput_MBps"] = round(result.throughput_mb, 2)
+    assert result.throughput_mb > 0
+
+
+def test_deeper_queues_do_not_hurt(benchmark):
+    def compare():
+        return _run(1), _run(4)
+
+    one, four = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["one"] = round(one.throughput_mb, 2)
+    benchmark.extra_info["four"] = round(four.throughput_mb, 2)
+    assert four.throughput >= 0.9 * one.throughput

@@ -1,0 +1,61 @@
+"""Ablation: traditional caching's cache size and prefetch policy.
+
+The paper sizes the IOP cache at two buffers per disk per CP and prefetches
+one block ahead; this ablation shrinks the cache and disables prefetch to show
+how much each contributes.
+"""
+
+import pytest
+
+from repro import FileSystem, Machine, MachineConfig, TraditionalCachingFS, make_pattern
+
+from .conftest import MEGABYTE
+
+
+def _run_tc(pattern_name="rcb", record_size=8192, layout="contiguous",
+            file_size=MEGABYTE, cache_blocks_per_cp_per_disk=2, prefetch_blocks=1,
+            seed=1):
+    config = MachineConfig()
+    machine = Machine(config, seed=seed)
+    striped = FileSystem(config, layout_seed=seed).create_file(
+        "f", file_size, layout=layout)
+    fs = TraditionalCachingFS(
+        machine, striped,
+        cache_blocks_per_cp_per_disk=cache_blocks_per_cp_per_disk,
+        prefetch_blocks=prefetch_blocks)
+    pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)
+    return fs.transfer(pattern)
+
+
+@pytest.mark.parametrize("cache_blocks", (1, 2, 4))
+def test_cache_size(benchmark, cache_blocks):
+    result = benchmark.pedantic(
+        lambda: _run_tc(cache_blocks_per_cp_per_disk=cache_blocks),
+        rounds=1, iterations=1)
+    benchmark.extra_info["cache_blocks_per_cp_per_disk"] = cache_blocks
+    benchmark.extra_info["throughput_MBps"] = round(result.throughput_mb, 2)
+    assert result.throughput_mb > 0
+
+
+@pytest.mark.parametrize("prefetch", (0, 1, 2))
+def test_prefetch_depth(benchmark, prefetch):
+    result = benchmark.pedantic(
+        lambda: _run_tc(pattern_name="rn", prefetch_blocks=prefetch),
+        rounds=1, iterations=1)
+    benchmark.extra_info["prefetch_blocks"] = prefetch
+    benchmark.extra_info["throughput_MBps"] = round(result.throughput_mb, 2)
+    assert result.throughput_mb > 0
+
+
+def test_prefetch_helps_sequential_reader(benchmark):
+    def compare():
+        return _run_tc(pattern_name="rn", prefetch_blocks=0), \
+            _run_tc(pattern_name="rn", prefetch_blocks=1)
+
+    without, with_prefetch = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["no_prefetch"] = round(without.throughput_mb, 2)
+    benchmark.extra_info["prefetch_1"] = round(with_prefetch.throughput_mb, 2)
+    # The drive's own read-ahead already hides most of the latency for a
+    # single sequential reader, so the IOP-level prefetch must simply not
+    # hurt (the paper's gain shows up when the drive cache is defeated).
+    assert with_prefetch.throughput >= 0.98 * without.throughput

@@ -1,0 +1,44 @@
+"""Figure 5: throughput as the number of CPs varies (contiguous, 8 KB records).
+
+Paper result: disk-directed I/O is flat (unaffected by the CP count);
+traditional caching suffers on ``rb`` (multiple localities) and on ``rc`` when
+there are fewer CPs than IOPs (one outstanding block per CP cannot keep all
+disks busy).
+"""
+
+import pytest
+
+from .conftest import bench_config, run_benchmark_case
+
+CP_COUNTS = (2, 4, 16)
+PATTERNS = ("ra", "rn", "rb", "rc")
+
+
+@pytest.mark.parametrize("cps", CP_COUNTS)
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("method", ("disk-directed", "traditional"))
+def test_figure5_point(benchmark, method, pattern, cps):
+    config = bench_config(method, pattern, "contiguous", n_cps=cps)
+    result = run_benchmark_case(benchmark, config)
+    assert result.throughput_mb > 0
+
+
+def test_figure5_ddio_flat_tc_rc_dips(benchmark):
+    from repro.experiments import run_experiment
+
+    def series():
+        out = {}
+        for method in ("disk-directed", "traditional"):
+            out[method] = [
+                run_experiment(bench_config(method, "rc", "contiguous", n_cps=cps),
+                               seed=1).throughput_mb
+                for cps in (2, 16)
+            ]
+        return out
+
+    values = benchmark.pedantic(series, rounds=1, iterations=1)
+    ddio_two, ddio_sixteen = values["disk-directed"]
+    tc_two, tc_sixteen = values["traditional"]
+    benchmark.extra_info["series"] = values
+    assert abs(ddio_two - ddio_sixteen) / ddio_sixteen < 0.2
+    assert tc_sixteen > 1.5 * tc_two

@@ -1,0 +1,35 @@
+"""Figure 6: throughput as the number of IOPs (and SCSI busses) varies.
+
+Paper result: with 16 disks total, fewer IOPs means more disks per bus; below
+4 IOPs the 10 MB/s busses, not the disks, bound throughput.
+"""
+
+import pytest
+
+from .conftest import MEGABYTE, bench_config, run_benchmark_case
+
+IOP_COUNTS = (1, 2, 4, 16)
+
+
+@pytest.mark.parametrize("iops", IOP_COUNTS)
+@pytest.mark.parametrize("method", ("disk-directed", "traditional"))
+def test_figure6_point(benchmark, method, iops):
+    config = bench_config(method, "rb", "contiguous", n_iops=iops, n_disks=16,
+                          file_size=MEGABYTE)
+    result = run_benchmark_case(benchmark, config)
+    assert result.throughput_mb > 0
+
+
+def test_figure6_bus_limit_with_one_iop(benchmark):
+    config = bench_config("disk-directed", "rb", "contiguous", n_iops=1,
+                          n_disks=16, file_size=2 * MEGABYTE)
+    result = run_benchmark_case(benchmark, config)
+    # One 10 MB/s bus serves all sixteen disks.
+    assert result.throughput_mb < 11.0
+
+
+def test_figure6_disks_limit_with_many_iops(benchmark):
+    config = bench_config("disk-directed", "rb", "contiguous", n_iops=16,
+                          n_disks=16, file_size=2 * MEGABYTE)
+    result = run_benchmark_case(benchmark, config)
+    assert result.throughput_mb > 20.0

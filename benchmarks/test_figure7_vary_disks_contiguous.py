@@ -1,0 +1,35 @@
+"""Figure 7: one IOP, varying the number of disks, contiguous layout.
+
+Paper result: throughput scales with the number of disks until the single
+10 MB/s SCSI bus saturates (around 4-8 disks).
+"""
+
+import pytest
+
+from .conftest import MEGABYTE, bench_config, run_benchmark_case
+
+DISK_COUNTS = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("disks", DISK_COUNTS)
+@pytest.mark.parametrize("method", ("disk-directed", "traditional"))
+def test_figure7_point(benchmark, method, disks):
+    config = bench_config(method, "rb", "contiguous", n_iops=1, n_disks=disks,
+                          n_cps=16, file_size=MEGABYTE)
+    result = run_benchmark_case(benchmark, config)
+    assert result.throughput_mb > 0
+
+
+def test_figure7_scaling_then_bus_saturation(benchmark):
+    from repro.experiments import run_experiment
+
+    def series():
+        return [run_experiment(
+            bench_config("disk-directed", "rb", "contiguous", n_iops=1,
+                         n_disks=disks, n_cps=16, file_size=MEGABYTE),
+            seed=1).throughput_mb for disks in (1, 4, 16)]
+
+    one, four, sixteen = benchmark.pedantic(series, rounds=1, iterations=1)
+    benchmark.extra_info["series"] = [one, four, sixteen]
+    assert four > 2.5 * one          # scaling region
+    assert sixteen < 11.0            # bus-limited region

@@ -1,0 +1,35 @@
+"""Section 6 headline claims, measured end to end in one benchmark sweep."""
+
+from repro.experiments import ExperimentConfig, sweep
+from repro.experiments.claims import check_headline_claims
+
+from .conftest import MEGABYTE
+
+
+def test_headline_claims_hold_in_shape(benchmark):
+    """Run a compact Figure-3/4 sweep and evaluate every headline claim."""
+
+    def run_sweep():
+        configs = []
+        for layout in ("contiguous", "random"):
+            for pattern in ("rb", "rcb"):
+                for method in ("disk-directed", "disk-directed-nosort",
+                               "traditional"):
+                    if layout == "contiguous" and method == "disk-directed-nosort":
+                        continue
+                    configs.append(ExperimentConfig(
+                        method=method, pattern=pattern, record_size=8192,
+                        layout=layout, file_size=2 * MEGABYTE))
+        for method in ("disk-directed", "traditional"):
+            configs.append(ExperimentConfig(
+                method=method, pattern="rc", record_size=8,
+                layout="contiguous", file_size=MEGABYTE // 4))
+        return sweep(configs, trials=1)
+
+    summaries = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    checks = check_headline_claims(summaries)
+    for check in checks:
+        benchmark.extra_info[check.claim[:40]] = check.measured_value
+    failing = [check.claim for check in checks if not check.holds]
+    assert checks
+    assert not failing, f"claims violated: {failing}"

@@ -1,0 +1,48 @@
+"""Table 1: the simulator parameters, plus single-disk micro-benchmarks.
+
+The table itself needs no simulation; the micro-benchmarks measure the raw
+disk model so that the figure-level results can be interpreted against the
+hardware limits the paper quotes (2.34 MB/s per disk, 37.5 MB/s aggregate,
+10 MB/s per SCSI bus).
+"""
+
+import pytest
+
+from repro.experiments.figures import table1
+
+from .conftest import KILOBYTE, bench_config, run_benchmark_case
+
+MEGABYTE = 2 ** 20
+
+
+def test_table1_parameters_match_paper(benchmark):
+    def build():
+        rows, text = table1()
+        return {row["parameter"]: row["value"] for row in rows}
+
+    parameters = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert parameters["Compute processors (CPs)"] == "16"
+    assert parameters["I/O processors (IOPs)"] == "16"
+    assert parameters["Disks"] == "16"
+    assert "2.34" in parameters["Disk peak transfer rate"]
+    assert "10" in parameters["I/O bus peak bandwidth"]
+
+
+@pytest.mark.parametrize("layout", ["contiguous", "random"])
+def test_single_disk_streaming_rate(benchmark, layout):
+    """One CP, one IOP, one disk: the per-spindle limit of every figure."""
+    config = bench_config("disk-directed", "rn", layout,
+                          file_size=MEGABYTE // 2, n_cps=1, n_iops=1, n_disks=1)
+    result = run_benchmark_case(benchmark, config)
+    if layout == "contiguous":
+        assert result.throughput_mb > 1.8   # close to the 2.34 MB/s peak
+    else:
+        assert result.throughput_mb < 1.0   # seek/rotation bound
+
+
+def test_aggregate_peak_with_all_disks(benchmark):
+    """All 16 disks streaming: the 37.5 MB/s ceiling of Figures 4-7."""
+    config = bench_config("disk-directed", "rb", "contiguous",
+                          file_size=2 * MEGABYTE)
+    result = run_benchmark_case(benchmark, config)
+    assert result.throughput_mb > 0.6 * 37.5

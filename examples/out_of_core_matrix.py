@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Out-of-core matrix computation: repeated "memoryloads" against a scratch file.
+
+Section 2 of the paper motivates collective I/O with out-of-core algorithms
+that repeatedly load a subset of a huge data set into memory, compute on it,
+and write it back (the data set acting as application-controlled virtual
+memory).  This example models one sweep of such an algorithm:
+
+* the scratch file holds a large matrix, striped over all disks;
+* each iteration reads one slab (BLOCK-distributed over the CPs), "computes"
+  for a fixed amount of simulated time, and writes the slab back;
+* the whole sweep is timed under traditional caching and disk-directed I/O.
+
+Because the same machine object is reused across iterations, the example also
+demonstrates issuing many collective operations back to back on one simulator.
+"""
+
+import argparse
+
+from repro import (
+    FileSystem,
+    Machine,
+    MachineConfig,
+    make_filesystem,
+    make_pattern,
+)
+
+MEGABYTE = 2 ** 20
+
+
+def out_of_core_sweep(method, layout, slab_mb, n_slabs, compute_seconds,
+                      record_size=8192, seed=3):
+    """Run one full sweep; returns (total simulated seconds, per-slab results).
+
+    Each slab is a *different* region of the out-of-core data set (its own
+    striped file), so no slab fits in — or is ever re-found in — the IOP
+    caches; that is precisely the "memoryload" access the paper describes as
+    defeating traditional caching policies.
+    """
+    config = MachineConfig()
+    machine = Machine(config, seed=seed)
+    filesystem = FileSystem(config, layout_seed=seed)
+    slab_bytes = int(slab_mb * MEGABYTE)
+
+    read_pattern = make_pattern("rb", slab_bytes, record_size, config.n_cps)
+    write_pattern = make_pattern("wb", slab_bytes, record_size, config.n_cps)
+
+    start = machine.now
+    per_slab = []
+    for slab in range(n_slabs):
+        scratch = filesystem.create_file(
+            f"scratch-slab-{slab}", slab_bytes, layout=layout,
+            layout_seed=seed + slab)
+        implementation = make_filesystem(method, machine, scratch)
+        read_result = implementation.transfer(read_pattern)
+        # The compute phase: all CPs crunch the slab in parallel.
+        machine.run(until=machine.now + compute_seconds)
+        write_result = implementation.transfer(write_pattern)
+        per_slab.append((read_result, write_result))
+    total = machine.now - start
+    return total, per_slab
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slab-mb", type=float, default=2.0,
+                        help="size of one memoryload slab in Mbytes")
+    parser.add_argument("--slabs", type=int, default=4,
+                        help="number of read/compute/write iterations")
+    parser.add_argument("--compute-ms", type=float, default=50.0,
+                        help="simulated compute time per slab, in milliseconds")
+    parser.add_argument("--layout", default="random",
+                        choices=["contiguous", "random"],
+                        help="scratch-file layout (scratch files are often "
+                             "fragmented, i.e. random)")
+    args = parser.parse_args()
+
+    print(f"Out-of-core sweep: {args.slabs} slabs x {args.slab_mb:g} MB, "
+          f"{args.compute_ms:g} ms compute per slab, {args.layout} layout\n")
+
+    baseline = None
+    for method in ("traditional", "disk-directed"):
+        total, per_slab = out_of_core_sweep(
+            method, args.layout, args.slab_mb, args.slabs,
+            args.compute_ms / 1e3)
+        io_time = sum(read.elapsed + write.elapsed for read, write in per_slab)
+        print(f"{method:15s}: sweep took {total:7.3f} s simulated "
+              f"({io_time:6.3f} s of it in I/O)")
+        if baseline is None:
+            baseline = total
+        else:
+            print(f"{'':15s}  -> {baseline / total:.2f}x faster sweep than "
+                  f"traditional caching")
+
+    print("\nThe I/O phases dominate the sweep unless the compute phase is "
+          "long; disk-directed I/O shrinks exactly that part (Section 2 and "
+          "Section 8 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: load a distributed matrix with disk-directed I/O vs traditional caching.
+
+Builds the paper's default machine (Table 1), creates a striped file, and
+performs one collective read of a BLOCK-distributed matrix (pattern ``rb``)
+with each of the three collective-I/O implementations, printing the achieved
+throughput.  Run it with::
+
+    python examples/quickstart.py [--file-mb 4] [--layout contiguous|random]
+"""
+
+import argparse
+
+from repro import (
+    FileSystem,
+    Machine,
+    MachineConfig,
+    make_filesystem,
+    make_pattern,
+)
+
+MEGABYTE = 2 ** 20
+
+
+def run_one(method, config, layout, file_size, pattern_name, record_size, seed=1):
+    """Run one collective transfer and return its TransferResult."""
+    machine = Machine(config, seed=seed)
+    filesystem = FileSystem(config, layout_seed=seed)
+    big_file = filesystem.create_file("matrix", file_size, layout=layout)
+    pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)
+    implementation = make_filesystem(method, machine, big_file)
+    return implementation.transfer(pattern)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file-mb", type=float, default=4.0,
+                        help="file size in Mbytes (paper: 10)")
+    parser.add_argument("--layout", default="contiguous",
+                        choices=["contiguous", "random"],
+                        help="physical disk layout")
+    parser.add_argument("--pattern", default="rb", help="access pattern name")
+    parser.add_argument("--record-size", type=int, default=8192,
+                        help="record size in bytes (paper: 8 or 8192)")
+    args = parser.parse_args()
+
+    config = MachineConfig()   # Table 1 defaults: 16 CPs, 16 IOPs, 16 disks
+    file_size = int(args.file_mb * MEGABYTE)
+
+    print(f"Machine: {config.n_cps} CPs, {config.n_iops} IOPs, "
+          f"{config.n_disks} x {config.disk_spec.name}")
+    print(f"Peak disk bandwidth: "
+          f"{config.peak_disk_bandwidth / MEGABYTE:.1f} Mbytes/s")
+    print(f"Workload: pattern {args.pattern}, {args.record_size}-byte records, "
+          f"{args.file_mb:g} MB file, {args.layout} layout\n")
+
+    for method in ("traditional", "ddio-nosort", "disk-directed"):
+        result = run_one(method, config, args.layout, file_size,
+                         args.pattern, args.record_size)
+        print(f"  {result.method:22s} {result.throughput_mb:7.2f} Mbytes/s  "
+              f"({result.elapsed * 1e3:8.1f} ms simulated)")
+
+    print("\nDisk-directed I/O should be at least as fast as traditional "
+          "caching, and much faster when chunks are small or the layout is "
+          "random (compare with Figures 3 and 4 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

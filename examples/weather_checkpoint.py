@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Checkpointing a data-parallel weather model: 2-D BLOCK x BLOCK writes.
+
+The paper's introduction names weather forecasting as a motivating
+application: a large 2-D grid distributed BLOCK x BLOCK over the compute
+processors must periodically be written to disk (a checkpoint), and later read
+back (a restart).  The grid's distribution does not match the file's row-major
+layout, so every checkpoint is a strided collective write — the ``wbb``
+pattern — and every restart is the matching ``rbb`` read.
+
+The example measures checkpoint and restart time for traditional caching and
+disk-directed I/O on both disk layouts, with the paper's two record sizes.
+"""
+
+import argparse
+
+from repro import (
+    FileSystem,
+    Machine,
+    MachineConfig,
+    make_filesystem,
+    make_pattern,
+)
+
+MEGABYTE = 2 ** 20
+
+
+def checkpoint_and_restart(method, layout, grid_mb, record_size, seed=7):
+    """One checkpoint (wbb) followed by one restart (rbb); returns both results.
+
+    The restart runs on a freshly built machine: a restart follows a crash, so
+    nothing of the checkpoint is still sitting in any IOP cache.
+    """
+    grid_bytes = int(grid_mb * MEGABYTE)
+    results = []
+    for pattern_name in ("wbb", "rbb"):
+        config = MachineConfig()
+        machine = Machine(config, seed=seed)
+        filesystem = FileSystem(config, layout_seed=seed)
+        checkpoint_file = filesystem.create_file(
+            "checkpoint", grid_bytes, layout=layout)
+        implementation = make_filesystem(method, machine, checkpoint_file)
+        pattern = make_pattern(pattern_name, grid_bytes, record_size, config.n_cps)
+        results.append(implementation.transfer(pattern))
+    return results[0], results[1]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid-mb", type=float, default=2.0,
+                        help="size of the model grid in Mbytes")
+    parser.add_argument("--record-size", type=int, default=8192,
+                        help="bytes per grid record (8 stresses small pieces)")
+    args = parser.parse_args()
+
+    print(f"Weather-model checkpoint: {args.grid_mb:g} MB grid, BLOCKxBLOCK "
+          f"over 16 CPs, {args.record_size}-byte records\n")
+    header = (f"{'layout':12s} {'method':15s} {'checkpoint':>12s} "
+              f"{'restart':>12s}")
+    print(header)
+    print("-" * len(header))
+    for layout in ("contiguous", "random"):
+        for method in ("traditional", "disk-directed"):
+            checkpoint, restart = checkpoint_and_restart(
+                method, layout, args.grid_mb, args.record_size)
+            print(f"{layout:12s} {method:15s} "
+                  f"{checkpoint.throughput_mb:9.2f} MB/s "
+                  f"{restart.throughput_mb:9.2f} MB/s")
+
+    print("\nA checkpoint that does not fit the file layout is exactly the "
+          "situation where disk-directed I/O's independence from the data "
+          "distribution pays off (Figures 3 and 4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro: a reproduction of "Disk-Directed I/O for MIMD Multiprocessors" (Kotz, OSDI '94).
+
+The package simulates a distributed-memory MIMD multiprocessor (compute
+processors + I/O processors + HP 97560 disks + SCSI busses + torus
+interconnect) and implements three collective-I/O strategies on top of it:
+traditional caching, disk-directed I/O (the paper's contribution, with and
+without physical presorting), and two-phase I/O (extension).
+
+Quick start::
+
+    from repro import (MachineConfig, Machine, FileSystem, make_pattern,
+                       DiskDirectedFS, TraditionalCachingFS)
+
+    config = MachineConfig()                       # Table 1 defaults
+    machine = Machine(config, seed=1)
+    fs = FileSystem(config)
+    big_file = fs.create_file("matrix", 10 * 2**20, layout="contiguous")
+    pattern = make_pattern("rb", big_file.size_bytes, record_size=8192,
+                           n_cps=config.n_cps)
+    result = DiskDirectedFS(machine, big_file).transfer(pattern)
+    print(result.summary())
+
+See ``examples/`` for runnable scenarios and ``repro.experiments`` for the
+harness that regenerates every figure in the paper's evaluation.
+"""
+
+from repro.core import (
+    CollectiveFileSystem,
+    DiskDirectedFS,
+    TraditionalCachingFS,
+    TransferResult,
+    TwoPhaseFS,
+    make_filesystem,
+)
+from repro.fs import FileSystem, StripedFile, make_layout
+from repro.machine import CostModel, Machine, MachineConfig
+from repro.patterns import (
+    PATTERN_NAMES,
+    READ_PATTERN_NAMES,
+    WRITE_PATTERN_NAMES,
+    make_pattern,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CollectiveFileSystem",
+    "CostModel",
+    "DiskDirectedFS",
+    "FileSystem",
+    "Machine",
+    "MachineConfig",
+    "PATTERN_NAMES",
+    "READ_PATTERN_NAMES",
+    "StripedFile",
+    "TraditionalCachingFS",
+    "TransferResult",
+    "TwoPhaseFS",
+    "WRITE_PATTERN_NAMES",
+    "__version__",
+    "make_filesystem",
+    "make_layout",
+    "make_pattern",
+]

@@ -1,0 +1,38 @@
+"""Collective-I/O engines: the paper's contribution and its competitors.
+
+Three implementations of the collective read/write of a distributed array:
+
+* :class:`~repro.core.traditional.TraditionalCachingFS` — the baseline: each
+  CP issues one request per contiguous file chunk; each IOP runs an LRU block
+  cache with one-block-ahead prefetch and write-behind (Figure 1a).
+* :class:`~repro.core.ddio.DiskDirectedFS` — disk-directed I/O: one collective
+  request per IOP, per-disk block lists (optionally presorted by physical
+  location), two buffers per disk, and Memput/Memget streaming straight
+  between IOP buffers and CP memories (Figure 1c).
+* :class:`~repro.core.twophase.TwoPhaseFS` — two-phase I/O (del Rosario et
+  al.), which the paper discusses but does not simulate; provided here as an
+  extension: I/O in a conforming (block) distribution plus an in-memory
+  permutation phase among the CPs (Figure 1b).
+
+All three share the :class:`~repro.core.base.CollectiveFileSystem` interface:
+``transfer(pattern)`` runs the collective operation on the simulated machine
+and returns a :class:`~repro.core.result.TransferResult`.
+"""
+
+from repro.core.base import CollectiveFileSystem, make_filesystem
+from repro.core.ddio import DiskDirectedFS
+from repro.core.iop_cache import IOPCache, IOPCacheStats
+from repro.core.result import TransferResult
+from repro.core.traditional import TraditionalCachingFS
+from repro.core.twophase import TwoPhaseFS
+
+__all__ = [
+    "CollectiveFileSystem",
+    "DiskDirectedFS",
+    "IOPCache",
+    "IOPCacheStats",
+    "TraditionalCachingFS",
+    "TransferResult",
+    "TwoPhaseFS",
+    "make_filesystem",
+]

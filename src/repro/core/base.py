@@ -1,0 +1,115 @@
+"""Shared plumbing for the collective-I/O implementations."""
+
+from repro.core.result import TransferResult
+from repro.sim.stats import Counter
+
+
+class CollectiveFileSystem:
+    """Base class: a file-system implementation bound to one machine and one file.
+
+    Subclasses implement :meth:`_start_transfer`, which kicks off all the
+    simulation processes for one collective operation and returns an event
+    that fires when the operation — including any write-behind — is complete.
+    """
+
+    method_name = "abstract"
+
+    def __init__(self, machine, striped_file):
+        self.machine = machine
+        self.env = machine.env
+        self.config = machine.config
+        self.costs = machine.config.costs
+        self.file = striped_file
+        self.counters = {
+            "cp_requests": Counter("cp_requests"),
+            "iop_messages": Counter("iop_messages"),
+            "bytes_moved": Counter("bytes_moved"),
+        }
+
+    # -- public API -------------------------------------------------------------
+    def transfer(self, pattern):
+        """Run one collective read or write and return its :class:`TransferResult`.
+
+        The simulation clock is *not* reset between calls, so several
+        transfers can be issued back to back on the same machine (an
+        out-of-core application alternating reads and writes, for example).
+        """
+        self._validate_pattern(pattern)
+        start_time = self.env.now
+        done = self._start_transfer(pattern)
+        self.env.run(done)
+        end_time = self.env.now
+        return TransferResult(
+            method=self.method_name,
+            pattern_name=pattern.name,
+            layout_name=self.file.layout.name,
+            file_size=self.file.size_bytes,
+            record_size=pattern.record_size,
+            n_cps=self.config.n_cps,
+            n_iops=self.config.n_iops,
+            n_disks=self.config.n_disks,
+            start_time=start_time,
+            end_time=end_time,
+            bytes_transferred=pattern.total_transfer_bytes(),
+            counters=self._snapshot_counters(),
+        )
+
+    # -- to be provided by subclasses ------------------------------------------------
+    def _start_transfer(self, pattern):
+        raise NotImplementedError
+
+    # -- helpers ------------------------------------------------------------------------
+    def _validate_pattern(self, pattern):
+        if pattern.file_size != self.file.size_bytes:
+            raise ValueError(
+                f"pattern is for a {pattern.file_size}-byte file but the file is "
+                f"{self.file.size_bytes} bytes")
+        if pattern.n_cps != self.config.n_cps:
+            raise ValueError(
+                f"pattern is for {pattern.n_cps} CPs but the machine has "
+                f"{self.config.n_cps}")
+
+    def _snapshot_counters(self):
+        snapshot = {name: counter.value for name, counter in self.counters.items()}
+        snapshot.update(self.machine.total_disk_stats())
+        snapshot["bus_busy_fraction"] = max(
+            (iop.bus.busy_fraction() for iop in self.machine.iops), default=0.0)
+        return snapshot
+
+    # -- common cost fragments --------------------------------------------------------
+    def _charge_cpu(self, node, seconds):
+        """Process fragment: occupy *node*'s CPU for *seconds*."""
+        if seconds > 0:
+            yield from node.cpu.acquire(seconds)
+
+    def _send(self, src_node, dst_node, data_bytes, header_bytes=32):
+        """Process fragment: move a message's bytes across the interconnect."""
+        yield from self.machine.network.transfer(
+            src_node.node_id, dst_node.node_id, header_bytes + data_bytes)
+        self.counters["bytes_moved"].add(data_bytes)
+
+
+def make_filesystem(method, machine, striped_file, **kwargs):
+    """Factory used by the experiment harness and examples.
+
+    *method* is one of ``traditional`` (aliases ``tc``, ``caching``),
+    ``disk-directed`` (aliases ``ddio``, ``ddio-sort``), ``ddio-nosort``, or
+    ``two-phase`` (alias ``2p``).
+    """
+    # Imported here to avoid an import cycle (the implementations subclass us).
+    from repro.core.ddio import DiskDirectedFS
+    from repro.core.traditional import TraditionalCachingFS
+    from repro.core.twophase import TwoPhaseFS
+
+    key = method.lower()
+    if key in ("traditional", "tc", "caching", "traditional-caching"):
+        return TraditionalCachingFS(machine, striped_file, **kwargs)
+    if key in ("disk-directed", "ddio", "ddio-sort", "disk-directed-sorted"):
+        kwargs.setdefault("presort", True)
+        return DiskDirectedFS(machine, striped_file, **kwargs)
+    if key in ("ddio-nosort", "disk-directed-nosort", "disk-directed-unsorted"):
+        kwargs.setdefault("presort", False)
+        return DiskDirectedFS(machine, striped_file, **kwargs)
+    if key in ("two-phase", "2p", "twophase"):
+        return TwoPhaseFS(machine, striped_file, **kwargs)
+    raise ValueError(f"unknown collective-I/O method {method!r}")

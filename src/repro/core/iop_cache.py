@@ -1,0 +1,300 @@
+"""The per-IOP block cache used by traditional caching.
+
+The cache follows the paper's description of the baseline system: LRU
+replacement, one-block-ahead prefetch after each read request, and
+write-behind that flushes a buffer once all of its bytes have been written.
+It must also cope with many concurrent requesters: a block being fetched has
+a ready-event that later requesters simply wait on, and eviction of a dirty
+buffer forces its write-back first.
+"""
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.sim.events import Event
+
+
+#: entry states
+EMPTY = "empty"
+FETCHING = "fetching"
+VALID = "valid"
+
+
+@dataclass
+class IOPCacheStats:
+    """Counters for one IOP cache."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetches_issued: int = 0
+    prefetches_used: int = 0
+    prefetches_wasted: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    full_flushes: int = 0
+
+    def hit_rate(self):
+        """Fraction of lookups that found the block already cached or in flight."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class _CacheEntry:
+    block: int
+    state: str = EMPTY
+    ready: Event = None
+    dirty_bytes: int = 0
+    written_bytes: int = 0
+    last_use: int = 0
+    flushing: bool = False
+    flush_event: Event = None
+    was_prefetch: bool = False
+    touched_after_prefetch: bool = False
+    pins: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class IOPCache:
+    """An LRU cache of file blocks for one I/O processor."""
+
+    def __init__(self, env, iop, striped_file, disk_lookup, capacity_blocks,
+                 sectors_per_block, stats=None):
+        """
+        ``disk_lookup`` maps a global disk index to that IOP's local
+        :class:`~repro.disk.drive.Disk` object.
+        """
+        if capacity_blocks < 1:
+            raise ValueError(f"cache needs at least one block, got {capacity_blocks}")
+        self.env = env
+        self.iop = iop
+        self.file = striped_file
+        self.disk_lookup = disk_lookup
+        self.capacity = capacity_blocks
+        self.sectors_per_block = sectors_per_block
+        self.stats = stats if stats is not None else IOPCacheStats()
+        self._entries = {}
+        #: misses that have been accepted but whose buffer/disk work has not
+        #: finished yet, registered synchronously so concurrent requests for
+        #: the same block coalesce onto one disk read.
+        self._inflight = {}
+        self._use_clock = count()
+        self._space_waiters = []
+
+    # -- queries --------------------------------------------------------------------
+    def __contains__(self, block):
+        return block in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def dirty_blocks(self):
+        """Blocks with bytes not yet written to disk."""
+        return [entry.block for entry in self._entries.values()
+                if entry.dirty_bytes > 0]
+
+    # -- read path --------------------------------------------------------------------
+    def acquire_for_read(self, block, prefetch=False):
+        """Event that fires when *block*'s data is in the cache.
+
+        A miss allocates a buffer (evicting if needed) and issues the disk
+        read.  ``prefetch=True`` marks the fetch as speculative for the
+        prefetch-accuracy statistics.
+        """
+        self.stats.lookups += 1
+        if block in self._inflight:
+            self.stats.hits += 1
+            return self._inflight[block]
+        entry = self._entries.get(block)
+        if entry is not None and entry.state in (FETCHING, VALID):
+            self.stats.hits += 1
+            self._touch(entry)
+            if entry.was_prefetch and not entry.touched_after_prefetch and not prefetch:
+                entry.touched_after_prefetch = True
+                self.stats.prefetches_used += 1
+            if entry.state == VALID:
+                ready = Event(self.env)
+                ready.succeed()
+                return ready
+            return entry.ready
+        self.stats.misses += 1
+        ready = Event(self.env)
+        self._inflight[block] = ready
+        self.env.process(self._fetch(block, ready, prefetch))
+        return ready
+
+    def try_prefetch(self, block):
+        """Prefetch *block* if it is absent and a buffer is free without eviction.
+
+        The paper's cache prefetches one block ahead after every read request;
+        we skip the prefetch rather than evict for it, which is both safer
+        (no deadlock on a full cache) and kind to the workload.
+        """
+        if block < 0 or block >= self.file.n_blocks:
+            return False
+        if block in self._entries or block in self._inflight:
+            return False
+        if len(self._entries) >= self.capacity:
+            return False
+        self.stats.prefetches_issued += 1
+        ready = Event(self.env)
+        self._inflight[block] = ready
+        self.env.process(self._fetch(block, ready, was_prefetch=True))
+        return True
+
+    def _fetch(self, block, ready, was_prefetch=False):
+        entry = yield from self._allocate(block)
+        entry.state = FETCHING
+        entry.ready = ready
+        entry.was_prefetch = was_prefetch
+        location = self.file.location(block)
+        disk = self.disk_lookup(location.disk_index)
+        yield disk.read(location.lbn, self.sectors_per_block)
+        entry.state = VALID
+        self._inflight.pop(block, None)
+        if not ready.triggered:
+            ready.succeed()
+        self._notify_space()
+
+    # -- write path --------------------------------------------------------------------
+    def acquire_for_write(self, block):
+        """Event firing when a buffer for *block* is available to receive data.
+
+        Traditional caching does not read-modify-write: partial writes simply
+        accumulate in the buffer (the paper flushes once *n* bytes have been
+        written to an *n*-byte buffer).
+        """
+        self.stats.lookups += 1
+        if block in self._inflight:
+            self.stats.hits += 1
+            return self._inflight[block]
+        entry = self._entries.get(block)
+        ready = Event(self.env)
+        if entry is not None:
+            self.stats.hits += 1
+            self._touch(entry)
+            ready.succeed()
+            return ready
+        self.stats.misses += 1
+        self._inflight[block] = ready
+        self.env.process(self._allocate_for_write(block, ready))
+        return ready
+
+    def _allocate_for_write(self, block, ready):
+        entry = yield from self._allocate(block)
+        entry.state = VALID
+        self._inflight.pop(block, None)
+        if not ready.triggered:
+            ready.succeed()
+
+    def record_write(self, block, n_bytes, block_size):
+        """Account *n_bytes* written into *block*'s buffer; True when it is full.
+
+        If the buffer was evicted (written back) between allocation and this
+        call — possible under extreme cache pressure — the bytes are simply
+        treated as already flushed and False is returned.
+        """
+        entry = self._entries.get(block)
+        if entry is None:
+            self.stats.extra_lost_buffers = getattr(self.stats, "extra_lost_buffers", 0) + 1
+            return False
+        entry.dirty_bytes = min(block_size, entry.dirty_bytes + n_bytes)
+        entry.written_bytes += n_bytes
+        self._touch(entry)
+        return entry.written_bytes >= block_size
+
+    def flush_block(self, block):
+        """Event firing when *block*'s dirty data has reached its disk."""
+        entry = self._entries.get(block)
+        done = Event(self.env)
+        if entry is not None and entry.flushing and entry.flush_event is not None:
+            # A write-back is already under way; wait for that one.
+            return entry.flush_event
+        if entry is None or entry.dirty_bytes == 0:
+            done.succeed()
+            return done
+        # Mark the write-back as in flight *before* the process gets a chance
+        # to run, so a concurrent flush_all() waits for it instead of issuing
+        # a duplicate disk write.
+        entry.flushing = True
+        entry.flush_event = done
+        self.env.process(self._writeback(entry, done))
+        return done
+
+    def flush_all(self):
+        """Event firing when every dirty block has been written back."""
+        events = [self.flush_block(block) for block in self.dirty_blocks]
+        done = Event(self.env)
+        if not events:
+            done.succeed()
+            return done
+        gate = self.env.all_of(events)
+
+        def _finish(_event):
+            if not done.triggered:
+                done.succeed()
+        gate.callbacks.append(_finish)
+        return done
+
+    def _writeback(self, entry, done):
+        entry.flushing = True
+        entry.flush_event = done
+        self.stats.writebacks += 1
+        location = self.file.location(entry.block)
+        disk = self.disk_lookup(location.disk_index)
+        yield disk.write(location.lbn, self.sectors_per_block)
+        entry.dirty_bytes = 0
+        entry.flushing = False
+        entry.flush_event = None
+        if not done.triggered:
+            done.succeed()
+        self._notify_space()
+
+    # -- allocation / eviction -------------------------------------------------------
+    def _allocate(self, block):
+        """Process fragment returning a resident entry for *block* (evicting if needed)."""
+        while True:
+            existing = self._entries.get(block)
+            if existing is not None:
+                self._touch(existing)
+                return existing
+            if len(self._entries) < self.capacity:
+                entry = _CacheEntry(block=block)
+                self._touch(entry)
+                self._entries[block] = entry
+                return entry
+            victim = self._pick_victim()
+            if victim is None:
+                waiter = Event(self.env)
+                self._space_waiters.append(waiter)
+                yield waiter
+                continue
+            if victim.dirty_bytes > 0:
+                done = Event(self.env)
+                yield from self._writeback(victim, done)
+            if victim.block in self._entries and victim.state != FETCHING \
+                    and victim.dirty_bytes == 0:
+                if victim.was_prefetch and not victim.touched_after_prefetch:
+                    self.stats.prefetches_wasted += 1
+                del self._entries[victim.block]
+                self.stats.evictions += 1
+            # Loop: re-check capacity (another process may have raced us).
+
+    def _pick_victim(self):
+        candidates = [entry for entry in self._entries.values()
+                      if entry.state == VALID and not entry.flushing and entry.pins == 0]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.last_use)
+
+    def _touch(self, entry):
+        entry.last_use = next(self._use_clock)
+
+    def _notify_space(self):
+        waiters, self._space_waiters = self._space_waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()

@@ -1,0 +1,82 @@
+"""Results of one collective transfer."""
+
+from dataclasses import dataclass, field
+
+#: The paper reports throughput in "Mbytes/s" with the disks' aggregate peak
+#: quoted as 37.5 = 16 x 2.34; that arithmetic only works with 2^20-byte
+#: megabytes, so we use the same unit.
+MEGABYTE = float(2 ** 20)
+
+
+@dataclass
+class TransferResult:
+    """Outcome and statistics of one collective read or write."""
+
+    method: str
+    pattern_name: str
+    layout_name: str
+    file_size: int
+    record_size: int
+    n_cps: int
+    n_iops: int
+    n_disks: int
+    start_time: float
+    end_time: float
+    bytes_transferred: int
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def elapsed(self):
+        """Total simulated transfer time in seconds (includes write-behind)."""
+        return self.end_time - self.start_time
+
+    @property
+    def aggregate_throughput(self):
+        """Bytes per second actually moved (counts each copy for ``ra``)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.bytes_transferred / self.elapsed
+
+    @property
+    def throughput(self):
+        """File bytes per second, normalised the way the paper plots it.
+
+        For the ``ra`` pattern the paper divides by the number of CPs (each CP
+        receives the whole file); since ``bytes_transferred`` counts every
+        copy, normalising by the file size achieves exactly that.
+        """
+        if self.elapsed <= 0:
+            return 0.0
+        return self.file_size / self.elapsed
+
+    @property
+    def throughput_mb(self):
+        """Normalised throughput in the paper's Mbytes/s."""
+        return self.throughput / MEGABYTE
+
+    @property
+    def aggregate_throughput_mb(self):
+        """Aggregate throughput in Mbytes/s."""
+        return self.aggregate_throughput / MEGABYTE
+
+    def summary(self):
+        """One-line, human-readable summary."""
+        return (f"{self.method:12s} {self.pattern_name:4s} {self.layout_name:10s} "
+                f"{self.throughput_mb:6.2f} MB/s in {self.elapsed:.3f} s")
+
+    def as_dict(self):
+        """Flatten to a plain dictionary (for CSV/report output)."""
+        data = {
+            "method": self.method,
+            "pattern": self.pattern_name,
+            "layout": self.layout_name,
+            "file_size": self.file_size,
+            "record_size": self.record_size,
+            "n_cps": self.n_cps,
+            "n_iops": self.n_iops,
+            "n_disks": self.n_disks,
+            "elapsed": self.elapsed,
+            "throughput_mb": self.throughput_mb,
+        }
+        data.update({f"counter_{key}": value for key, value in self.counters.items()})
+        return data

@@ -1,0 +1,195 @@
+"""Traditional caching: the baseline parallel file system (Figure 1a).
+
+Modelled on Intel CFS-style systems: there is no collective interface.  Each
+compute processor walks its own chunk list and issues one request per
+contiguous piece of each file block, keeping at most one request outstanding
+per disk.  Each I/O processor dispatches every incoming request to a fresh
+handler thread which consults the IOP's LRU block cache, performs the disk
+I/O on a miss, prefetches one block ahead on reads, accumulates writes in the
+cache and flushes buffers once they fill (write-behind).  The reply carries
+the data and is deposited straight into the user's buffer by DMA.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.base import CollectiveFileSystem
+from repro.core.iop_cache import IOPCache
+from repro.network.message import HEADER_BYTES, Message, MessageKind
+from repro.sim.events import AllOf, Event
+
+
+@dataclass
+class _Request:
+    """What a CP asks an IOP to do with one piece of one block."""
+
+    kind: str                 # "read" or "write"
+    block: int
+    offset_in_block: int
+    length: int
+    cp_index: int
+    disk_index: int
+    reply_event: Event = None
+
+
+class TraditionalCachingFS(CollectiveFileSystem):
+    """The paper's baseline: per-chunk requests against caching IOPs."""
+
+    method_name = "traditional"
+
+    #: mailbox tag under which IOPs receive file-system requests
+    REQUEST_TAG = "tc-request"
+
+    def __init__(self, machine, striped_file, cache_blocks_per_cp_per_disk=2,
+                 prefetch_blocks=1, outstanding_per_disk=1):
+        super().__init__(machine, striped_file)
+        if outstanding_per_disk < 1:
+            raise ValueError("need at least one outstanding request per disk")
+        self.prefetch_blocks = prefetch_blocks
+        self.outstanding_per_disk = outstanding_per_disk
+        self.cache_blocks_per_cp_per_disk = cache_blocks_per_cp_per_disk
+        self.caches = []
+        for iop in machine.iops:
+            local_disks = len(iop.disks)
+            capacity = max(2, cache_blocks_per_cp_per_disk
+                           * machine.config.n_cps * max(1, local_disks))
+            cache = IOPCache(
+                env=self.env,
+                iop=iop,
+                striped_file=striped_file,
+                disk_lookup=iop.local_disk,
+                capacity_blocks=capacity,
+                sectors_per_block=machine.config.sectors_per_block,
+            )
+            self.caches.append(cache)
+            self.env.process(self._iop_dispatcher(iop, cache))
+
+    # -- transfer orchestration ---------------------------------------------------------
+    def _start_transfer(self, pattern):
+        cp_processes = []
+        for cp_index in range(self.config.n_cps):
+            if pattern.bytes_for_cp(cp_index) == 0:
+                continue
+            cp_processes.append(self.env.process(self._cp_worker(cp_index, pattern)))
+        return self.env.process(self._finish(cp_processes, pattern))
+
+    def _finish(self, cp_processes, pattern):
+        if cp_processes:
+            yield AllOf(self.env, cp_processes)
+        if pattern.is_write:
+            # Write-behind: wait for IOP caches to drain and disks to destage,
+            # so the reported time includes all outstanding writes (as in the
+            # paper's methodology).
+            yield AllOf(self.env, [cache.flush_all() for cache in self.caches])
+            yield AllOf(self.env, [disk.flush() for disk in self.machine.disks])
+
+    # -- compute-processor side -----------------------------------------------------------
+    def _cp_worker(self, cp_index, pattern):
+        """One CP's request loop: ReadCP/WriteCP once per contiguous chunk.
+
+        Mirrors Figure 1a: within one chunk the CP keeps up to one request
+        outstanding per disk, and it waits for all of a chunk's requests
+        before starting the next chunk (there is no CP-side buffering).  For
+        single-block chunks this collapses to one outstanding request per CP —
+        the behaviour the paper's sensitivity analysis calls out for ``rc``.
+        """
+        cp_node = self.machine.cps[cp_index]
+        for offset, length in pattern.chunks_for_cp(cp_index):
+            yield from self._cp_transfer_chunk(cp_node, cp_index, pattern,
+                                               offset, length)
+
+    def _cp_transfer_chunk(self, cp_node, cp_index, pattern, offset, length):
+        """One ReadCP/WriteCP call: issue per-block requests, then wait for all."""
+        outstanding = {}
+        for block, offset_in_block, piece in self.file.block_pieces(offset, length):
+            disk_index = self.file.disk_of_block(block)
+            waiting = outstanding.get(disk_index)
+            if waiting is not None and len(waiting) >= self.outstanding_per_disk:
+                yield waiting.pop(0)
+            request = _Request(
+                kind="write" if pattern.is_write else "read",
+                block=block,
+                offset_in_block=offset_in_block,
+                length=piece,
+                cp_index=cp_index,
+                disk_index=disk_index,
+            )
+            event = self.env.process(self._cp_issue_request(cp_node, request))
+            outstanding.setdefault(disk_index, []).append(event)
+            self.counters["cp_requests"].add(1)
+        remaining = [event for events in outstanding.values() for event in events]
+        if remaining:
+            yield AllOf(self.env, remaining)
+
+    def _cp_issue_request(self, cp_node, request):
+        """Send one request to the owning IOP and wait for its reply."""
+        costs = self.costs
+        iop = self.machine.iop_for_disk(request.disk_index)
+        request.reply_event = Event(self.env)
+        # CP software: build the request, find the disk, enter the message system.
+        yield from self._charge_cpu(
+            cp_node, costs.cp_request_overhead + costs.message_overhead)
+        data_bytes = request.length if request.kind == "write" else 0
+        message = Message(
+            kind=MessageKind.WRITE_REQUEST if request.kind == "write"
+            else MessageKind.READ_REQUEST,
+            src=cp_node.node_id,
+            dst=iop.node_id,
+            data_bytes=data_bytes,
+            payload=request,
+        )
+        yield from self.machine.network.send(
+            message, iop.mailbox, tag=self.REQUEST_TAG)
+        # The reply is DMA'd into the user buffer; the CP just waits for it.
+        yield request.reply_event
+
+    # -- I/O-processor side -----------------------------------------------------------------
+    def _iop_dispatcher(self, iop, cache):
+        """Receive requests and hand each one to a fresh handler thread."""
+        costs = self.costs
+        while True:
+            message = yield iop.mailbox.receive(self.REQUEST_TAG)
+            self.counters["iop_messages"].add(1)
+            yield from self._charge_cpu(
+                iop, costs.message_overhead + costs.thread_dispatch_overhead)
+            self.env.process(self._handle_request(iop, cache, message.payload))
+
+    def _handle_request(self, iop, cache, request):
+        if request.kind == "read":
+            yield from self._handle_read(iop, cache, request)
+        else:
+            yield from self._handle_write(iop, cache, request)
+
+    def _handle_read(self, iop, cache, request):
+        costs = self.costs
+        yield from self._charge_cpu(iop, costs.cache_lookup_overhead)
+        yield cache.acquire_for_read(request.block)
+        # One-block-ahead prefetch: the next block of this file on this disk.
+        if self.prefetch_blocks > 0:
+            for ahead in range(1, self.prefetch_blocks + 1):
+                next_block = request.block + ahead * self.file.n_disks
+                if next_block < self.file.n_blocks:
+                    cache.try_prefetch(next_block)
+        # Reply with the data (deposited into the user's buffer by DMA).
+        yield from self._charge_cpu(iop, costs.message_overhead)
+        cp_node = self.machine.cps[request.cp_index]
+        yield from self.machine.network.transfer(
+            iop.node_id, cp_node.node_id, HEADER_BYTES + request.length)
+        self.counters["bytes_moved"].add(request.length)
+        request.reply_event.succeed()
+
+    def _handle_write(self, iop, cache, request):
+        costs = self.costs
+        yield from self._charge_cpu(iop, costs.cache_lookup_overhead)
+        yield cache.acquire_for_write(request.block)
+        # The single memory-memory copy of the design: thread buffer -> cache.
+        copy_time = request.length / costs.memory_copy_bandwidth
+        yield from self._charge_cpu(iop, copy_time)
+        full = cache.record_write(request.block, request.length, self.file.block_size)
+        if full:
+            cache.flush_block(request.block)
+        # Acknowledge so the CP can reuse its outstanding-request slot.
+        yield from self._charge_cpu(iop, costs.message_overhead)
+        cp_node = self.machine.cps[request.cp_index]
+        yield from self.machine.network.transfer(
+            iop.node_id, cp_node.node_id, HEADER_BYTES)
+        request.reply_event.succeed()

@@ -1,0 +1,145 @@
+"""Two-phase I/O (Figure 1b) — an extension beyond the paper's simulations.
+
+The paper describes two-phase I/O (del Rosario, Bordawekar & Choudhary) as the
+state of the art it improves upon, but does not simulate it.  We provide it as
+an extension so the comparison in Section 7.1 can be made quantitative:
+
+* Phase 1 (reads): the CPs read the file in a *conforming distribution* —
+  contiguous, block-aligned ranges, one per CP — using the unchanged
+  traditional-caching IOP software.
+* Phase 2: the CPs permute the data among themselves over the interconnect so
+  every record ends up at the CP the requested distribution assigns it to.
+
+For writes the phases run in the opposite order.  Barriers separate the
+phases, exactly as in the paper's pseudo-code.
+"""
+
+import numpy as np
+
+from repro.core.traditional import TraditionalCachingFS
+from repro.sim.events import AllOf
+from repro.sim.sync import Barrier
+
+
+class TwoPhaseFS(TraditionalCachingFS):
+    """Two-phase collective I/O on top of the traditional-caching substrate."""
+
+    method_name = "two-phase"
+
+    def __init__(self, machine, striped_file, **kwargs):
+        super().__init__(machine, striped_file, **kwargs)
+
+    # -- transfer orchestration ---------------------------------------------------------
+    def _start_transfer(self, pattern):
+        barrier = Barrier(self.env, self.config.n_cps, name="two-phase-barrier")
+        exchange = self._permutation_matrix(pattern)
+        cp_processes = [
+            self.env.process(
+                self._two_phase_cp_worker(cp_index, pattern, barrier, exchange))
+            for cp_index in range(self.config.n_cps)
+        ]
+        return self.env.process(self._finish(cp_processes, pattern))
+
+    # -- the conforming distribution ------------------------------------------------------
+    def conforming_range(self, cp_index):
+        """Byte range of the file CP *cp_index* touches during the I/O phase.
+
+        The conforming distribution is BLOCK over file blocks: contiguous,
+        block-aligned, evenly split — the distribution the designers of
+        two-phase I/O identified as matching a row-major file layout.
+        """
+        n_blocks = self.file.n_blocks
+        per_cp = -(-n_blocks // self.config.n_cps)  # ceil
+        first_block = min(cp_index * per_cp, n_blocks)
+        last_block = min(first_block + per_cp, n_blocks)
+        start = first_block * self.file.block_size
+        end = min(last_block * self.file.block_size, self.file.size_bytes)
+        if start >= end:
+            return (0, 0)
+        return (start, end - start)
+
+    def _permutation_matrix(self, pattern):
+        """bytes_to_send[i][j]: bytes CP *i* holds (conforming) that CP *j* owns."""
+        n_cps = self.config.n_cps
+        record_size = pattern.record_size
+        matrix = np.zeros((n_cps, n_cps), dtype=np.int64)
+        for holder in range(n_cps):
+            start, length = self.conforming_range(holder)
+            if length == 0:
+                continue
+            first_record = start // record_size
+            last_record = (start + length - 1) // record_size
+            records = np.arange(first_record, last_record + 1, dtype=np.int64)
+            if pattern.name.endswith("a") and len(pattern.name) == 2:
+                # ra: every CP needs every byte; each holder sends its whole
+                # range to every other CP.
+                matrix[holder, :] = length
+                continue
+            owners = pattern.owners_of(records)
+            counts = np.bincount(owners, minlength=n_cps)
+            matrix[holder, :] = counts * record_size
+        return matrix
+
+    # -- CP behaviour -------------------------------------------------------------------
+    def _two_phase_cp_worker(self, cp_index, pattern, barrier, exchange):
+        yield barrier.wait()
+        if pattern.is_read:
+            yield from self._io_phase(cp_index, pattern)
+            yield barrier.wait()
+            yield from self._permute_phase(cp_index, exchange)
+            yield barrier.wait()
+        else:
+            # Writes permute first (gather data into the conforming holders),
+            # then the holders write their contiguous ranges.
+            yield from self._permute_phase(cp_index, exchange.T)
+            yield barrier.wait()
+            yield from self._io_phase(cp_index, pattern)
+            yield barrier.wait()
+
+    def _io_phase(self, cp_index, pattern):
+        """Read/write this CP's conforming range through the caching IOPs."""
+        start, length = self.conforming_range(cp_index)
+        if length == 0:
+            return
+        cp_node = self.machine.cps[cp_index]
+        outstanding = {}
+        for block, offset_in_block, piece in self.file.block_pieces(start, length):
+            disk_index = self.file.disk_of_block(block)
+            waiting = outstanding.get(disk_index)
+            if waiting is not None and len(waiting) >= self.outstanding_per_disk:
+                yield waiting.pop(0)
+            from repro.core.traditional import _Request
+            request = _Request(
+                kind="write" if pattern.is_write else "read",
+                block=block,
+                offset_in_block=offset_in_block,
+                length=piece,
+                cp_index=cp_index,
+                disk_index=disk_index,
+            )
+            event = self.env.process(self._cp_issue_request(cp_node, request))
+            outstanding.setdefault(disk_index, []).append(event)
+            self.counters["cp_requests"].add(1)
+        remaining = [event for events in outstanding.values() for event in events]
+        if remaining:
+            yield AllOf(self.env, remaining)
+
+    def _permute_phase(self, cp_index, exchange):
+        """Send every other CP the bytes it owns out of my conforming range."""
+        cp_node = self.machine.cps[cp_index]
+        sends = []
+        for target in range(self.config.n_cps):
+            n_bytes = int(exchange[cp_index, target])
+            if target == cp_index or n_bytes == 0:
+                continue
+            sends.append(self.env.process(
+                self._permute_send(cp_node, target, n_bytes)))
+        if sends:
+            yield AllOf(self.env, sends)
+
+    def _permute_send(self, cp_node, target, n_bytes):
+        target_node = self.machine.cps[target]
+        yield from self._charge_cpu(cp_node, self.costs.message_overhead)
+        yield from self.machine.network.transfer(
+            cp_node.node_id, target_node.node_id, n_bytes + 32)
+        self.counters["bytes_moved"].add(n_bytes)

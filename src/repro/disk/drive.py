@@ -1,0 +1,292 @@
+"""The simulated disk drive: request queue, mechanics, cache and SCSI transfer.
+
+A :class:`Disk` is a device process.  Clients call :meth:`Disk.read` /
+:meth:`Disk.write` (or :meth:`Disk.submit`), receive an event, and yield it;
+the drive's service loop picks queued requests according to its scheduling
+policy, charges controller overhead, mechanical positioning (or a read-ahead
+cache hit), media transfer, and the SCSI-bus transfer to the I/O processor.
+
+Writes go through the drive's write buffer when enabled: the request completes
+once the data has crossed the bus and fits in the buffer, and a background
+destage process pushes it to the media.  :meth:`Disk.flush` waits for the
+buffer to drain — experiment harnesses call it so that reported transfer times
+include all write-behind, as the paper's do.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.disk.cache import ReadAheadCache
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.scheduler import make_scheduler
+from repro.sim.events import Event
+from repro.sim.stats import Counter
+
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass
+class DiskRequest:
+    """A single request for a contiguous run of sectors."""
+
+    op: str
+    lbn: int
+    n_sectors: int
+    completion: Event = None
+    submit_time: float = 0.0
+    tag: object = None
+
+    @property
+    def n_bytes(self):
+        """Size of the request in bytes (sector-granular)."""
+        return self.n_sectors * 512
+
+
+@dataclass
+class DiskStats:
+    """Aggregate statistics for one drive."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+    seek_time: float = 0.0
+    rotation_time: float = 0.0
+    transfer_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    queue_wait_time: float = 0.0
+    extra: Counter = field(default_factory=lambda: Counter("extra"))
+
+
+class BusPort:
+    """The drive's attachment to a shared SCSI bus.
+
+    ``resource`` is the shared :class:`~repro.sim.resources.Resource` (one per
+    I/O bus); ``bandwidth`` is the bus's peak byte rate and ``overhead`` the
+    per-transfer arbitration/command cost.
+    """
+
+    def __init__(self, resource, bandwidth, overhead=0.0):
+        self.resource = resource
+        self.bandwidth = bandwidth
+        self.overhead = overhead
+
+    def transfer_time(self, n_bytes):
+        """Bus occupancy for a transfer of *n_bytes*."""
+        return self.overhead + n_bytes / self.bandwidth
+
+    def transfer(self, env, n_bytes):
+        """Process fragment: hold the bus for the duration of the transfer."""
+        yield from self.resource.acquire(self.transfer_time(n_bytes))
+
+
+class Disk:
+    """A single simulated drive attached to a SCSI bus on one IOP."""
+
+    def __init__(self, env, spec, bus_port, name="disk", scheduler="fcfs",
+                 initial_angle_fraction=0.0, write_buffer_blocks=None):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.bus_port = bus_port
+        self.geometry = DiskGeometry(spec)
+        self.mechanics = DiskMechanics(
+            spec, self.geometry, initial_angle_fraction=initial_angle_fraction)
+        self.readahead = ReadAheadCache(spec)
+        self.scheduler = make_scheduler(scheduler) if isinstance(scheduler, str) \
+            else scheduler
+        self.stats = DiskStats()
+
+        if write_buffer_blocks is None:
+            write_buffer_blocks = max(1, spec.cache_size // 8192)
+        self.write_buffer_capacity = write_buffer_blocks
+        self._write_buffer = []          # destage queue of DiskRequest
+        self._write_buffer_waiters = []  # requests waiting for buffer space
+        self._writes_outstanding = 0     # buffered or in-destage writes
+        self._flush_waiters = []
+
+        self._queue = []
+        self._work_available = None
+        self._destage_work = None
+        self._serve_process = env.process(self._serve_loop())
+        if spec.write_cache_enabled:
+            self._destage_process = env.process(self._destage_loop())
+        else:
+            self._destage_process = None
+
+    # -- public API -------------------------------------------------------------
+    def read(self, lbn, n_sectors, tag=None):
+        """Submit a read; returns an event fired when data is at the IOP."""
+        return self.submit(DiskRequest(op=READ, lbn=lbn, n_sectors=n_sectors, tag=tag))
+
+    def write(self, lbn, n_sectors, tag=None):
+        """Submit a write; returns an event fired when the drive accepts the data."""
+        return self.submit(DiskRequest(op=WRITE, lbn=lbn, n_sectors=n_sectors, tag=tag))
+
+    def submit(self, request):
+        """Queue *request*; returns its completion event."""
+        if request.lbn < 0 or request.lbn + request.n_sectors > self.geometry.total_sectors:
+            raise ValueError(
+                f"request [{request.lbn}, {request.lbn + request.n_sectors}) outside disk "
+                f"of {self.geometry.total_sectors} sectors")
+        if request.n_sectors <= 0:
+            raise ValueError("request must cover at least one sector")
+        request.completion = Event(self.env)
+        request.submit_time = self.env.now
+        self._queue.append(request)
+        self._kick()
+        return request.completion
+
+    def flush(self):
+        """Event that fires once all buffered writes have reached the media."""
+        event = Event(self.env)
+        if self._writes_outstanding == 0 and not self._has_pending_writes():
+            event.succeed()
+        else:
+            self._flush_waiters.append(event)
+        return event
+
+    @property
+    def queue_depth(self):
+        """Number of requests waiting for service (excluding buffered writes)."""
+        return len(self._queue)
+
+    @property
+    def current_cylinder(self):
+        """Cylinder the heads are currently positioned over."""
+        return self.mechanics.current_cylinder
+
+    # -- service loop ---------------------------------------------------------------
+    def _kick(self):
+        if self._work_available is not None and not self._work_available.triggered:
+            self._work_available.succeed()
+            self._work_available = None
+
+    def _kick_destage(self):
+        if self._destage_work is not None and not self._destage_work.triggered:
+            self._destage_work.succeed()
+            self._destage_work = None
+
+    def _has_pending_writes(self):
+        return any(request.op == WRITE for request in self._queue)
+
+    def _serve_loop(self):
+        while True:
+            while not self._queue:
+                self._work_available = Event(self.env)
+                yield self._work_available
+            index = self.scheduler.select(self._queue, self._current_lbn_estimate())
+            request = self._queue.pop(index)
+            self.stats.queue_wait_time += self.env.now - request.submit_time
+            start = self.env.now
+            if request.op == READ:
+                yield from self._service_read(request)
+            else:
+                yield from self._service_write(request)
+            self.stats.busy_time += self.env.now - start
+
+    def _current_lbn_estimate(self):
+        # Approximate the head position by the first sector of the current cylinder;
+        # schedulers only need relative ordering.
+        return self.mechanics.current_cylinder * \
+            self.spec.sectors_per_track * self.spec.heads
+
+    # -- read path ---------------------------------------------------------------
+    def _service_read(self, request):
+        env = self.env
+        spec = self.spec
+        yield env.timeout(spec.controller_overhead)
+
+        hit, ready_time = self.readahead.lookup(env.now, request.lbn, request.n_sectors)
+        if hit:
+            self.stats.cache_hits += 1
+            if ready_time > env.now:
+                yield env.timeout(ready_time - env.now)
+            end_lbn = request.lbn + request.n_sectors
+            self.readahead.extend_after_hit(env.now, end_lbn, self.geometry.total_sectors)
+            # Track arm position so later schedulers see a sensible cylinder.
+            self.mechanics.current_cylinder = self.geometry.cylinder_of(
+                min(end_lbn, self.geometry.total_sectors - 1))
+        else:
+            self.stats.cache_misses += 1
+            self.readahead.invalidate()
+            positioning = self.mechanics.positioning_time(env.now, request.lbn)
+            transfer = self.mechanics.media.transfer_time(request.lbn, request.n_sectors)
+            self.stats.seek_time += positioning
+            self.stats.transfer_time += transfer
+            end_lbn = request.lbn + request.n_sectors
+            self.mechanics.current_cylinder = self.geometry.cylinder_of(
+                min(end_lbn, self.geometry.total_sectors - 1))
+            yield env.timeout(positioning + transfer)
+            # Media keeps streaming into the cache after the request completes.
+            self.readahead.start_readahead(env.now, end_lbn, self.geometry.total_sectors)
+
+        # Ship the data across the SCSI bus to the IOP.
+        yield from self.bus_port.transfer(env, request.n_bytes)
+        self.stats.reads += 1
+        self.stats.bytes_read += request.n_bytes
+        request.completion.succeed(request)
+
+    # -- write path ---------------------------------------------------------------
+    def _service_write(self, request):
+        env = self.env
+        yield env.timeout(self.spec.controller_overhead)
+        # Data moves from IOP memory across the bus into the drive first.
+        yield from self.bus_port.transfer(env, request.n_bytes)
+
+        if self.spec.write_cache_enabled:
+            # Wait for buffer space, then complete; destage happens in background.
+            while len(self._write_buffer) >= self.write_buffer_capacity:
+                waiter = Event(env)
+                self._write_buffer_waiters.append(waiter)
+                yield waiter
+            self._write_buffer.append(request)
+            self._writes_outstanding += 1
+            self._kick_destage()
+            self.stats.writes += 1
+            self.stats.bytes_written += request.n_bytes
+            request.completion.succeed(request)
+        else:
+            yield from self._write_to_media(request)
+            self.stats.writes += 1
+            self.stats.bytes_written += request.n_bytes
+            request.completion.succeed(request)
+            self._maybe_release_flush_waiters()
+
+    def _destage_loop(self):
+        env = self.env
+        while True:
+            while not self._write_buffer:
+                self._destage_work = Event(env)
+                yield self._destage_work
+            request = self._write_buffer.pop(0)
+            if self._write_buffer_waiters:
+                self._write_buffer_waiters.pop(0).succeed()
+            yield from self._write_to_media(request)
+            self._writes_outstanding -= 1
+            self._maybe_release_flush_waiters()
+
+    def _write_to_media(self, request):
+        env = self.env
+        # A write that continues exactly where the previous media operation
+        # ended streams at media rate; anything else pays seek + rotation.
+        positioning = self.mechanics.positioning_time(env.now, request.lbn)
+        transfer = self.mechanics.media.transfer_time(request.lbn, request.n_sectors)
+        self.stats.seek_time += positioning
+        self.stats.transfer_time += transfer
+        end_lbn = request.lbn + request.n_sectors
+        self.mechanics.current_cylinder = self.geometry.cylinder_of(
+            min(end_lbn, self.geometry.total_sectors - 1))
+        # Writing invalidates any read-ahead state (conservative).
+        self.readahead.invalidate()
+        yield env.timeout(positioning + transfer)
+
+    def _maybe_release_flush_waiters(self):
+        if self._writes_outstanding == 0 and not self._has_pending_writes():
+            waiters, self._flush_waiters = self._flush_waiters, []
+            for waiter in waiters:
+                waiter.succeed()

@@ -1,0 +1,75 @@
+"""Logical-block to physical-position mapping for a disk drive."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhysicalPosition:
+    """A physical location on the platters."""
+
+    cylinder: int
+    head: int
+    sector: int
+
+
+class DiskGeometry:
+    """Maps logical block numbers (sectors) to cylinder/head/sector positions.
+
+    The mapping is the conventional one: sectors are numbered within a track,
+    tracks within a cylinder (one per head), cylinders from outer to inner.
+    Zone-bit recording is not modelled (the HP 97560 had a constant number of
+    sectors per track).
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self._sectors_per_cylinder = spec.sectors_per_track * spec.heads
+
+    @property
+    def total_sectors(self):
+        """Total number of addressable sectors."""
+        return self.spec.total_sectors
+
+    def position_of(self, lbn):
+        """Physical position of logical sector *lbn*."""
+        self._check(lbn)
+        cylinder, rest = divmod(lbn, self._sectors_per_cylinder)
+        head, sector = divmod(rest, self.spec.sectors_per_track)
+        return PhysicalPosition(cylinder=cylinder, head=head, sector=sector)
+
+    def cylinder_of(self, lbn):
+        """Cylinder containing logical sector *lbn* (cheaper than position_of)."""
+        self._check(lbn)
+        return lbn // self._sectors_per_cylinder
+
+    def angular_sector_of(self, lbn):
+        """Angular position (in sector units, within one revolution) of *lbn*.
+
+        Accounts for track skew: consecutive tracks are rotated by
+        ``track_skew_sectors`` so sequential transfers do not miss a
+        revolution at every head switch.
+        """
+        self._check(lbn)
+        spt = self.spec.sectors_per_track
+        track_index = lbn // spt
+        within_track = lbn % spt
+        return (within_track + track_index * self.spec.track_skew_sectors) % spt
+
+    def sectors_to_track_end(self, lbn):
+        """Number of sectors from *lbn* to the end of its track (inclusive of lbn)."""
+        self._check(lbn)
+        within_track = lbn % self.spec.sectors_per_track
+        return self.spec.sectors_per_track - within_track
+
+    def track_boundaries_crossed(self, lbn, n_sectors):
+        """How many track boundaries a transfer of *n_sectors* starting at *lbn* crosses."""
+        if n_sectors <= 0:
+            return 0
+        first_track = lbn // self.spec.sectors_per_track
+        last_track = (lbn + n_sectors - 1) // self.spec.sectors_per_track
+        return last_track - first_track
+
+    def _check(self, lbn):
+        if lbn < 0 or lbn >= self.total_sectors:
+            raise ValueError(
+                f"logical block {lbn} out of range [0, {self.total_sectors})")

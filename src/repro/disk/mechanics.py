@@ -1,0 +1,114 @@
+"""Mechanical timing of a disk drive: seeks, rotation, media transfer.
+
+The model follows Ruemmler & Wilkes: a two-regime seek curve, rotational
+positioning computed from an absolute rotational clock, and media transfer at
+one track per revolution with head-switch penalties at track boundaries.
+"""
+
+
+class SeekModel:
+    """Seek-time computation with the drive's piecewise seek curve."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def seek_time(self, from_cylinder, to_cylinder):
+        """Seconds to move the arm between two cylinders (0 if already there)."""
+        distance = abs(to_cylinder - from_cylinder)
+        return self.spec.seek_curve.seek_time(distance)
+
+
+class RotationModel:
+    """Tracks the angular position of the platters as a function of time."""
+
+    def __init__(self, spec, initial_angle_fraction=0.0):
+        self.spec = spec
+        #: angle at time 0, expressed as a fraction of a revolution in [0, 1)
+        self.initial_angle_fraction = initial_angle_fraction % 1.0
+
+    def angle_at(self, time):
+        """Rotational position (fraction of a revolution) at simulated *time*."""
+        revolutions = time / self.spec.revolution_time + self.initial_angle_fraction
+        return revolutions % 1.0
+
+    def sector_under_head(self, time):
+        """Index of the sector currently passing under the heads."""
+        return int(self.angle_at(time) * self.spec.sectors_per_track) \
+            % self.spec.sectors_per_track
+
+    def rotational_delay_to_sector(self, time, target_sector):
+        """Seconds until the start of *target_sector* rotates under the head.
+
+        *target_sector* may be fractional (angular position in sector units).
+        A tiny tolerance treats "just missed by floating-point error" as
+        "exactly under the head", otherwise sequential transfers would be
+        charged a phantom full revolution.
+        """
+        spt = self.spec.sectors_per_track
+        target_angle = (target_sector % spt) / spt
+        current_angle = self.angle_at(time)
+        delta = (target_angle - current_angle) % 1.0
+        if delta > 1.0 - 1e-9:
+            delta = 0.0
+        return delta * self.spec.revolution_time
+
+
+class MediaTransferModel:
+    """Time to read or write sectors off the media, including head switches."""
+
+    def __init__(self, spec, geometry):
+        self.spec = spec
+        self.geometry = geometry
+
+    def transfer_time(self, lbn, n_sectors):
+        """Seconds of media time for *n_sectors* starting at *lbn*.
+
+        Sectors stream at one sector per ``sector_time``; each track boundary
+        crossed adds a head-switch penalty (during which, pessimistically, no
+        data moves).
+        """
+        if n_sectors <= 0:
+            return 0.0
+        base = n_sectors * self.spec.sector_time
+        switches = self.geometry.track_boundaries_crossed(lbn, n_sectors)
+        return base + switches * self.spec.head_switch_time
+
+
+class DiskMechanics:
+    """Combines seek, rotation and media-transfer into positioning decisions.
+
+    The object is stateful: it remembers the cylinder/head position left by
+    the previous operation so that the next operation pays only the
+    incremental positioning cost.
+    """
+
+    def __init__(self, spec, geometry, initial_angle_fraction=0.0,
+                 initial_cylinder=0):
+        self.spec = spec
+        self.geometry = geometry
+        self.seek_model = SeekModel(spec)
+        self.rotation = RotationModel(spec, initial_angle_fraction)
+        self.media = MediaTransferModel(spec, geometry)
+        self.current_cylinder = initial_cylinder
+
+    def positioning_time(self, now, lbn):
+        """Seek + rotational delay to position at the start of sector *lbn*."""
+        position = self.geometry.position_of(lbn)
+        seek = self.seek_model.seek_time(self.current_cylinder, position.cylinder)
+        arrival = now + seek
+        angular_sector = self.geometry.angular_sector_of(lbn)
+        rotation = self.rotation.rotational_delay_to_sector(arrival, angular_sector)
+        return seek + rotation
+
+    def access_time(self, now, lbn, n_sectors):
+        """Full mechanical time (position + transfer) for an access; updates state."""
+        positioning = self.positioning_time(now, lbn)
+        transfer = self.media.transfer_time(lbn, n_sectors)
+        end_position = self.geometry.position_of(
+            min(lbn + max(n_sectors, 1) - 1, self.geometry.total_sectors - 1))
+        self.current_cylinder = end_position.cylinder
+        return positioning + transfer
+
+    def sequential_transfer_time(self, lbn, n_sectors):
+        """Media-only time for a transfer that needs no repositioning."""
+        return self.media.transfer_time(lbn, n_sectors)

@@ -1,0 +1,69 @@
+"""Disk request-queue scheduling policies.
+
+Traditional caching leaves scheduling to the drive/IOP queue (FCFS or CSCAN
+over whatever happens to be outstanding); disk-directed I/O instead presents
+requests in an order it chose itself (optionally presorted by physical
+location), so its queue depth stays tiny and FCFS at the device is enough.
+"""
+
+
+class FcfsScheduler:
+    """First-come first-served."""
+
+    name = "fcfs"
+
+    def select(self, queue, current_lbn):
+        """Return the index into *queue* of the request to serve next."""
+        if not queue:
+            raise ValueError("select() on an empty queue")
+        return 0
+
+
+class SstfScheduler:
+    """Shortest-seek-time-first (greedy nearest logical block)."""
+
+    name = "sstf"
+
+    def select(self, queue, current_lbn):
+        if not queue:
+            raise ValueError("select() on an empty queue")
+        best_index = 0
+        best_distance = abs(queue[0].lbn - current_lbn)
+        for index, request in enumerate(queue[1:], start=1):
+            distance = abs(request.lbn - current_lbn)
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return best_index
+
+
+class CScanScheduler:
+    """Circular SCAN: serve requests in ascending block order, wrapping around."""
+
+    name = "cscan"
+
+    def select(self, queue, current_lbn):
+        if not queue:
+            raise ValueError("select() on an empty queue")
+        ahead = [(request.lbn, index) for index, request in enumerate(queue)
+                 if request.lbn >= current_lbn]
+        if ahead:
+            return min(ahead)[1]
+        # Wrap to the lowest block number.
+        return min((request.lbn, index) for index, request in enumerate(queue))[1]
+
+
+_SCHEDULERS = {
+    FcfsScheduler.name: FcfsScheduler,
+    SstfScheduler.name: SstfScheduler,
+    CScanScheduler.name: CScanScheduler,
+}
+
+
+def make_scheduler(name):
+    """Instantiate a scheduler by name (``fcfs``, ``sstf`` or ``cscan``)."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown disk scheduler {name!r}; choose from {sorted(_SCHEDULERS)}")

@@ -1,0 +1,41 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.config` — experiment descriptions (method, pattern,
+  record size, layout, machine shape, file size, seed).
+* :mod:`repro.experiments.runner` — runs one experiment or a set of replicated
+  trials and aggregates throughput statistics.
+* :mod:`repro.experiments.figures` — one generator per paper figure
+  (Figures 3-8) and Table 1; also the ``ddio-figures`` command-line entry point.
+* :mod:`repro.experiments.report` — plain-text tables and bar charts.
+* :mod:`repro.experiments.claims` — checks the paper's headline claims
+  (e.g. "disk-directed I/O was up to 16 times faster") against measured data.
+"""
+
+from repro.experiments.config import ExperimentConfig, TrialSummary
+from repro.experiments.runner import run_experiment, run_trials, sweep
+from repro.experiments.figures import (
+    FIGURES,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURES",
+    "TrialSummary",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "run_experiment",
+    "run_trials",
+    "sweep",
+    "table1",
+]

@@ -1,0 +1,147 @@
+"""Checks of the paper's headline claims against measured results.
+
+The paper's abstract and Section 6 make a handful of quantitative claims.
+Given the results of a Figure-3/Figure-4 style sweep, this module computes the
+corresponding quantities from *our* measurements so EXPERIMENTS.md (and the
+test suite) can compare shape: who wins, and by roughly what factor.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ClaimCheck:
+    """One headline claim and what we measured for it."""
+
+    claim: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+
+    def as_row(self):
+        return {
+            "claim": self.claim,
+            "paper": self.paper_value,
+            "measured": self.measured_value,
+            "holds": "yes" if self.holds else "NO",
+        }
+
+
+def _index(summaries):
+    """Index summaries by (method, pattern, layout, record size)."""
+    table = {}
+    for summary in summaries:
+        config = summary.config
+        key = (config.method, config.pattern, config.layout, config.record_size)
+        table[key] = summary.mean_throughput_mb
+    return table
+
+
+def _pairs(table, layout, methods):
+    """Yield (pattern, record_size, tc, ddio) for every case present for both methods."""
+    tc_method, ddio_method = methods
+    for (method, pattern, this_layout, record_size), value in table.items():
+        if method != tc_method or this_layout != layout:
+            continue
+        other = table.get((ddio_method, pattern, layout, record_size))
+        if other is None:
+            continue
+        yield pattern, record_size, value, other
+
+
+def check_headline_claims(summaries, peak_disk_bandwidth_mb=37.5):
+    """Compute the paper's headline quantities from a set of trial summaries.
+
+    Returns a list of :class:`ClaimCheck`.  Expect the *direction* of every
+    claim to hold; absolute factors may differ from the paper since the
+    substrate is a re-implementation (see EXPERIMENTS.md).
+    """
+    table = _index(summaries)
+    checks = []
+
+    # Claim 1: DDIO is never substantially slower than traditional caching.
+    ratios = []
+    for layout in ("contiguous", "random"):
+        for _pattern, _rs, tc, ddio in _pairs(
+                table, layout, ("traditional", "disk-directed")):
+            if tc > 0:
+                ratios.append(ddio / tc)
+    if ratios:
+        worst = min(ratios)
+        best = max(ratios)
+        checks.append(ClaimCheck(
+            claim="DDIO at least as fast as traditional caching (never "
+                  "substantially slower)",
+            paper_value=">= ~1x everywhere, up to 16.2x",
+            measured_value=f"ratio range {worst:.2f}x .. {best:.1f}x",
+            holds=worst >= 0.85,
+        ))
+        checks.append(ClaimCheck(
+            claim="DDIO up to an order of magnitude faster in the worst "
+                  "traditional-caching cases",
+            paper_value="up to 16.2x (contiguous), up to 9.0x (random)",
+            measured_value=f"max ratio {best:.1f}x",
+            holds=best >= 5.0,
+        ))
+
+    # Claim 2: DDIO reaches a large fraction of peak disk bandwidth on the
+    # contiguous layout.
+    ddio_contiguous = [value for (method, _p, layout, rs), value in table.items()
+                       if method == "disk-directed" and layout == "contiguous"
+                       and rs == 8192]
+    if ddio_contiguous:
+        achieved = max(ddio_contiguous)
+        fraction = achieved / peak_disk_bandwidth_mb
+        checks.append(ClaimCheck(
+            claim="DDIO approaches peak disk bandwidth on the contiguous layout",
+            paper_value="up to 93% of 37.5 MB/s",
+            measured_value=f"{achieved:.1f} MB/s = {fraction:.0%} of peak",
+            holds=fraction >= 0.75,
+        ))
+
+    # Claim 3: DDIO throughput is nearly independent of the access pattern.
+    ddio_random = [value for (method, _p, layout, rs), value in table.items()
+                   if method == "disk-directed" and layout == "random" and rs == 8192]
+    if len(ddio_random) >= 2:
+        spread = (max(ddio_random) - min(ddio_random)) / max(ddio_random)
+        checks.append(ClaimCheck(
+            claim="DDIO throughput nearly independent of data distribution "
+                  "(random layout, 8 KB records)",
+            paper_value="consistently 6.2-7.5 MB/s",
+            measured_value=f"spread {spread:.0%} across patterns",
+            holds=spread <= 0.35,
+        ))
+
+    # Claim 4: presorting the block list pays off on the random layout.
+    sort_ratios = []
+    for (_method, pattern, layout, rs), value in list(table.items()):
+        if _method != "disk-directed" or layout != "random":
+            continue
+        nosort = table.get(("disk-directed-nosort", pattern, layout, rs))
+        if nosort:
+            sort_ratios.append(value / nosort)
+    if sort_ratios:
+        mean_ratio = sum(sort_ratios) / len(sort_ratios)
+        checks.append(ClaimCheck(
+            claim="Presorting disk requests by physical location helps on the "
+                  "random layout",
+            paper_value="41-50% improvement",
+            measured_value=f"mean improvement {mean_ratio - 1:.0%}",
+            holds=mean_ratio >= 1.2,
+        ))
+
+    # Claim 5: the contiguous layout is several times faster than random.
+    contiguous_best = [value for (method, _p, layout, rs), value in table.items()
+                       if method == "disk-directed" and layout == "contiguous"]
+    random_best = [value for (method, _p, layout, rs), value in table.items()
+                   if method == "disk-directed" and layout == "random"]
+    if contiguous_best and random_best:
+        factor = max(contiguous_best) / max(random_best)
+        checks.append(ClaimCheck(
+            claim="Contiguous layout several times faster than random-blocks",
+            paper_value="about 5x",
+            measured_value=f"{factor:.1f}x",
+            holds=factor >= 3.0,
+        ))
+
+    return checks

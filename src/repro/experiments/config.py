@@ -1,0 +1,99 @@
+"""Experiment descriptions and aggregated trial results."""
+
+import math
+import statistics
+from dataclasses import dataclass, field, replace
+
+#: 2^20 bytes, the paper's "Mbyte".
+MEGABYTE = 2 ** 20
+
+#: The paper's file size: 10 MB = 1280 eight-kilobyte blocks.
+PAPER_FILE_SIZE = 10 * MEGABYTE
+
+#: The two record sizes the paper reports (8 bytes and one full block).
+PAPER_RECORD_SIZES = (8, 8192)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to run one data point (one method, one configuration)."""
+
+    method: str = "disk-directed"
+    pattern: str = "rb"
+    record_size: int = 8192
+    layout: str = "contiguous"
+    file_size: int = PAPER_FILE_SIZE
+    n_cps: int = 16
+    n_iops: int = 16
+    n_disks: int = 16
+    block_size: int = 8192
+    seed: int = 0
+    label: str = ""
+
+    def with_overrides(self, **kwargs):
+        """Copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self):
+        """Readable one-liner for logs and reports."""
+        return (f"{self.method} {self.pattern} rs={self.record_size} "
+                f"{self.layout} {self.file_size // MEGABYTE} MB "
+                f"cps={self.n_cps} iops={self.n_iops} disks={self.n_disks}")
+
+
+@dataclass
+class TrialSummary:
+    """Aggregate of the replicated trials of one experiment."""
+
+    config: ExperimentConfig
+    results: list = field(default_factory=list)
+
+    @property
+    def throughputs_mb(self):
+        """Per-trial normalised throughput in Mbytes/s."""
+        return [result.throughput_mb for result in self.results]
+
+    @property
+    def mean_throughput_mb(self):
+        """Mean throughput over the trials."""
+        if not self.results:
+            return 0.0
+        return statistics.fmean(self.throughputs_mb)
+
+    @property
+    def stdev_throughput_mb(self):
+        """Sample standard deviation (0 with fewer than two trials)."""
+        if len(self.results) < 2:
+            return 0.0
+        return statistics.stdev(self.throughputs_mb)
+
+    @property
+    def coefficient_of_variation(self):
+        """cv = stdev / mean, the dispersion measure the paper quotes."""
+        mean = self.mean_throughput_mb
+        if mean == 0 or math.isnan(mean):
+            return 0.0
+        return self.stdev_throughput_mb / mean
+
+    @property
+    def mean_elapsed(self):
+        """Mean simulated transfer time in seconds."""
+        if not self.results:
+            return 0.0
+        return statistics.fmean(result.elapsed for result in self.results)
+
+    def as_row(self):
+        """Flat dictionary for report tables."""
+        return {
+            "label": self.config.label or self.config.method,
+            "method": self.config.method,
+            "pattern": self.config.pattern,
+            "record_size": self.config.record_size,
+            "layout": self.config.layout,
+            "cps": self.config.n_cps,
+            "iops": self.config.n_iops,
+            "disks": self.config.n_disks,
+            "throughput_mb": self.mean_throughput_mb,
+            "cv": self.coefficient_of_variation,
+            "trials": len(self.results),
+        }

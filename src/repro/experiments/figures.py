@@ -1,0 +1,284 @@
+"""Generators for every figure and table in the paper's evaluation.
+
+Each ``figureN`` function builds the list of :class:`ExperimentConfig` points
+that figure plots, runs them (with the requested number of trials) and returns
+both the raw summaries and a plain-text rendering shaped like the paper's
+figure.  The module doubles as the ``ddio-figures`` command-line tool::
+
+    ddio-figures figure3 --file-mb 1 --trials 1
+    ddio-figures figure5 --record-size 8192
+    ddio-figures all --paper-scale          # the full (slow) 10 MB runs
+"""
+
+import argparse
+import sys
+
+from repro.experiments.claims import check_headline_claims
+from repro.experiments.config import MEGABYTE, ExperimentConfig
+from repro.experiments.report import format_bar_chart, format_series_table, format_table
+from repro.experiments.runner import run_trials, sweep
+from repro.machine import MachineConfig
+from repro.patterns import READ_PATTERN_NAMES, WRITE_PATTERN_NAMES
+
+#: Figure 3/4 compare these methods (the paper shows DDIO with and without the
+#: presort only for the random layout, where it matters).
+_FIG3_METHODS = ("disk-directed", "disk-directed-nosort", "traditional")
+_FIG4_METHODS = ("disk-directed", "traditional")
+
+#: Sensitivity figures use these four patterns with 8 KB records.
+_SENSITIVITY_PATTERNS = ("ra", "rn", "rb", "rc")
+
+
+def _default_file_size(record_size, file_mb=None, paper_scale=False):
+    """Pick a file size: paper scale (10 MB), an explicit override, or a
+    wall-clock-friendly default (small records are far more expensive to
+    simulate because traditional caching issues one request per record)."""
+    if file_mb is not None:
+        return int(file_mb * MEGABYTE)
+    if paper_scale:
+        return 10 * MEGABYTE
+    return MEGABYTE if record_size <= 1024 else 4 * MEGABYTE
+
+
+def _pattern_sweep(methods, patterns, record_size, layout, file_size, seed=0):
+    configs = []
+    for pattern in patterns:
+        for method in methods:
+            configs.append(ExperimentConfig(
+                method=method,
+                pattern=pattern,
+                record_size=record_size,
+                layout=layout,
+                file_size=file_size,
+                seed=seed,
+                label=method,
+            ))
+    return configs
+
+
+def _render_pattern_figure(title, summaries):
+    entries = [(f"{s.config.pattern:4s} {s.config.method}", s.mean_throughput_mb)
+               for s in summaries]
+    rows = [s.as_row() for s in summaries]
+    text = (f"{title}\n\n"
+            + format_table(rows, columns=["pattern", "method", "record_size",
+                                          "throughput_mb", "cv", "trials"])
+            + "\n\n" + format_bar_chart(entries))
+    return text
+
+
+def figure3(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
+            patterns=None, progress=None):
+    """Figure 3: all patterns, random-blocks layout, TC vs DDIO vs DDIO+presort."""
+    all_summaries = []
+    texts = []
+    for record_size in record_sizes:
+        file_size = _default_file_size(record_size, file_mb, paper_scale)
+        selected = patterns or (READ_PATTERN_NAMES + WRITE_PATTERN_NAMES)
+        configs = _pattern_sweep(_FIG3_METHODS, selected, record_size,
+                                 "random", file_size)
+        summaries = sweep(configs, trials=trials, progress=progress)
+        all_summaries.extend(summaries)
+        texts.append(_render_pattern_figure(
+            f"Figure 3 ({record_size}-byte records, random-blocks layout, "
+            f"{file_size // MEGABYTE} MB file)", summaries))
+    return all_summaries, "\n\n".join(texts)
+
+
+def figure4(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
+            patterns=None, progress=None):
+    """Figure 4: all patterns, contiguous layout, TC vs DDIO."""
+    all_summaries = []
+    texts = []
+    for record_size in record_sizes:
+        file_size = _default_file_size(record_size, file_mb, paper_scale)
+        selected = patterns or (READ_PATTERN_NAMES + WRITE_PATTERN_NAMES)
+        configs = _pattern_sweep(_FIG4_METHODS, selected, record_size,
+                                 "contiguous", file_size)
+        summaries = sweep(configs, trials=trials, progress=progress)
+        all_summaries.extend(summaries)
+        texts.append(_render_pattern_figure(
+            f"Figure 4 ({record_size}-byte records, contiguous layout, "
+            f"{file_size // MEGABYTE} MB file)", summaries))
+    return all_summaries, "\n\n".join(texts)
+
+
+def _sensitivity(vary, values, fixed, record_size, file_mb, trials,
+                 paper_scale, patterns, progress=None):
+    """Shared machinery of Figures 5-8: vary one machine dimension."""
+    file_size = _default_file_size(record_size, file_mb, paper_scale)
+    configs = []
+    for value in values:
+        for pattern in patterns:
+            for method in ("disk-directed", "traditional"):
+                overrides = dict(fixed)
+                overrides[vary] = value
+                configs.append(ExperimentConfig(
+                    method=method,
+                    pattern=pattern,
+                    record_size=record_size,
+                    file_size=file_size,
+                    label=f"{method}-{pattern}",
+                    **overrides,
+                ))
+    summaries = sweep(configs, trials=trials, progress=progress)
+    series = {}
+    for summary in summaries:
+        key = f"{'DDIO' if summary.config.method == 'disk-directed' else 'TC'} " \
+              f"{summary.config.pattern}"
+        series.setdefault(key, []).append(
+            (getattr(summary.config, vary), summary.mean_throughput_mb))
+    return summaries, series
+
+
+def figure5(record_size=8192, file_mb=None, trials=1, paper_scale=False,
+            cps=(1, 2, 4, 8, 16), patterns=_SENSITIVITY_PATTERNS, progress=None):
+    """Figure 5: vary the number of CPs; contiguous layout, 8 KB records."""
+    summaries, series = _sensitivity(
+        "n_cps", cps, {"layout": "contiguous"}, record_size, file_mb, trials,
+        paper_scale, patterns, progress)
+    text = ("Figure 5: throughput vs number of CPs (contiguous layout)\n\n"
+            + format_series_table(series, x_label="CPs"))
+    return summaries, text
+
+
+def figure6(record_size=8192, file_mb=None, trials=1, paper_scale=False,
+            iops=(1, 2, 4, 8, 16), patterns=_SENSITIVITY_PATTERNS, progress=None):
+    """Figure 6: vary the number of IOPs (and busses); 16 disks total."""
+    summaries, series = _sensitivity(
+        "n_iops", iops, {"layout": "contiguous", "n_disks": 16}, record_size,
+        file_mb, trials, paper_scale, patterns, progress)
+    text = ("Figure 6: throughput vs number of IOPs/busses (contiguous layout, "
+            "16 disks)\n\n" + format_series_table(series, x_label="IOPs"))
+    return summaries, text
+
+
+def figure7(record_size=8192, file_mb=None, trials=1, paper_scale=False,
+            disks=(1, 2, 4, 8, 16, 32), patterns=_SENSITIVITY_PATTERNS,
+            progress=None):
+    """Figure 7: vary the number of disks on a single IOP; contiguous layout."""
+    summaries, series = _sensitivity(
+        "n_disks", disks, {"layout": "contiguous", "n_iops": 1, "n_cps": 16},
+        record_size, file_mb, trials, paper_scale, patterns, progress)
+    text = ("Figure 7: throughput vs number of disks (1 IOP, contiguous layout)\n\n"
+            + format_series_table(series, x_label="disks"))
+    return summaries, text
+
+
+def figure8(record_size=8192, file_mb=None, trials=1, paper_scale=False,
+            disks=(1, 2, 4, 8, 16, 32), patterns=_SENSITIVITY_PATTERNS,
+            progress=None):
+    """Figure 8: vary the number of disks on a single IOP; random-blocks layout."""
+    summaries, series = _sensitivity(
+        "n_disks", disks, {"layout": "random", "n_iops": 1, "n_cps": 16},
+        record_size, file_mb, trials, paper_scale, patterns, progress)
+    text = ("Figure 8: throughput vs number of disks (1 IOP, random-blocks "
+            "layout)\n\n" + format_series_table(series, x_label="disks"))
+    return summaries, text
+
+
+def table1():
+    """Table 1: the simulator parameters (no simulation needed)."""
+    config = MachineConfig()
+    spec = config.disk_spec
+    rows = [
+        {"parameter": "Compute processors (CPs)", "value": str(config.n_cps)},
+        {"parameter": "I/O processors (IOPs)", "value": str(config.n_iops)},
+        {"parameter": "CPU speed, type", "value": f"{config.cpu_mhz:.0f} MHz, RISC"},
+        {"parameter": "Disks", "value": str(config.n_disks)},
+        {"parameter": "Disk type", "value": spec.name},
+        {"parameter": "Disk capacity",
+         "value": f"{spec.capacity_bytes / 1e9:.1f} GB"},
+        {"parameter": "Disk peak transfer rate",
+         "value": f"{spec.media_transfer_rate / MEGABYTE:.2f} Mbytes/s"},
+        {"parameter": "File-system block size", "value": f"{config.block_size // 1024} KB"},
+        {"parameter": "I/O buses (one per IOP)", "value": str(config.n_iops)},
+        {"parameter": "I/O bus peak bandwidth",
+         "value": f"{config.bus_bandwidth / 1e6:.0f} Mbytes/s"},
+        {"parameter": "Interconnect bandwidth",
+         "value": f"{config.interconnect_bandwidth / 1e6:.0f} x 10^6 bytes/s"},
+        {"parameter": "Interconnect latency",
+         "value": f"{config.router_latency * 1e9:.0f} ns per router"},
+        {"parameter": "Routing", "value": "wormhole (message-level model)"},
+    ]
+    return rows, "Table 1: simulator parameters\n\n" + format_table(
+        rows, columns=["parameter", "value"])
+
+
+#: Registry used by the CLI and the benchmark harness.
+FIGURES = {
+    "table1": table1,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+}
+
+
+def _progress_printer(index, total, summary):
+    row = summary.as_row()
+    print(f"  [{index + 1}/{total}] {row['method']:22s} {row['pattern']:4s} "
+          f"{row['layout']:10s} rs={row['record_size']:<5d} "
+          f"-> {row['throughput_mb']:.2f} MB/s", file=sys.stderr)
+
+
+def main(argv=None):
+    """Command-line entry point: regenerate one figure (or all of them)."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the figures of Kotz's disk-directed I/O paper "
+                    "from the simulation.")
+    parser.add_argument("figure", choices=sorted(FIGURES) + ["all", "claims"],
+                        help="which figure to regenerate")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="independent trials per data point (paper: 5)")
+    parser.add_argument("--file-mb", type=float, default=None,
+                        help="file size in Mbytes (default: scaled to record size)")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's 10 MB file everywhere (slow for "
+                             "8-byte records)")
+    parser.add_argument("--record-size", type=int, default=None,
+                        help="restrict figures 3/4 to one record size")
+    parser.add_argument("--patterns", type=str, default=None,
+                        help="comma-separated list of patterns to run")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress")
+    args = parser.parse_args(argv)
+
+    progress = None if args.quiet else _progress_printer
+    patterns = args.patterns.split(",") if args.patterns else None
+    record_sizes = (args.record_size,) if args.record_size else (8, 8192)
+
+    selected = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    if args.figure == "claims":
+        selected = ["figure3", "figure4"]
+    collected = []
+    for name in selected:
+        generator = FIGURES[name]
+        if name == "table1":
+            _rows, text = generator()
+        elif name in ("figure3", "figure4"):
+            summaries, text = generator(
+                record_sizes=record_sizes, file_mb=args.file_mb,
+                trials=args.trials, paper_scale=args.paper_scale,
+                patterns=patterns, progress=progress)
+            collected.extend(summaries)
+        else:
+            summaries, text = generator(
+                record_size=args.record_size or 8192, file_mb=args.file_mb,
+                trials=args.trials, paper_scale=args.paper_scale,
+                progress=progress)
+            collected.extend(summaries)
+        print(text)
+        print()
+
+    if args.figure == "claims":
+        checks = check_headline_claims(collected)
+        print("Headline claims\n")
+        print(format_table([check.as_row() for check in checks],
+                           columns=["claim", "paper", "measured", "holds"]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Plain-text reporting: tables and horizontal bar charts for figure output."""
+
+
+def format_table(rows, columns=None, float_format="{:.2f}"):
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = []
+    for row in rows:
+        rendered.append({
+            column: (float_format.format(row[column])
+                     if isinstance(row.get(column), float) else str(row.get(column, "")))
+            for column in columns
+        })
+    widths = {column: max(len(column), max(len(row[column]) for row in rendered))
+              for column in columns}
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rendered:
+        lines.append("  ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_bar_chart(entries, width=50, unit="MB/s"):
+    """Render ``(label, value)`` pairs as a horizontal ASCII bar chart.
+
+    This mirrors the paper's figures well enough to eyeball who wins and by
+    roughly how much.
+    """
+    if not entries:
+        return "(no data)"
+    maximum = max(value for _label, value in entries) or 1.0
+    label_width = max(len(label) for label, _value in entries)
+    lines = []
+    for label, value in entries:
+        bar = "#" * max(1, int(round(width * value / maximum))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)}  {value:8.2f} {unit}  {bar}")
+    return "\n".join(lines)
+
+
+def format_series_table(series, x_label="x", value_format="{:6.2f}"):
+    """Render ``{series_name: [(x, y), ...]}`` as a grid with one column per series.
+
+    Used for the sensitivity figures (5-8), where the paper plots throughput
+    against the number of CPs / IOPs / disks.
+    """
+    if not series:
+        return "(no data)"
+    xs = sorted({x for points in series.values() for x, _y in points})
+    names = list(series.keys())
+    lookup = {name: dict(points) for name, points in series.items()}
+    header = [x_label.ljust(8)] + [name.rjust(max(8, len(name))) for name in names]
+    lines = ["".join(header)]
+    for x in xs:
+        cells = [str(x).ljust(8)]
+        for name in names:
+            value = lookup[name].get(x)
+            cell = value_format.format(value) if value is not None else "   --"
+            cells.append(cell.rjust(max(8, len(name))))
+        lines.append("".join(cells))
+    return "\n".join(lines)

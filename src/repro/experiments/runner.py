@@ -1,0 +1,64 @@
+"""Run experiments: build the machine, the file and the pattern, then transfer."""
+
+from repro.core import make_filesystem
+from repro.experiments.config import ExperimentConfig, TrialSummary
+from repro.fs import FileSystem
+from repro.machine import Machine, MachineConfig
+from repro.patterns import make_pattern
+
+
+def build_machine_config(config):
+    """Translate an :class:`ExperimentConfig` into a :class:`MachineConfig`."""
+    return MachineConfig(
+        n_cps=config.n_cps,
+        n_iops=config.n_iops,
+        n_disks=config.n_disks,
+        block_size=config.block_size,
+    )
+
+
+def run_experiment(config, seed=None):
+    """Run one trial of *config* and return its :class:`TransferResult`.
+
+    The trial seed controls the random-blocks placement, the initial
+    rotational position of every platter, and nothing else.
+    """
+    if not isinstance(config, ExperimentConfig):
+        raise TypeError(f"expected ExperimentConfig, got {type(config).__name__}")
+    trial_seed = config.seed if seed is None else seed
+    machine_config = build_machine_config(config)
+    machine = Machine(machine_config, seed=trial_seed)
+    filesystem = FileSystem(machine_config, layout_seed=trial_seed)
+    striped_file = filesystem.create_file(
+        "experiment-file", config.file_size, layout=config.layout)
+    pattern = make_pattern(
+        config.pattern, config.file_size, config.record_size, config.n_cps)
+    implementation = make_filesystem(config.method, machine, striped_file)
+    return implementation.transfer(pattern)
+
+
+def run_trials(config, trials=5, base_seed=None):
+    """Replicate *config* over independent trials (the paper uses five)."""
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    first_seed = config.seed if base_seed is None else base_seed
+    summary = TrialSummary(config=config)
+    for trial in range(trials):
+        summary.results.append(run_experiment(config, seed=first_seed + trial))
+    return summary
+
+
+def sweep(configs, trials=1, base_seed=None, progress=None):
+    """Run a list of configurations; returns a list of :class:`TrialSummary`.
+
+    *progress*, if given, is called with ``(index, total, summary)`` after each
+    configuration finishes — handy for long command-line sweeps.
+    """
+    summaries = []
+    total = len(configs)
+    for index, config in enumerate(configs):
+        summary = run_trials(config, trials=trials, base_seed=base_seed)
+        summaries.append(summary)
+        if progress is not None:
+            progress(index, total, summary)
+    return summaries

@@ -1,0 +1,26 @@
+"""Parallel file-system substrate: striped files and physical disk layouts.
+
+Files are declustered block by block over all disks (round-robin), exactly as
+in the paper.  Within each disk, the file's blocks are placed either
+*contiguously* (consecutive physical blocks) or at *random* physical locations
+("random-blocks"), the two layouts the evaluation compares.
+"""
+
+from repro.fs.file import BlockLocation, StripedFile
+from repro.fs.filesystem import FileSystem
+from repro.fs.layout import (
+    ContiguousLayout,
+    PhysicalLayout,
+    RandomBlocksLayout,
+    make_layout,
+)
+
+__all__ = [
+    "BlockLocation",
+    "ContiguousLayout",
+    "FileSystem",
+    "PhysicalLayout",
+    "RandomBlocksLayout",
+    "StripedFile",
+    "make_layout",
+]

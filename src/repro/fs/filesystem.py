@@ -1,0 +1,48 @@
+"""A small metadata manager tying files, layouts and the machine together."""
+
+from repro.fs.file import StripedFile
+from repro.fs.layout import make_layout
+
+
+class FileSystem:
+    """Creates and tracks striped files on a particular machine configuration.
+
+    This object owns no simulation state; it exists so that examples and the
+    experiment harness can say "give me a 10 MB file on a random-blocks
+    layout" without repeating the plumbing.
+    """
+
+    def __init__(self, config, layout_seed=0):
+        self.config = config
+        self.layout_seed = layout_seed
+        self.files = {}
+
+    def create_file(self, name, size_bytes, layout="contiguous", layout_seed=None):
+        """Create (the metadata of) a striped file and remember it by name."""
+        if name in self.files:
+            raise ValueError(f"file {name!r} already exists")
+        seed = self.layout_seed if layout_seed is None else layout_seed
+        physical = make_layout(layout, self.config.disk_spec,
+                               self.config.block_size, seed=seed)
+        striped = StripedFile(
+            name=name,
+            size_bytes=size_bytes,
+            block_size=self.config.block_size,
+            n_disks=self.config.n_disks,
+            layout=physical,
+        )
+        self.files[name] = striped
+        return striped
+
+    def open(self, name):
+        """Look up a previously created file."""
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such simulated file: {name!r}")
+
+    def remove(self, name):
+        """Forget a file's metadata."""
+        if name not in self.files:
+            raise FileNotFoundError(f"no such simulated file: {name!r}")
+        del self.files[name]

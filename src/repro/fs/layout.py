@@ -1,0 +1,109 @@
+"""Physical placement of a file's blocks on each disk.
+
+A layout answers one question: given that a disk holds the k-th, 2k-th, ...
+stripe units of a file, at which logical block number (sector address) does
+each of those stripe units live?  ``contiguous`` places them back to back;
+``random-blocks`` scatters them uniformly over the disk, which is the paper's
+stand-in for a badly aged / fully declustered file system (and also models a
+request for an arbitrary subset of blocks of a much larger file).
+"""
+
+import numpy as np
+
+
+class PhysicalLayout:
+    """Base class: maps per-disk block slots to sector addresses."""
+
+    name = "abstract"
+
+    def __init__(self, spec, block_size):
+        if block_size % spec.sector_size:
+            raise ValueError(
+                f"block size {block_size} is not a multiple of the sector size")
+        self.spec = spec
+        self.block_size = block_size
+        self.sectors_per_block = block_size // spec.sector_size
+        self.blocks_per_disk = spec.total_sectors // self.sectors_per_block
+
+    def lbn_of(self, disk_index, local_block_index):
+        """Sector address of the *local_block_index*-th file block on *disk_index*."""
+        raise NotImplementedError
+
+    def check_capacity(self, blocks_needed):
+        """Raise if a single disk cannot hold *blocks_needed* file blocks."""
+        if blocks_needed > self.blocks_per_disk:
+            raise ValueError(
+                f"file needs {blocks_needed} blocks per disk but the disk only has "
+                f"{self.blocks_per_disk}")
+
+
+class ContiguousLayout(PhysicalLayout):
+    """File blocks laid out in consecutive physical blocks, starting at an extent base."""
+
+    name = "contiguous"
+
+    def __init__(self, spec, block_size, start_block=0):
+        super().__init__(spec, block_size)
+        if start_block < 0 or start_block >= self.blocks_per_disk:
+            raise ValueError(f"start block {start_block} outside the disk")
+        self.start_block = start_block
+
+    def lbn_of(self, disk_index, local_block_index):
+        physical_block = self.start_block + local_block_index
+        if physical_block >= self.blocks_per_disk:
+            raise ValueError(
+                f"block slot {local_block_index} (+start {self.start_block}) "
+                f"falls off the end of the disk")
+        return physical_block * self.sectors_per_block
+
+
+class RandomBlocksLayout(PhysicalLayout):
+    """File blocks placed at uniformly random (distinct) physical blocks.
+
+    Each disk gets its own permutation, derived deterministically from the
+    layout seed and the disk index so experiments are reproducible and every
+    disk's placement is independent.
+    """
+
+    name = "random"
+
+    def __init__(self, spec, block_size, seed=0, blocks_per_disk_needed=None):
+        super().__init__(spec, block_size)
+        self.seed = seed
+        self._placements = {}
+        self._blocks_hint = blocks_per_disk_needed
+
+    def _placement_for(self, disk_index):
+        if disk_index not in self._placements:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, disk_index]))
+            self._placements[disk_index] = rng.permutation(self.blocks_per_disk)
+        return self._placements[disk_index]
+
+    def lbn_of(self, disk_index, local_block_index):
+        placement = self._placement_for(disk_index)
+        if local_block_index >= len(placement):
+            raise ValueError(
+                f"block slot {local_block_index} exceeds disk capacity "
+                f"{len(placement)}")
+        return int(placement[local_block_index]) * self.sectors_per_block
+
+
+_LAYOUTS = {
+    ContiguousLayout.name: ContiguousLayout,
+    RandomBlocksLayout.name: RandomBlocksLayout,
+    # common aliases
+    "random-blocks": RandomBlocksLayout,
+    "random_blocks": RandomBlocksLayout,
+}
+
+
+def make_layout(name, spec, block_size, seed=0):
+    """Construct a layout by name (``contiguous`` or ``random``/``random-blocks``)."""
+    try:
+        cls = _LAYOUTS[name]
+    except KeyError:
+        raise ValueError(f"unknown layout {name!r}; choose from {sorted(set(_LAYOUTS))}")
+    if cls is RandomBlocksLayout:
+        return cls(spec, block_size, seed=seed)
+    return cls(spec, block_size)

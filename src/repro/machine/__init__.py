@@ -1,0 +1,22 @@
+"""The simulated MIMD machine: configuration, nodes, busses and the builder.
+
+The machine model mirrors Table 1 of the paper: a distributed-memory MIMD
+multiprocessor whose processors are split into compute processors (CPs) and
+I/O processors (IOPs); each IOP owns one SCSI bus with one or more HP 97560
+drives attached, and all nodes communicate over a torus interconnect.
+"""
+
+from repro.machine.bus import ScsiBus
+from repro.machine.config import CostModel, MachineConfig
+from repro.machine.machine import Machine
+from repro.machine.node import ComputeNode, IONode, Node
+
+__all__ = [
+    "ComputeNode",
+    "CostModel",
+    "IONode",
+    "Machine",
+    "MachineConfig",
+    "Node",
+    "ScsiBus",
+]

@@ -1,0 +1,42 @@
+"""The per-IOP SCSI I/O bus."""
+
+from repro.disk.drive import BusPort
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter
+
+
+class ScsiBus:
+    """One I/O bus (Table 1: SCSI, 10 Mbytes/s peak), shared by an IOP's disks.
+
+    All data moving between a drive and its IOP's memory crosses this bus;
+    when several disks share one bus (Figures 6-8) the bus becomes the
+    bottleneck at roughly its peak bandwidth.
+    """
+
+    def __init__(self, env, bandwidth, transfer_overhead=0.0, name="scsi"):
+        self.env = env
+        self.bandwidth = bandwidth
+        self.transfer_overhead = transfer_overhead
+        self.name = name
+        self.resource = Resource(env, capacity=1, name=name)
+        self.bytes_transferred = Counter(f"{name}.bytes")
+
+    def port(self):
+        """Create a :class:`~repro.disk.drive.BusPort` for attaching one drive."""
+        return _CountingBusPort(self)
+
+    def busy_fraction(self):
+        """Fraction of simulated time the bus has been occupied."""
+        return self.resource.utilization.busy_fraction()
+
+
+class _CountingBusPort(BusPort):
+    """BusPort that also records byte counts on the owning bus."""
+
+    def __init__(self, bus):
+        super().__init__(bus.resource, bus.bandwidth, bus.transfer_overhead)
+        self._bus = bus
+
+    def transfer(self, env, n_bytes):
+        yield from super().transfer(env, n_bytes)
+        self._bus.bytes_transferred.add(n_bytes)

@@ -1,0 +1,151 @@
+"""Machine configuration: Table 1 of the paper plus explicit software costs.
+
+Everything the paper lists in Table 1 appears here with the same default
+value.  The paper additionally relied on Proteus to charge CPU time for the
+file-system software itself (request handling, cache management, copies); in
+this reproduction those costs are explicit, documented constants in
+:class:`CostModel` so they can be inspected, varied and ablated.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.disk.specs import HP97560_SPEC, DiskSpec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Software / firmware overheads charged by the protocol implementations.
+
+    All values are seconds (or bytes/second for bandwidths).  They are chosen
+    to be plausible for a 50 MHz RISC CPU of the paper's era — a few thousand
+    instructions per message-system call — and produce component throughputs
+    in the ranges the paper reports.  They are deliberately configurable so
+    the ablation benchmarks can explore their impact.
+    """
+
+    #: CPU time to send or receive one message through the OS messaging layer.
+    message_overhead: float = 10e-6
+    #: CPU time for a CP to compute and issue one file-system request
+    #: (building the request, finding the disk, bookkeeping).
+    cp_request_overhead: float = 10e-6
+    #: CPU time for an IOP to dispatch an incoming request to a new thread.
+    thread_dispatch_overhead: float = 5e-6
+    #: CPU time for one IOP cache lookup / buffer-management operation.
+    cache_lookup_overhead: float = 10e-6
+    #: Memory-to-memory copy bandwidth at the IOP (used by traditional
+    #: caching's single copy of write data into the cache).
+    memory_copy_bandwidth: float = 100e6
+    #: CPU time for the IOP to process one block in a disk-directed request
+    #: (computing pieces, updating the block list).
+    ddio_block_overhead: float = 10e-6
+    #: CPU time per destination CP per block to set up a Memput/Memget.
+    memput_setup_overhead: float = 15e-6
+    #: CPU time to gather/scatter one non-contiguous piece of a block into a
+    #: message (the cost that hurts 8-byte cyclic patterns in DDIO).
+    per_piece_overhead: float = 1.5e-6
+    #: CPU time for an IOP to parse one collective request.
+    collective_request_overhead: float = 30e-6
+    #: CPU time to sort the block list, charged per block (n log n absorbed).
+    presort_per_block_overhead: float = 1e-6
+    #: DMA engine setup time per network transfer.
+    dma_setup_time: float = 2e-6
+    #: SCSI bus arbitration + command overhead per transfer.
+    bus_transfer_overhead: float = 0.1e-3
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Table 1: the simulated machine.
+
+    The starred parameters in Table 1 (CPs, IOPs, disks, busses) are exactly
+    the ones the sensitivity experiments vary (Figures 5-8).
+    """
+
+    #: number of compute processors
+    n_cps: int = 16
+    #: number of I/O processors (each with its own SCSI bus)
+    n_iops: int = 16
+    #: total number of disks, striped round-robin across IOPs
+    n_disks: int = 16
+    #: CPU clock — kept for documentation; costs are expressed in seconds
+    cpu_mhz: float = 50.0
+    #: file-system block size
+    block_size: int = 8192
+    #: disk model
+    disk_spec: DiskSpec = field(default_factory=lambda: HP97560_SPEC)
+    #: per-IOP I/O bus peak bandwidth (SCSI), bytes/second
+    bus_bandwidth: float = 10e6
+    #: interconnect link bandwidth, bytes/second (bidirectional)
+    interconnect_bandwidth: float = 200e6
+    #: per-router wormhole latency
+    router_latency: float = 20e-9
+    #: explicit torus dimensions, or None to choose the smallest square
+    torus_dimensions: tuple = None
+    #: software cost model
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self):
+        if self.n_cps < 1:
+            raise ValueError(f"need at least one CP, got {self.n_cps}")
+        if self.n_iops < 1:
+            raise ValueError(f"need at least one IOP, got {self.n_iops}")
+        if self.n_disks < 1:
+            raise ValueError(f"need at least one disk, got {self.n_disks}")
+        if self.block_size <= 0 or self.block_size % self.disk_spec.sector_size:
+            raise ValueError(
+                f"block size {self.block_size} must be a positive multiple of the "
+                f"{self.disk_spec.sector_size}-byte sector size")
+
+    # -- derived quantities --------------------------------------------------------
+    @property
+    def n_nodes(self):
+        """Total processors on the interconnect (CPs + IOPs)."""
+        return self.n_cps + self.n_iops
+
+    @property
+    def sectors_per_block(self):
+        """Disk sectors per file-system block."""
+        return self.block_size // self.disk_spec.sector_size
+
+    @property
+    def disks_per_iop(self):
+        """How many disks each IOP serves (disks are dealt round-robin)."""
+        base, extra = divmod(self.n_disks, self.n_iops)
+        return base + (1 if extra else 0)
+
+    def disks_on_iop(self, iop_index):
+        """The list of global disk indices served by IOP *iop_index*."""
+        return [disk for disk in range(self.n_disks)
+                if disk % self.n_iops == iop_index]
+
+    def iop_of_disk(self, disk_index):
+        """The IOP that serves global disk *disk_index*."""
+        if disk_index < 0 or disk_index >= self.n_disks:
+            raise ValueError(f"disk {disk_index} out of range [0, {self.n_disks})")
+        return disk_index % self.n_iops
+
+    @property
+    def peak_disk_bandwidth(self):
+        """Aggregate media transfer rate of all disks, bytes/second."""
+        return self.n_disks * self.disk_spec.media_transfer_rate
+
+    @property
+    def peak_bus_bandwidth(self):
+        """Aggregate I/O-bus bandwidth, bytes/second."""
+        return self.n_iops * self.bus_bandwidth
+
+    def cp_node_id(self, cp_index):
+        """Interconnect node id of compute processor *cp_index* (CPs come first)."""
+        if cp_index < 0 or cp_index >= self.n_cps:
+            raise ValueError(f"CP {cp_index} out of range [0, {self.n_cps})")
+        return cp_index
+
+    def iop_node_id(self, iop_index):
+        """Interconnect node id of I/O processor *iop_index*."""
+        if iop_index < 0 or iop_index >= self.n_iops:
+            raise ValueError(f"IOP {iop_index} out of range [0, {self.n_iops})")
+        return self.n_cps + iop_index
+
+    def with_overrides(self, **kwargs):
+        """Return a copy of the configuration with fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,103 @@
+"""Builds the whole simulated machine from a :class:`MachineConfig`."""
+
+from repro.disk.drive import Disk
+from repro.machine.bus import ScsiBus
+from repro.machine.node import ComputeNode, IONode
+from repro.network.network import Network
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+
+class Machine:
+    """The complete simulated multiprocessor.
+
+    Construction wires together the environment, the interconnect, the CP and
+    IOP nodes, one SCSI bus per IOP, and the drives (dealt round-robin across
+    IOPs, as the paper's block-by-block declustering assumes).
+    """
+
+    def __init__(self, config, seed=0, env=None, disk_scheduler="fcfs"):
+        self.config = config
+        self.seed = seed
+        self.env = env if env is not None else Environment()
+        self.random = RandomStreams(seed)
+        self.network = Network(
+            self.env,
+            n_nodes=config.n_nodes,
+            bandwidth=config.interconnect_bandwidth,
+            router_latency=config.router_latency,
+            dimensions=config.torus_dimensions,
+            dma_setup_time=config.costs.dma_setup_time,
+        )
+
+        self.cps = [ComputeNode(self.env, config.cp_node_id(index), index)
+                    for index in range(config.n_cps)]
+        self.iops = [IONode(self.env, config.iop_node_id(index), index)
+                     for index in range(config.n_iops)]
+
+        rotation_rng = self.random.stream("rotation")
+        self.disks = []
+        for iop in self.iops:
+            bus = ScsiBus(
+                self.env,
+                bandwidth=config.bus_bandwidth,
+                transfer_overhead=config.costs.bus_transfer_overhead,
+                name=f"{iop.name}.scsi",
+            )
+            iop.attach_bus(bus)
+        for disk_index in range(config.n_disks):
+            iop = self.iops[config.iop_of_disk(disk_index)]
+            disk = Disk(
+                self.env,
+                spec=config.disk_spec,
+                bus_port=iop.bus.port(),
+                name=f"disk{disk_index}",
+                scheduler=disk_scheduler,
+                initial_angle_fraction=float(rotation_rng.random()),
+            )
+            iop.attach_disk(disk, disk_index)
+            self.disks.append(disk)
+
+    # -- lookups -----------------------------------------------------------------
+    def node(self, node_id):
+        """The node object (CP or IOP) with interconnect id *node_id*."""
+        if node_id < self.config.n_cps:
+            return self.cps[node_id]
+        return self.iops[node_id - self.config.n_cps]
+
+    def disk(self, disk_index):
+        """The drive with global index *disk_index*."""
+        return self.disks[disk_index]
+
+    def iop_for_disk(self, disk_index):
+        """The IOP node serving global disk *disk_index*."""
+        return self.iops[self.config.iop_of_disk(disk_index)]
+
+    # -- convenience ----------------------------------------------------------------
+    def run(self, until=None):
+        """Advance the simulation (delegates to the environment)."""
+        return self.env.run(until)
+
+    @property
+    def now(self):
+        """Current simulated time."""
+        return self.env.now
+
+    def total_disk_stats(self):
+        """Aggregate read/write counters across all drives."""
+        totals = {
+            "reads": 0,
+            "writes": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        for disk in self.disks:
+            totals["reads"] += disk.stats.reads
+            totals["writes"] += disk.stats.writes
+            totals["bytes_read"] += disk.stats.bytes_read
+            totals["bytes_written"] += disk.stats.bytes_written
+            totals["cache_hits"] += disk.stats.cache_hits
+            totals["cache_misses"] += disk.stats.cache_misses
+        return totals

@@ -1,0 +1,65 @@
+"""Processor nodes: compute processors (CPs) and I/O processors (IOPs)."""
+
+from repro.network.message import Mailbox
+from repro.sim.resources import Resource
+
+
+class Node:
+    """A processor on the interconnect: one CPU, one NIC, one mailbox."""
+
+    def __init__(self, env, node_id, name):
+        self.env = env
+        self.node_id = node_id
+        self.name = name
+        #: The node's single CPU; protocol code acquires it to charge software time.
+        self.cpu = Resource(env, capacity=1, name=f"{name}.cpu")
+        #: Delivered messages, separated by protocol tag.
+        self.mailbox = Mailbox(env, name=name)
+
+    def compute(self, duration):
+        """Process fragment: occupy this node's CPU for *duration* seconds."""
+        if duration <= 0:
+            return
+            yield  # pragma: no cover - makes this a generator even when skipped
+        yield from self.cpu.acquire(duration)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ComputeNode(Node):
+    """A compute processor: runs the application side of the file system."""
+
+    def __init__(self, env, node_id, cp_index):
+        super().__init__(env, node_id, name=f"cp{cp_index}")
+        self.cp_index = cp_index
+
+
+class IONode(Node):
+    """An I/O processor: owns one SCSI bus and one or more disks."""
+
+    def __init__(self, env, node_id, iop_index):
+        super().__init__(env, node_id, name=f"iop{iop_index}")
+        self.iop_index = iop_index
+        self.bus = None
+        self.disks = []          # local Disk objects
+        self.disk_indices = []   # their global indices
+
+    def attach_bus(self, bus):
+        """Associate this IOP's SCSI bus."""
+        self.bus = bus
+
+    def attach_disk(self, disk, global_index):
+        """Attach a drive (already wired to this IOP's bus)."""
+        self.disks.append(disk)
+        self.disk_indices.append(global_index)
+
+    def local_disk(self, global_index):
+        """The local :class:`Disk` object for a global disk index."""
+        try:
+            position = self.disk_indices.index(global_index)
+        except ValueError:
+            raise KeyError(
+                f"disk {global_index} is not attached to {self.name} "
+                f"(has {self.disk_indices})")
+        return self.disks[position]

@@ -1,0 +1,24 @@
+"""Interconnection-network model.
+
+The paper's machine uses a 6x6 wormhole-routed torus with 200 MB/s
+bidirectional links and 20 ns per-router latency, and explicitly notes the
+network is never the bottleneck.  We therefore model messages (not flits):
+each transfer pays a per-hop router latency plus serialisation of the message
+size at the sending and receiving network interfaces, which captures the two
+effects that matter for the experiments — per-message overheads (traditional
+caching sends millions of small requests) and interface contention when many
+IOPs stream to one CP.
+"""
+
+from repro.network.message import Mailbox, Message, MessageKind
+from repro.network.network import Network, NetworkInterface
+from repro.network.topology import TorusTopology
+
+__all__ = [
+    "Mailbox",
+    "Message",
+    "MessageKind",
+    "Network",
+    "NetworkInterface",
+    "TorusTopology",
+]

@@ -1,0 +1,86 @@
+"""Message-level network simulation: NIC serialisation + per-hop latency."""
+
+from repro.network.topology import TorusTopology
+from repro.sim.resources import Resource
+from repro.sim.stats import Counter
+
+
+class NetworkInterface:
+    """A node's connection to the interconnect.
+
+    The interface serialises outgoing and incoming transfers separately
+    (full-duplex link), at the link bandwidth.
+    """
+
+    def __init__(self, env, node_id, bandwidth):
+        self.env = env
+        self.node_id = node_id
+        self.bandwidth = bandwidth
+        self.tx = Resource(env, capacity=1, name=f"nic{node_id}.tx")
+        self.rx = Resource(env, capacity=1, name=f"nic{node_id}.rx")
+        self.bytes_sent = Counter(f"nic{node_id}.bytes_sent")
+        self.bytes_received = Counter(f"nic{node_id}.bytes_received")
+
+    def serialization_time(self, n_bytes):
+        """Time to push *n_bytes* through the link."""
+        return n_bytes / self.bandwidth
+
+
+class Network:
+    """The interconnect connecting all CP and IOP nodes."""
+
+    def __init__(self, env, n_nodes, bandwidth, router_latency,
+                 dimensions=None, dma_setup_time=0.0):
+        self.env = env
+        self.topology = TorusTopology(n_nodes, dimensions)
+        self.bandwidth = bandwidth
+        self.router_latency = router_latency
+        self.dma_setup_time = dma_setup_time
+        self.interfaces = [NetworkInterface(env, node, bandwidth)
+                           for node in range(n_nodes)]
+        self.messages_sent = Counter("network.messages")
+        self.bytes_sent = Counter("network.bytes")
+
+    # -- raw transfers ------------------------------------------------------------
+    def wire_latency(self, src, dst):
+        """Pure routing latency between two nodes (no serialisation)."""
+        return self.topology.hops(src, dst) * self.router_latency
+
+    def transfer(self, src, dst, n_bytes):
+        """Process fragment moving *n_bytes* from node *src* to node *dst*.
+
+        The sender's TX interface is held for the serialisation time, then the
+        wormhole latency elapses, then the receiver's RX interface is held for
+        the same serialisation time (DMA into memory).  Yield from this inside
+        a process::
+
+            yield from network.transfer(cp.node_id, iop.node_id, 8192)
+        """
+        if n_bytes < 0:
+            raise ValueError(f"negative transfer size {n_bytes}")
+        src_if = self.interfaces[src]
+        dst_if = self.interfaces[dst]
+        serialization = src_if.serialization_time(n_bytes)
+
+        yield from src_if.tx.acquire(self.dma_setup_time + serialization)
+        latency = self.wire_latency(src, dst)
+        if latency > 0:
+            yield self.env.timeout(latency)
+        if src != dst:
+            yield from dst_if.rx.acquire(self.dma_setup_time + serialization)
+
+        self.messages_sent.add(1)
+        self.bytes_sent.add(n_bytes)
+        src_if.bytes_sent.add(n_bytes)
+        dst_if.bytes_received.add(n_bytes)
+
+    # -- message delivery -----------------------------------------------------------
+    def send(self, message, mailbox, tag="default"):
+        """Process fragment: transfer *message* and deposit it in *mailbox*.
+
+        Returns (by ``yield from``) after the message has been delivered.
+        The caller is responsible for charging any software send/receive
+        overhead to the appropriate CPU; this method models only wire time.
+        """
+        yield from self.transfer(message.src, message.dst, message.wire_bytes)
+        yield mailbox.deliver(message, tag)

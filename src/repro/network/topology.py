@@ -1,0 +1,56 @@
+"""Torus topology and hop-count computation."""
+
+import math
+
+
+class TorusTopology:
+    """A 2-D torus large enough to hold *n_nodes* processors.
+
+    The paper's 32-processor machine sits on a 6x6 torus; we pick the smallest
+    near-square torus that fits the requested node count, which reproduces
+    that choice (ceil(sqrt(32)) = 6).
+    """
+
+    def __init__(self, n_nodes, dimensions=None):
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        self.n_nodes = n_nodes
+        if dimensions is None:
+            side = math.ceil(math.sqrt(n_nodes))
+            dimensions = (side, side)
+        self.dimensions = tuple(dimensions)
+        if self.dimensions[0] * self.dimensions[1] < n_nodes:
+            raise ValueError(
+                f"torus {self.dimensions} too small for {n_nodes} nodes")
+
+    def coordinates_of(self, node_id):
+        """Grid coordinates of *node_id* (row-major placement)."""
+        if node_id < 0 or node_id >= self.n_nodes:
+            raise ValueError(f"node {node_id} out of range [0, {self.n_nodes})")
+        columns = self.dimensions[1]
+        return divmod(node_id, columns)
+
+    def hops(self, src, dst):
+        """Minimum hop count between two nodes on the torus."""
+        if src == dst:
+            return 0
+        (row_a, col_a) = self.coordinates_of(src)
+        (row_b, col_b) = self.coordinates_of(dst)
+        rows, cols = self.dimensions
+        d_row = abs(row_a - row_b)
+        d_col = abs(col_a - col_b)
+        return min(d_row, rows - d_row) + min(d_col, cols - d_col)
+
+    def mean_hops(self):
+        """Average hop count over all ordered node pairs (useful for tests)."""
+        total = 0
+        pairs = 0
+        for src in range(self.n_nodes):
+            for dst in range(self.n_nodes):
+                if src == dst:
+                    continue
+                total += self.hops(src, dst)
+                pairs += 1
+        if pairs == 0:
+            return 0.0
+        return total / pairs

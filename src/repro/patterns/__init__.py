@@ -1,0 +1,40 @@
+"""Access-pattern workload generator (Figure 2 of the paper).
+
+The paper's workloads are the High Performance Fortran array-distribution
+patterns: a 1-D vector or 2-D matrix of fixed-size records, stored row-major
+in the file, distributed over the compute processors with NONE / BLOCK /
+CYCLIC in each dimension.  Pattern names follow the paper's shorthand
+(``ra rn rb rc rnb rbb rcb rbc rcc rcn`` for reads, ``w...`` for writes).
+
+The generator answers the two questions the file-system implementations need:
+
+* for a traditional-caching CP: *which contiguous byte ranges of the file do I
+  access, in file order?* (:meth:`AccessPattern.chunks_for_cp`)
+* for a disk-directed IOP: *which CPs own which pieces of this file block?*
+  (:meth:`AccessPattern.pieces_in_block`)
+"""
+
+from repro.patterns.distribution import Distribution
+from repro.patterns.pattern import AccessPattern, AllPattern, MatrixPattern, PieceSummary
+from repro.patterns.registry import (
+    PATTERN_NAMES,
+    READ_PATTERN_NAMES,
+    WRITE_PATTERN_NAMES,
+    choose_cp_grid,
+    choose_matrix_dims,
+    make_pattern,
+)
+
+__all__ = [
+    "AccessPattern",
+    "AllPattern",
+    "Distribution",
+    "MatrixPattern",
+    "PATTERN_NAMES",
+    "PieceSummary",
+    "READ_PATTERN_NAMES",
+    "WRITE_PATTERN_NAMES",
+    "choose_cp_grid",
+    "choose_matrix_dims",
+    "make_pattern",
+]

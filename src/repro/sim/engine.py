@@ -1,0 +1,120 @@
+"""The simulation environment: virtual clock plus event queue."""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for "urgent" events (processed before normal ones at equal time).
+URGENT = 0
+
+
+class Environment:
+    """Holds the simulation clock and the pending-event queue.
+
+    All model objects (disks, busses, NICs, caches, processes) are created
+    against a single :class:`Environment`; calling :meth:`run` advances the
+    virtual clock by popping events in time order and resuming the processes
+    waiting on them.
+    """
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._queue = []
+        self._eid = count()
+        self._active_process = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self):
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed (None outside callbacks)."""
+        return self._active_process
+
+    # -- event construction helpers ------------------------------------------
+    def event(self):
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires after *delay* seconds of simulated time."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        """Start a new :class:`Process` running *generator*."""
+        return Process(self, generator)
+
+    def all_of(self, events):
+        """Composite event succeeding when every event in *events* succeeds."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Composite event succeeding when the first event in *events* succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        """Insert *event* into the queue, to be processed after *delay*."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self):
+        """Process exactly one event (advancing the clock to its time)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An event failed and nobody was waiting to handle the failure:
+            # surface the original exception rather than losing it.
+            raise event._value
+
+    def run(self, until=None):
+        """Run until the queue empties, *until* time passes, or *until* event fires.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (absolute
+        simulated time), or an :class:`Event` (run until it is processed and
+        return its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired "
+                        "(deadlock: a process is waiting on something that never happens)")
+                self.step()
+            if sentinel.ok:
+                return sentinel.value
+            raise sentinel.value
+
+        stop_at = float(until)
+        if stop_at < self._now:
+            raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= stop_at:
+            self.step()
+        self._now = stop_at
+        return None

@@ -1,0 +1,176 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is the unit of synchronisation: processes yield events and
+are resumed when the event is *processed* (popped from the event queue and its
+callbacks run).  Events carry a value (delivered to waiters) or an exception
+(raised in waiters).
+"""
+
+from repro.sim.errors import SimulationError
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events move through three states:
+
+    * *untriggered* — created but not yet succeeded/failed;
+    * *triggered* — a value or exception has been set and the event is in the
+      environment's queue;
+    * *processed* — the environment has popped it and run its callbacks.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self):
+        """True once the event has been given a value or an exception."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self):
+        """True once the environment has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event succeeded, False if it failed.
+
+        Only meaningful once :attr:`triggered` is True.
+        """
+        return self._ok
+
+    @property
+    def value(self):
+        """The value the event succeeded with (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value=None):
+        """Mark the event successful and schedule its callbacks for *now*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception):
+        """Mark the event failed with *exception*; waiters will see it raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event):
+        """Copy the outcome of another (processed) event onto this one."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+        return self
+
+    def defuse(self):
+        """Mark a failed event as handled so the engine does not re-raise it."""
+        self._defused = True
+
+    def __repr__(self):
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds automatically after a simulated delay."""
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self):
+        """The delay this timeout was created with."""
+        return self._delay
+
+
+class ConditionValue(dict):
+    """Mapping of event -> value returned by :class:`AllOf` / :class:`AnyOf`."""
+
+
+class _Condition(Event):
+    """Base class for composite events over a fixed set of child events."""
+
+    def __init__(self, env, events):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._on_child)
+        self._check_initial()
+
+    # Subclasses decide when the condition is satisfied.
+    def _satisfied(self):
+        raise NotImplementedError
+
+    def _check_initial(self):
+        if not self.triggered and self._satisfied():
+            self._finish()
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        if self._satisfied():
+            self._finish()
+
+    def _finish(self):
+        result = ConditionValue()
+        for event in self._events:
+            if event.processed and event.ok:
+                result[event] = event.value
+        self.succeed(result)
+
+
+class AllOf(_Condition):
+    """Succeeds when *all* child events have been processed successfully."""
+
+    def _satisfied(self):
+        return all(event.processed and event.ok for event in self._events)
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as *any* child event has been processed successfully."""
+
+    def _satisfied(self):
+        if not self._events:
+            return True
+        return any(event.processed and event.ok for event in self._events)

@@ -1,0 +1,124 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  When a yielded event is processed, the process is resumed with the
+event's value (or the event's exception is thrown into the generator).  The
+process object is itself an event that succeeds with the generator's return
+value, so processes can wait for each other simply by yielding them.
+"""
+
+from repro.sim.errors import Interrupt, SimulationError, StopProcess
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """A running simulation process (also usable as a "join" event)."""
+
+    def __init__(self, env, generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on = None
+        # Kick the generator off via an initial event so that process start
+        # happens inside the event loop, in creation order.
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def is_alive(self):
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    @property
+    def name(self):
+        """Best-effort human-readable name (the generator function's name)."""
+        return getattr(self._generator, "__name__", repr(self._generator))
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        interruption = Event(self.env)
+        interruption._interrupt_cause = cause
+        interruption.callbacks.append(self._deliver_interrupt)
+        interruption.succeed()
+
+    # -- internals --------------------------------------------------------------
+    def _deliver_interrupt(self, interruption):
+        if self.triggered:
+            return  # finished between scheduling and delivery
+        # Detach from whatever we were waiting on so the stale resume is ignored.
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._step(throw=Interrupt(interruption._interrupt_cause))
+
+    def _resume(self, event):
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup (we were interrupted away from this event)
+        self._waiting_on = None
+        if event._ok or event._ok is None:
+            self._step(value=event._value if event.triggered else None)
+        else:
+            event.defuse()
+            self._step(throw=event._value)
+
+    def _step(self, value=None, throw=None):
+        env = self.env
+        previous, env._active_process = env._active_process, self
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            env._active_process = previous
+            self.succeed(stop.value)
+            return
+        except StopProcess as stop:
+            env._active_process = previous
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # The generator chose not to handle an interrupt: treat as failure.
+            env._active_process = previous
+            self.fail(interrupt)
+            return
+        except Exception as exc:  # model error inside the process
+            env._active_process = previous
+            self.fail(exc)
+            return
+        finally:
+            env._active_process = previous
+
+        if not isinstance(target, Event):
+            self._generator.throw(TypeError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event"))
+            return
+        if target.processed:
+            # Already finished: resume on the next scheduling round to keep
+            # event ordering fair.
+            bounce = Event(env)
+            bounce._ok = target._ok
+            bounce._value = target._value
+            if not target._ok:
+                target.defuse()
+            bounce.callbacks.append(self._resume)
+            env.schedule(bounce)
+            self._waiting_on = bounce
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self):
+        state = "finished" if self.triggered else "running"
+        return f"<Process {self.name} {state}>"

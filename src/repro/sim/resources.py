@@ -1,0 +1,102 @@
+"""Capacity-limited resources (busses, NIC ports, CPU slots...).
+
+The model mirrors SimPy's ``Resource``: ``request()`` returns an event that
+fires once a slot is available; ``release(request)`` frees the slot.  The
+``using`` context-style helper is provided via :meth:`Resource.acquire` for
+the common acquire/hold/release idiom inside process generators.
+"""
+
+from repro.sim.events import Event
+from repro.sim.stats import UtilizationTracker
+
+
+class Preempted(Exception):
+    """Raised in a process whose resource slot was forcibly reclaimed."""
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`."""
+
+    def __init__(self, resource):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """A FIFO resource with fixed integer capacity.
+
+    Typical use inside a process::
+
+        req = bus.request()
+        yield req
+        yield env.timeout(transfer_time)
+        bus.release(req)
+    """
+
+    def __init__(self, env, capacity=1, name=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or f"resource@{id(self):#x}"
+        self._users = []
+        self._waiters = []
+        self.utilization = UtilizationTracker(env, capacity=capacity)
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def count(self):
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self):
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    # -- core API ----------------------------------------------------------------
+    def request(self):
+        """Ask for a slot; returns an event that fires when the slot is granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            self.utilization.set(len(self._users))
+            req.succeed()
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, request):
+        """Return a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise ValueError("release() of a request that does not hold this resource")
+        while self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.pop(0)
+            self._users.append(nxt)
+            nxt.succeed()
+        self.utilization.set(len(self._users))
+
+    def acquire(self, hold_time):
+        """Convenience process-fragment: acquire, hold for *hold_time*, release.
+
+        Usage: ``yield from resource.acquire(duration)``.
+        """
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(hold_time)
+        finally:
+            self.release(req)
+
+    def __repr__(self):
+        return (f"<Resource {self.name} {self.count}/{self.capacity} used, "
+                f"{self.queue_length} waiting>")

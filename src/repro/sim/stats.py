@@ -1,0 +1,99 @@
+"""Statistics helpers: counters, time-weighted values and utilisation."""
+
+
+class Counter:
+    """A simple named accumulator for event counts and byte totals."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount=1):
+        """Increase the counter by *amount* (default 1)."""
+        self.value += amount
+
+    def reset(self):
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self):
+        return f"<Counter {self.name}={self.value}>"
+
+
+class TimeWeightedValue:
+    """Tracks the time-weighted average of a piecewise-constant quantity.
+
+    Used for queue lengths and resource occupancy: every call to :meth:`set`
+    records how long the previous level persisted.
+    """
+
+    def __init__(self, env, initial=0.0):
+        self.env = env
+        self._level = float(initial)
+        self._last_change = env.now
+        self._weighted_sum = 0.0
+        self._start_time = env.now
+        self.maximum = float(initial)
+
+    @property
+    def level(self):
+        """The current level."""
+        return self._level
+
+    def set(self, level):
+        """Change the level, accumulating the time spent at the previous one."""
+        now = self.env.now
+        self._weighted_sum += self._level * (now - self._last_change)
+        self._level = float(level)
+        self._last_change = now
+        if level > self.maximum:
+            self.maximum = float(level)
+
+    def add(self, delta):
+        """Adjust the level by *delta*."""
+        self.set(self._level + delta)
+
+    def mean(self, until=None):
+        """Time-weighted average from creation until *until* (default: now)."""
+        end = self.env.now if until is None else until
+        total = self._weighted_sum + self._level * (end - self._last_change)
+        elapsed = end - self._start_time
+        if elapsed <= 0:
+            return self._level
+        return total / elapsed
+
+
+class UtilizationTracker(TimeWeightedValue):
+    """Time-weighted busy fraction of a resource with known capacity."""
+
+    def __init__(self, env, capacity=1):
+        super().__init__(env, initial=0.0)
+        self.capacity = capacity
+        self.busy_time = 0.0
+        self._busy_since = None
+
+    def set(self, level):
+        now = self.env.now
+        if self._level > 0 and self._busy_since is not None:
+            self.busy_time += now - self._busy_since
+            self._busy_since = None
+        super().set(level)
+        if level > 0:
+            self._busy_since = now
+
+    def utilization(self, until=None):
+        """Average fraction of capacity in use since creation."""
+        if self.capacity <= 0:
+            return 0.0
+        return self.mean(until) / self.capacity
+
+    def busy_fraction(self, until=None):
+        """Fraction of time at least one unit of capacity was in use."""
+        end = self.env.now if until is None else until
+        busy = self.busy_time
+        if self._level > 0 and self._busy_since is not None:
+            busy += end - self._busy_since
+        elapsed = end - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return busy / elapsed

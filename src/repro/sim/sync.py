@@ -1,0 +1,82 @@
+"""Higher-level synchronisation helpers built on events.
+
+The paper's collective-I/O pseudo-code uses barriers among the CPs; these are
+provided here, together with a countdown latch used by the IOPs to signal
+"all my work for this collective request is done".
+"""
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Barrier:
+    """A reusable barrier for a fixed number of participants.
+
+    Each participant calls :meth:`wait` and yields the returned event; once
+    all *parties* have arrived, every waiter is released and the barrier
+    resets for the next generation.
+    """
+
+    def __init__(self, env, parties, name=None):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = parties
+        self.name = name or f"barrier@{id(self):#x}"
+        self._waiting = []
+        self.generation = 0
+
+    @property
+    def n_waiting(self):
+        """Number of participants currently blocked at the barrier."""
+        return len(self._waiting)
+
+    def wait(self):
+        """Arrive at the barrier; returns an event that fires when all arrive.
+
+        The event's value is the generation number that was completed.
+        """
+        event = Event(self.env)
+        self._waiting.append(event)
+        if len(self._waiting) >= self.parties:
+            generation = self.generation
+            self.generation += 1
+            waiters, self._waiting = self._waiting, []
+            for waiter in waiters:
+                waiter.succeed(generation)
+        return event
+
+
+class CountDownLatch:
+    """An event that fires after :meth:`count_down` has been called *n* times."""
+
+    def __init__(self, env, n, name=None):
+        if n < 0:
+            raise ValueError(f"count must be >= 0, got {n}")
+        self.env = env
+        self.name = name or f"latch@{id(self):#x}"
+        self._remaining = n
+        self._event = Event(env)
+        if n == 0:
+            self._event.succeed(0)
+
+    @property
+    def remaining(self):
+        """How many count-downs are still needed before the latch opens."""
+        return self._remaining
+
+    def count_down(self, amount=1):
+        """Decrement the latch; opens it (fires the event) when it reaches zero."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._remaining <= 0:
+            raise SimulationError("count_down() on an already-open latch")
+        self._remaining -= amount
+        if self._remaining < 0:
+            raise SimulationError("latch count went negative")
+        if self._remaining == 0:
+            self._event.succeed(0)
+
+    def wait(self):
+        """Event that fires once the latch has fully counted down."""
+        return self._event

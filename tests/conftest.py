@@ -1,0 +1,52 @@
+"""Shared fixtures: small machines and helpers that keep simulations fast."""
+
+import pytest
+
+from repro import FileSystem, Machine, MachineConfig, make_filesystem, make_pattern
+from repro.sim import Environment
+
+MEGABYTE = 2 ** 20
+KILOBYTE = 1024
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def small_config():
+    """A small machine (4 CPs, 4 IOPs, 4 disks) for quick end-to-end tests."""
+    return MachineConfig(n_cps=4, n_iops=4, n_disks=4)
+
+
+@pytest.fixture
+def tiny_config():
+    """The smallest sensible machine (2 CPs, 1 IOP, 1 disk)."""
+    return MachineConfig(n_cps=2, n_iops=1, n_disks=1)
+
+
+@pytest.fixture
+def paper_config():
+    """The paper's Table-1 machine (16 CPs, 16 IOPs, 16 disks)."""
+    return MachineConfig()
+
+
+def run_transfer(method, pattern_name, *, config=None, record_size=8192,
+                 layout="contiguous", file_size=256 * KILOBYTE, seed=1):
+    """Build a machine + file + pattern, run one transfer, return the result."""
+    config = config or MachineConfig(n_cps=4, n_iops=4, n_disks=4)
+    machine = Machine(config, seed=seed)
+    filesystem = FileSystem(config, layout_seed=seed)
+    striped = filesystem.create_file("test-file", file_size, layout=layout)
+    pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)
+    implementation = make_filesystem(method, machine, striped)
+    result = implementation.transfer(pattern)
+    return result, machine, implementation
+
+
+@pytest.fixture
+def transfer_runner():
+    """Expose :func:`run_transfer` to tests as a fixture."""
+    return run_transfer

@@ -1,0 +1,77 @@
+"""Tests for the shared collective-file-system plumbing and the factory."""
+
+import pytest
+
+from repro import (
+    DiskDirectedFS,
+    FileSystem,
+    Machine,
+    TraditionalCachingFS,
+    TwoPhaseFS,
+    make_filesystem,
+    make_pattern,
+)
+from repro.core.base import CollectiveFileSystem
+from tests.conftest import KILOBYTE
+
+
+@pytest.fixture
+def machine_and_file(small_config):
+    machine = Machine(small_config, seed=1)
+    striped = FileSystem(small_config).create_file("f", 128 * KILOBYTE)
+    return machine, striped
+
+
+class TestFactory:
+    @pytest.mark.parametrize("alias,expected", [
+        ("traditional", TraditionalCachingFS),
+        ("tc", TraditionalCachingFS),
+        ("caching", TraditionalCachingFS),
+        ("disk-directed", DiskDirectedFS),
+        ("ddio", DiskDirectedFS),
+        ("ddio-nosort", DiskDirectedFS),
+        ("two-phase", TwoPhaseFS),
+        ("2p", TwoPhaseFS),
+    ])
+    def test_aliases(self, machine_and_file, alias, expected):
+        machine, striped = machine_and_file
+        assert isinstance(make_filesystem(alias, machine, striped), expected)
+
+    def test_nosort_alias_disables_presort(self, machine_and_file):
+        machine, striped = machine_and_file
+        assert make_filesystem("ddio-nosort", machine, striped).presort is False
+        machine2 = Machine(machine.config, seed=1)
+        assert make_filesystem("ddio", machine2, striped).presort is True
+
+    def test_unknown_method_rejected(self, machine_and_file):
+        machine, striped = machine_and_file
+        with pytest.raises(ValueError):
+            make_filesystem("nfs", machine, striped)
+
+
+class TestBaseBehaviour:
+    def test_abstract_transfer_not_implemented(self, machine_and_file):
+        machine, striped = machine_and_file
+        base = CollectiveFileSystem(machine, striped)
+        pattern = make_pattern("rb", striped.size_bytes, 8192, machine.config.n_cps)
+        with pytest.raises(NotImplementedError):
+            base.transfer(pattern)
+
+    def test_result_counters_include_disk_stats(self, machine_and_file):
+        machine, striped = machine_and_file
+        fs = make_filesystem("ddio", machine, striped)
+        pattern = make_pattern("rb", striped.size_bytes, 8192, machine.config.n_cps)
+        result = fs.transfer(pattern)
+        assert "reads" in result.counters
+        assert "bus_busy_fraction" in result.counters
+        assert 0.0 <= result.counters["bus_busy_fraction"] <= 1.0
+
+    def test_result_identifies_configuration(self, machine_and_file):
+        machine, striped = machine_and_file
+        fs = make_filesystem("ddio", machine, striped)
+        pattern = make_pattern("rcb", striped.size_bytes, 8, machine.config.n_cps)
+        result = fs.transfer(pattern)
+        assert result.pattern_name == "rcb"
+        assert result.layout_name == "contiguous"
+        assert result.n_cps == machine.config.n_cps
+        assert result.record_size == 8

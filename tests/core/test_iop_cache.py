@@ -1,0 +1,192 @@
+"""Tests for the traditional-caching IOP block cache."""
+
+import pytest
+
+from repro.core.iop_cache import IOPCache
+from repro.disk import Disk, HP97560_SPEC
+from repro.disk.drive import BusPort
+from repro.fs import ContiguousLayout, StripedFile
+from repro.sim import Environment, Resource
+
+BLOCK = 8192
+SECTORS = BLOCK // 512
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    bus = Resource(env, capacity=1)
+    disk = Disk(env, HP97560_SPEC, BusPort(bus, 10e6), name="d0")
+    layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+    striped = StripedFile("f", 64 * BLOCK, BLOCK, 1, layout)
+    cache = IOPCache(env, iop=None, striped_file=striped,
+                     disk_lookup=lambda index: disk,
+                     capacity_blocks=8, sectors_per_block=SECTORS)
+    return env, disk, cache
+
+
+def run(env, generator):
+    return env.run(env.process(generator))
+
+
+class TestReadPath:
+    def test_miss_then_hit(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_read(3)
+            first_time = env.now
+            yield cache.acquire_for_read(3)
+            return first_time, env.now
+
+        first_time, second_time = run(env, client(env))
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert second_time == first_time  # hit costs no simulated time here
+        assert disk.stats.reads == 1
+
+    def test_concurrent_misses_coalesce_to_one_disk_read(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_read(5)
+
+        procs = [env.process(client(env)) for _ in range(6)]
+        env.run(env.all_of(procs))
+        assert disk.stats.reads == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 5
+
+    def test_eviction_when_capacity_exceeded(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            for block in range(12):  # capacity is 8
+                yield cache.acquire_for_read(block)
+
+        run(env, client(env))
+        assert len(cache) <= 8
+        assert cache.stats.evictions >= 4
+        assert disk.stats.reads == 12
+
+    def test_lru_keeps_recent_blocks(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            for block in range(8):
+                yield cache.acquire_for_read(block)
+            # Touch block 0 so it becomes most-recently used, then overflow.
+            yield cache.acquire_for_read(0)
+            yield cache.acquire_for_read(8)
+
+        run(env, client(env))
+        assert 0 in cache
+        assert 1 not in cache
+
+    def test_prefetch_skipped_when_full(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            for block in range(8):
+                yield cache.acquire_for_read(block)
+
+        run(env, client(env))
+        assert cache.try_prefetch(20) is False
+
+    def test_prefetch_counts_and_usage(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_read(0)
+            assert cache.try_prefetch(1) is True
+            yield env.timeout(0.1)
+            yield cache.acquire_for_read(1)
+
+        run(env, client(env))
+        assert cache.stats.prefetches_issued == 1
+        assert cache.stats.prefetches_used == 1
+
+    def test_prefetch_out_of_range_is_noop(self, setup):
+        _env, _disk, cache = setup
+        assert cache.try_prefetch(-1) is False
+        assert cache.try_prefetch(10_000) is False
+
+
+class TestWritePath:
+    def test_write_accumulates_until_full(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_write(2)
+            full_at = []
+            for _ in range(4):
+                full_at.append(cache.record_write(2, BLOCK // 4, BLOCK))
+            return full_at
+
+        full_flags = run(env, client(env))
+        assert full_flags == [False, False, False, True]
+
+    def test_flush_block_writes_to_disk(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_write(2)
+            cache.record_write(2, BLOCK, BLOCK)
+            yield cache.flush_block(2)
+            yield disk.flush()
+
+        run(env, client(env))
+        assert disk.stats.writes == 1
+        assert cache.dirty_blocks == []
+
+    def test_flush_all_covers_every_dirty_block(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            for block in range(4):
+                yield cache.acquire_for_write(block)
+                cache.record_write(block, BLOCK // 2, BLOCK)
+            yield cache.flush_all()
+            yield disk.flush()
+
+        run(env, client(env))
+        assert disk.stats.writes == 4
+        assert cache.dirty_blocks == []
+
+    def test_flush_clean_cache_is_immediate(self, setup):
+        env, _disk, cache = setup
+
+        def client(env):
+            yield cache.flush_all()
+            return env.now
+
+        assert run(env, client(env)) == 0.0
+
+    def test_record_write_on_missing_block_is_tolerated(self, setup):
+        _env, _disk, cache = setup
+        assert cache.record_write(40, 100, BLOCK) is False
+
+    def test_dirty_eviction_forces_writeback(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            # Fill the cache with partially written (dirty, never full) blocks.
+            for block in range(10):
+                yield cache.acquire_for_write(block)
+                cache.record_write(block, 100, BLOCK)
+            yield cache.flush_all()
+            yield disk.flush()
+
+        run(env, client(env))
+        # 10 blocks passed through an 8-block cache: at least two writebacks
+        # happened because of eviction before the final flush.
+        assert disk.stats.writes == 10
+
+    def test_capacity_validation(self, setup):
+        env, disk, _cache = setup
+        from repro.fs import ContiguousLayout, StripedFile
+        layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+        striped = StripedFile("g", 4 * BLOCK, BLOCK, 1, layout)
+        with pytest.raises(ValueError):
+            IOPCache(env, None, striped, lambda index: disk,
+                     capacity_blocks=0, sectors_per_block=SECTORS)

@@ -1,0 +1,48 @@
+"""Tests for TransferResult arithmetic."""
+
+import pytest
+
+from repro.core.result import MEGABYTE, TransferResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        method="disk-directed", pattern_name="rb", layout_name="contiguous",
+        file_size=int(2 * MEGABYTE), record_size=8192, n_cps=16, n_iops=16,
+        n_disks=16, start_time=1.0, end_time=2.0,
+        bytes_transferred=int(2 * MEGABYTE), counters={"cp_requests": 3},
+    )
+    defaults.update(overrides)
+    return TransferResult(**defaults)
+
+
+class TestTransferResult:
+    def test_elapsed(self):
+        assert make_result().elapsed == pytest.approx(1.0)
+
+    def test_throughput_normalised_by_file_size(self):
+        result = make_result()
+        assert result.throughput_mb == pytest.approx(2.0)
+
+    def test_ra_normalisation(self):
+        # ra moves n_cps copies; normalised throughput still uses one file size.
+        result = make_result(pattern_name="ra",
+                             bytes_transferred=int(16 * 2 * MEGABYTE))
+        assert result.throughput_mb == pytest.approx(2.0)
+        assert result.aggregate_throughput_mb == pytest.approx(32.0)
+
+    def test_zero_elapsed_gives_zero_throughput(self):
+        result = make_result(end_time=1.0)
+        assert result.throughput == 0.0
+        assert result.aggregate_throughput == 0.0
+
+    def test_summary_mentions_method_and_pattern(self):
+        text = make_result().summary()
+        assert "disk-directed" in text
+        assert "rb" in text
+
+    def test_as_dict_flattens_counters(self):
+        data = make_result().as_dict()
+        assert data["counter_cp_requests"] == 3
+        assert data["method"] == "disk-directed"
+        assert data["throughput_mb"] == pytest.approx(2.0)

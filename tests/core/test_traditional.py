@@ -1,0 +1,112 @@
+"""Tests for the traditional-caching file system."""
+
+import pytest
+
+from repro import MachineConfig
+from tests.conftest import KILOBYTE, run_transfer
+
+
+class TestReads:
+    def test_read_moves_every_byte(self):
+        result, machine, _fs = run_transfer("traditional", "rb",
+                                            file_size=256 * KILOBYTE)
+        stats = machine.total_disk_stats()
+        assert stats["bytes_read"] >= 256 * KILOBYTE
+        assert result.elapsed > 0
+        assert result.counters["cp_requests"] == 32  # 32 blocks, 1 per block
+
+    def test_each_block_read_once_thanks_to_cache(self):
+        # rc with block-sized records: each block is requested by exactly one
+        # CP, but with 8-byte records all CPs share each block via the cache.
+        result, machine, fs = run_transfer("traditional", "rc", record_size=8,
+                                           file_size=64 * KILOBYTE)
+        stats = machine.total_disk_stats()
+        assert stats["reads"] == 8 + stats["cache_misses"] - stats["cache_misses"] \
+            or stats["reads"] >= 8
+        total_lookups = sum(cache.stats.lookups for cache in fs.caches)
+        total_misses = sum(cache.stats.misses for cache in fs.caches)
+        assert total_lookups > total_misses  # interprocess locality hits
+
+    def test_prefetching_happens_on_reads(self):
+        _result, _machine, fs = run_transfer("traditional", "rn",
+                                             file_size=256 * KILOBYTE)
+        issued = sum(cache.stats.prefetches_issued for cache in fs.caches)
+        assert issued > 0
+
+    def test_ra_reads_file_once_per_cp_from_cache(self):
+        config = MachineConfig(n_cps=4, n_iops=2, n_disks=2)
+        result, machine, fs = run_transfer("traditional", "ra", config=config,
+                                           file_size=128 * KILOBYTE)
+        # All CPs read everything, but each block hits the disk roughly once.
+        stats = machine.total_disk_stats()
+        assert stats["reads"] <= 2 * (128 // 8)
+        assert result.bytes_transferred == 4 * 128 * KILOBYTE
+
+    def test_non_participating_cps_do_not_issue_requests(self):
+        result, _machine, _fs = run_transfer("traditional", "rn",
+                                             file_size=128 * KILOBYTE)
+        # rn: only CP 0 reads; one request per block.
+        assert result.counters["cp_requests"] == 16
+
+
+class TestWrites:
+    def test_write_moves_every_byte_to_disk(self):
+        result, machine, _fs = run_transfer("traditional", "wb",
+                                            file_size=256 * KILOBYTE)
+        stats = machine.total_disk_stats()
+        assert stats["bytes_written"] == 256 * KILOBYTE
+        assert result.elapsed > 0
+
+    def test_write_behind_flushes_everything(self):
+        _result, machine, fs = run_transfer("traditional", "wcc", record_size=8,
+                                            file_size=64 * KILOBYTE)
+        stats = machine.total_disk_stats()
+        assert stats["bytes_written"] == 64 * KILOBYTE
+        for cache in fs.caches:
+            assert cache.dirty_blocks == []
+
+    def test_small_writes_use_one_memory_copy_per_request(self):
+        result, _machine, _fs = run_transfer("traditional", "wc", record_size=8,
+                                             file_size=16 * KILOBYTE)
+        # 16 KB / 8 B = 2048 requests.
+        assert result.counters["cp_requests"] == 2048
+
+
+class TestBehaviourVsPatterns:
+    def test_small_records_are_much_slower_than_block_records(self):
+        small, _machine, _fs = run_transfer("traditional", "rc", record_size=8,
+                                            file_size=64 * KILOBYTE)
+        large, _machine, _fs = run_transfer("traditional", "rc", record_size=8192,
+                                            file_size=64 * KILOBYTE)
+        assert small.throughput < large.throughput / 3
+
+    def test_throughput_reported_in_sane_range(self):
+        result, _machine, _fs = run_transfer("traditional", "rb",
+                                             file_size=256 * KILOBYTE)
+        assert 0.1 < result.throughput_mb < 40.0
+
+    def test_outstanding_limit_validated(self):
+        from repro import FileSystem, Machine, TraditionalCachingFS
+        config = MachineConfig(n_cps=2, n_iops=2, n_disks=2)
+        machine = Machine(config, seed=1)
+        striped = FileSystem(config).create_file("f", 64 * KILOBYTE)
+        with pytest.raises(ValueError):
+            TraditionalCachingFS(machine, striped, outstanding_per_disk=0)
+
+
+class TestConfigurationKnobs:
+    def test_cache_size_knob_changes_capacity(self, small_config):
+        from repro import FileSystem, Machine, TraditionalCachingFS, make_pattern
+        machine = Machine(small_config, seed=1)
+        striped = FileSystem(small_config).create_file("f", 256 * KILOBYTE)
+        fs = TraditionalCachingFS(machine, striped, cache_blocks_per_cp_per_disk=1)
+        assert all(cache.capacity == 1 * small_config.n_cps for cache in fs.caches)
+
+    def test_prefetch_can_be_disabled(self, small_config):
+        from repro import FileSystem, Machine, TraditionalCachingFS, make_pattern
+        machine = Machine(small_config, seed=1)
+        striped = FileSystem(small_config).create_file("f", 128 * KILOBYTE)
+        fs = TraditionalCachingFS(machine, striped, prefetch_blocks=0)
+        pattern = make_pattern("rb", 128 * KILOBYTE, 8192, small_config.n_cps)
+        fs.transfer(pattern)
+        assert sum(cache.stats.prefetches_issued for cache in fs.caches) == 0

@@ -1,0 +1,90 @@
+"""Tests for the two-phase I/O extension."""
+
+import numpy as np
+import pytest
+
+from repro import FileSystem, Machine, TwoPhaseFS, make_pattern
+from tests.conftest import KILOBYTE, run_transfer
+
+
+class TestConformingDistribution:
+    def test_ranges_cover_file_without_overlap(self, small_config):
+        machine = Machine(small_config, seed=1)
+        striped = FileSystem(small_config).create_file("f", 257 * KILOBYTE)
+        fs = TwoPhaseFS(machine, striped)
+        covered = 0
+        previous_end = 0
+        for cp in range(small_config.n_cps):
+            start, length = fs.conforming_range(cp)
+            if length == 0:
+                continue
+            assert start == previous_end
+            previous_end = start + length
+            covered += length
+        assert covered == striped.size_bytes
+
+    def test_ranges_are_block_aligned(self, small_config):
+        machine = Machine(small_config, seed=1)
+        striped = FileSystem(small_config).create_file("f", 256 * KILOBYTE)
+        fs = TwoPhaseFS(machine, striped)
+        for cp in range(small_config.n_cps):
+            start, _length = fs.conforming_range(cp)
+            assert start % striped.block_size == 0
+
+
+class TestPermutationMatrix:
+    def test_row_sums_equal_conforming_ranges(self, small_config):
+        machine = Machine(small_config, seed=1)
+        striped = FileSystem(small_config).create_file("f", 256 * KILOBYTE)
+        fs = TwoPhaseFS(machine, striped)
+        pattern = make_pattern("rcb", 256 * KILOBYTE, 8, small_config.n_cps)
+        matrix = fs._permutation_matrix(pattern)
+        for cp in range(small_config.n_cps):
+            _start, length = fs.conforming_range(cp)
+            assert matrix[cp].sum() == length
+
+    def test_column_sums_equal_pattern_ownership(self, small_config):
+        machine = Machine(small_config, seed=1)
+        striped = FileSystem(small_config).create_file("f", 256 * KILOBYTE)
+        fs = TwoPhaseFS(machine, striped)
+        pattern = make_pattern("rbc", 256 * KILOBYTE, 8, small_config.n_cps)
+        matrix = fs._permutation_matrix(pattern)
+        for cp in range(small_config.n_cps):
+            assert matrix[:, cp].sum() == pattern.bytes_for_cp(cp)
+
+    def test_block_pattern_needs_no_permutation_between_distinct_cps(self, small_config):
+        machine = Machine(small_config, seed=1)
+        striped = FileSystem(small_config).create_file("f", 256 * KILOBYTE)
+        fs = TwoPhaseFS(machine, striped)
+        pattern = make_pattern("rb", 256 * KILOBYTE, 8192, small_config.n_cps)
+        matrix = fs._permutation_matrix(pattern)
+        off_diagonal = matrix.sum() - np.trace(matrix)
+        assert off_diagonal == 0
+
+
+class TestTransfers:
+    def test_read_moves_every_byte(self):
+        result, machine, _fs = run_transfer("two-phase", "rcb", record_size=8,
+                                            file_size=128 * KILOBYTE)
+        assert machine.total_disk_stats()["bytes_read"] >= 128 * KILOBYTE
+        assert result.method == "two-phase"
+
+    def test_write_moves_every_byte(self):
+        result, machine, _fs = run_transfer("two-phase", "wcb", record_size=8,
+                                            file_size=128 * KILOBYTE)
+        assert machine.total_disk_stats()["bytes_written"] == 128 * KILOBYTE
+
+    def test_two_phase_beats_traditional_on_small_cyclic_records(self):
+        two_phase, _machine, _fs = run_transfer("two-phase", "rc", record_size=8,
+                                                file_size=64 * KILOBYTE)
+        traditional, _machine, _fs = run_transfer("traditional", "rc", record_size=8,
+                                                  file_size=64 * KILOBYTE)
+        assert two_phase.throughput > traditional.throughput
+
+    def test_ddio_beats_two_phase(self):
+        # Section 7.1: disk-directed I/O should outperform two-phase I/O.
+        two_phase, _machine, _fs = run_transfer("two-phase", "rc", record_size=8,
+                                                file_size=128 * KILOBYTE)
+        ddio, _machine, _fs = run_transfer("disk-directed", "rc", record_size=8,
+                                           file_size=128 * KILOBYTE)
+        assert ddio.throughput >= two_phase.throughput

@@ -1,0 +1,83 @@
+"""Tests for the drive's read-ahead cache model."""
+
+import pytest
+
+from repro.disk import HP97560_SPEC, ReadAheadCache
+
+
+@pytest.fixture
+def cache():
+    return ReadAheadCache(HP97560_SPEC)
+
+
+TOTAL = HP97560_SPEC.total_sectors
+SECTOR = HP97560_SPEC.sector_time
+
+
+class TestReadAheadCache:
+    def test_starts_inactive(self, cache):
+        assert not cache.active
+        hit, _ready = cache.lookup(0.0, 0, 16)
+        assert not hit
+
+    def test_sequential_hit_after_readahead(self, cache):
+        cache.start_readahead(0.0, 16, TOTAL)
+        # After enough time the next block is fully cached.
+        hit, ready = cache.lookup(16 * SECTOR + 1e-6, 16, 16)
+        assert hit
+        assert ready <= 16 * SECTOR + 1e-6
+
+    def test_hit_still_being_read_is_in_future(self, cache):
+        cache.start_readahead(0.0, 16, TOTAL)
+        hit, ready = cache.lookup(1 * SECTOR, 16, 16)
+        assert hit
+        assert ready > 1 * SECTOR
+        # Read-ahead began at sector 16 at time 0, so the last requested
+        # sector (31) comes off the media after 16 sector times.
+        assert ready == pytest.approx(16 * SECTOR, rel=0.01)
+
+    def test_non_sequential_request_misses(self, cache):
+        cache.start_readahead(0.0, 16, TOTAL)
+        hit, _ready = cache.lookup(10 * SECTOR, 100000, 16)
+        assert not hit
+
+    def test_request_beyond_readahead_target_misses(self, cache):
+        cache.start_readahead(0.0, 16, TOTAL)
+        beyond = 16 + HP97560_SPEC.readahead_sectors + 1
+        hit, _ready = cache.lookup(1.0, beyond, 16)
+        assert not hit
+
+    def test_invalidate_clears_state(self, cache):
+        cache.start_readahead(0.0, 16, TOTAL)
+        cache.invalidate()
+        assert not cache.active
+        hit, _ready = cache.lookup(1.0, 20, 4)
+        assert not hit
+
+    def test_extend_after_hit_moves_target(self, cache):
+        cache.start_readahead(0.0, 0, TOTAL)
+        cache.extend_after_hit(1.0, 200, TOTAL)
+        hit, _ready = cache.lookup(5.0, 250, 16)
+        assert hit
+
+    def test_readahead_capped_at_disk_end(self, cache):
+        near_end = TOTAL - 8
+        cache.start_readahead(0.0, near_end, TOTAL)
+        hit, _ready = cache.lookup(1.0, near_end, 8)
+        assert hit
+        hit, _ready = cache.lookup(1.0, TOTAL - 4, 8)
+        assert not hit
+
+    def test_hit_rate_statistics(self, cache):
+        cache.start_readahead(0.0, 16, TOTAL)
+        cache.lookup(1.0, 16, 16)     # hit
+        cache.lookup(1.0, 500000, 16)  # miss
+        assert cache.hits == 1
+        assert cache.misses >= 1
+        assert 0.0 < cache.hit_rate() < 1.0
+
+    def test_frontier_does_not_regress(self, cache):
+        cache.start_readahead(0.0, 0, TOTAL)
+        _start, frontier_late = cache.cached_range(10 * SECTOR)
+        _start, frontier_later = cache.cached_range(20 * SECTOR)
+        assert frontier_later >= frontier_late

@@ -1,0 +1,186 @@
+"""Tests for the simulated drive (service loop, cache, write buffer, bus)."""
+
+import numpy as np
+import pytest
+
+from repro.disk import Disk, HP97560_SPEC
+from repro.disk.drive import BusPort, DiskRequest
+from repro.sim import Environment, Resource
+
+MEGABYTE = 2 ** 20
+SECTORS_PER_BLOCK = 16
+BLOCK = SECTORS_PER_BLOCK * 512
+
+
+def make_disk(env, **kwargs):
+    bus = Resource(env, capacity=1)
+    port = BusPort(bus, bandwidth=10e6, overhead=0.1e-3)
+    return Disk(env, HP97560_SPEC, port, **kwargs)
+
+
+def run_client(env, disk, lbns, op="read"):
+    def client(env):
+        for lbn in lbns:
+            if op == "read":
+                yield disk.read(lbn, SECTORS_PER_BLOCK)
+            else:
+                yield disk.write(lbn, SECTORS_PER_BLOCK)
+        if op == "write":
+            yield disk.flush()
+
+    proc = env.process(client(env))
+    env.run(proc)
+    return env.now
+
+
+class TestValidation:
+    def test_out_of_range_request_rejected(self):
+        env = Environment()
+        disk = make_disk(env)
+        with pytest.raises(ValueError):
+            disk.read(disk.geometry.total_sectors, 16)
+
+    def test_zero_sector_request_rejected(self):
+        env = Environment()
+        disk = make_disk(env)
+        with pytest.raises(ValueError):
+            disk.read(0, 0)
+
+    def test_request_byte_size(self):
+        request = DiskRequest(op="read", lbn=0, n_sectors=16)
+        assert request.n_bytes == 8192
+
+
+class TestReadTiming:
+    def test_sequential_reads_approach_media_rate(self):
+        env = Environment()
+        disk = make_disk(env)
+        n_blocks = 128
+        elapsed = run_client(env, disk, [i * SECTORS_PER_BLOCK for i in range(n_blocks)])
+        throughput = n_blocks * BLOCK / elapsed
+        assert throughput > 0.85 * HP97560_SPEC.media_transfer_rate
+
+    def test_random_reads_much_slower_than_sequential(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.choice(50000, size=64, replace=False)
+
+        env = Environment()
+        elapsed_random = run_client(env, make_disk(env),
+                                    [int(b) * SECTORS_PER_BLOCK for b in blocks])
+        env = Environment()
+        elapsed_sequential = run_client(
+            env, make_disk(env),
+            [i * SECTORS_PER_BLOCK for i in range(64)])
+        assert elapsed_random > 3 * elapsed_sequential
+
+    def test_sorted_random_faster_than_unsorted(self):
+        rng = np.random.default_rng(2)
+        blocks = [int(b) for b in rng.choice(80000, size=64, replace=False)]
+
+        env = Environment()
+        unsorted_time = run_client(env, make_disk(env),
+                                   [b * SECTORS_PER_BLOCK for b in blocks])
+        env = Environment()
+        sorted_time = run_client(env, make_disk(env),
+                                 [b * SECTORS_PER_BLOCK for b in sorted(blocks)])
+        assert sorted_time < unsorted_time
+
+    def test_cache_hits_recorded_for_sequential_run(self):
+        env = Environment()
+        disk = make_disk(env)
+        run_client(env, disk, [i * SECTORS_PER_BLOCK for i in range(32)])
+        assert disk.stats.cache_hits > 0
+        assert disk.stats.reads == 32
+        assert disk.stats.bytes_read == 32 * BLOCK
+
+    def test_single_read_includes_positioning(self):
+        env = Environment()
+        disk = make_disk(env, initial_angle_fraction=0.5)
+        elapsed = run_client(env, disk, [123 * SECTORS_PER_BLOCK])
+        # Must at least pay the media transfer plus the bus transfer.
+        minimum = SECTORS_PER_BLOCK * HP97560_SPEC.sector_time + BLOCK / 10e6
+        assert elapsed > minimum
+
+
+class TestWriteTiming:
+    def test_sequential_writes_approach_media_rate(self):
+        env = Environment()
+        disk = make_disk(env)
+        n_blocks = 128
+        elapsed = run_client(env, disk,
+                             [i * SECTORS_PER_BLOCK for i in range(n_blocks)], op="write")
+        throughput = n_blocks * BLOCK / elapsed
+        assert throughput > 0.75 * HP97560_SPEC.media_transfer_rate
+
+    def test_flush_waits_for_destage(self):
+        env = Environment()
+        disk = make_disk(env)
+        completions = []
+
+        def client(env):
+            yield disk.write(0, SECTORS_PER_BLOCK)
+            completions.append(("write-acked", env.now))
+            yield disk.flush()
+            completions.append(("flushed", env.now))
+
+        env.run(env.process(client(env)))
+        assert completions[0][0] == "write-acked"
+        assert completions[1][1] >= completions[0][1]
+        assert disk.stats.writes == 1
+
+    def test_flush_with_no_writes_is_immediate(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def client(env):
+            yield disk.flush()
+            return env.now
+
+        assert env.run(env.process(client(env))) == 0.0
+
+    def test_write_without_write_cache_is_synchronous(self):
+        from dataclasses import replace
+        env = Environment()
+        spec = replace(HP97560_SPEC, write_cache_enabled=False)
+        bus = Resource(env, capacity=1)
+        disk = Disk(env, spec, BusPort(bus, 10e6), name="sync-disk")
+
+        def client(env):
+            yield disk.write(64, SECTORS_PER_BLOCK)
+            return env.now
+
+        elapsed = env.run(env.process(client(env)))
+        # Synchronous write must include the media transfer itself.
+        assert elapsed >= SECTORS_PER_BLOCK * spec.sector_time
+
+
+class TestBusContention:
+    def test_two_disks_on_one_bus_share_bandwidth(self):
+        # With many disks on one slow bus, the bus becomes the bottleneck.
+        env = Environment()
+        bus = Resource(env, capacity=1)
+        slow_port = BusPort(bus, bandwidth=2.5e6, overhead=0.0)
+        disks = [Disk(env, HP97560_SPEC, BusPort(bus, 2.5e6), name=f"d{i}")
+                 for i in range(2)]
+        del slow_port
+        n_blocks = 32
+
+        def client(env, disk):
+            for i in range(n_blocks):
+                yield disk.read(i * SECTORS_PER_BLOCK, SECTORS_PER_BLOCK)
+
+        procs = [env.process(client(env, disk)) for disk in disks]
+        env.run(env.all_of(procs))
+        total_bytes = 2 * n_blocks * BLOCK
+        throughput = total_bytes / env.now
+        # Two disks could stream ~4.6 MB/s, but the 2.5 MB/s bus caps them.
+        assert throughput <= 2.6e6
+
+    def test_queue_depth_visible(self):
+        env = Environment()
+        disk = make_disk(env)
+        disk.read(0, SECTORS_PER_BLOCK)
+        disk.read(16, SECTORS_PER_BLOCK)
+        assert disk.queue_depth >= 1
+        env.run()
+        assert disk.queue_depth == 0

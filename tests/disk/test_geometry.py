@@ -1,0 +1,79 @@
+"""Tests for logical-block-to-physical-position mapping."""
+
+import pytest
+
+from repro.disk import DiskGeometry, HP97560_SPEC
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(HP97560_SPEC)
+
+
+class TestPositionMapping:
+    def test_first_sector_is_origin(self, geometry):
+        position = geometry.position_of(0)
+        assert (position.cylinder, position.head, position.sector) == (0, 0, 0)
+
+    def test_track_boundary(self, geometry):
+        spt = HP97560_SPEC.sectors_per_track
+        position = geometry.position_of(spt)
+        assert (position.cylinder, position.head, position.sector) == (0, 1, 0)
+
+    def test_cylinder_boundary(self, geometry):
+        per_cylinder = HP97560_SPEC.sectors_per_track * HP97560_SPEC.heads
+        position = geometry.position_of(per_cylinder)
+        assert (position.cylinder, position.head, position.sector) == (1, 0, 0)
+
+    def test_last_sector_is_last_position(self, geometry):
+        last = geometry.total_sectors - 1
+        position = geometry.position_of(last)
+        assert position.cylinder == HP97560_SPEC.cylinders - 1
+        assert position.head == HP97560_SPEC.heads - 1
+        assert position.sector == HP97560_SPEC.sectors_per_track - 1
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.position_of(-1)
+        with pytest.raises(ValueError):
+            geometry.position_of(geometry.total_sectors)
+
+    def test_cylinder_of_matches_position_of(self, geometry):
+        for lbn in (0, 999, 123456, geometry.total_sectors - 1):
+            assert geometry.cylinder_of(lbn) == geometry.position_of(lbn).cylinder
+
+
+class TestTransferGeometry:
+    def test_sectors_to_track_end(self, geometry):
+        spt = HP97560_SPEC.sectors_per_track
+        assert geometry.sectors_to_track_end(0) == spt
+        assert geometry.sectors_to_track_end(spt - 1) == 1
+
+    def test_no_boundary_crossed_within_track(self, geometry):
+        assert geometry.track_boundaries_crossed(0, 16) == 0
+
+    def test_boundary_crossed_at_track_end(self, geometry):
+        spt = HP97560_SPEC.sectors_per_track
+        assert geometry.track_boundaries_crossed(spt - 8, 16) == 1
+
+    def test_many_boundaries_for_long_transfer(self, geometry):
+        spt = HP97560_SPEC.sectors_per_track
+        assert geometry.track_boundaries_crossed(0, spt * 3) == 2
+
+    def test_zero_length_transfer(self, geometry):
+        assert geometry.track_boundaries_crossed(10, 0) == 0
+
+
+class TestAngularPosition:
+    def test_first_track_has_no_skew(self, geometry):
+        assert geometry.angular_sector_of(5) == 5
+
+    def test_second_track_is_skewed(self, geometry):
+        spt = HP97560_SPEC.sectors_per_track
+        skew = HP97560_SPEC.track_skew_sectors
+        assert geometry.angular_sector_of(spt) == skew % spt
+
+    def test_angular_position_within_range(self, geometry):
+        spt = HP97560_SPEC.sectors_per_track
+        for lbn in range(0, 10000, 371):
+            assert 0 <= geometry.angular_sector_of(lbn) < spt

@@ -1,0 +1,98 @@
+"""Tests for seek/rotation/transfer mechanics."""
+
+import pytest
+
+from repro.disk import DiskGeometry, HP97560_SPEC, SeekModel
+from repro.disk.mechanics import DiskMechanics, MediaTransferModel, RotationModel
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(HP97560_SPEC)
+
+
+@pytest.fixture
+def mechanics(geometry):
+    return DiskMechanics(HP97560_SPEC, geometry)
+
+
+class TestSeekModel:
+    def test_no_movement_no_time(self):
+        assert SeekModel(HP97560_SPEC).seek_time(100, 100) == 0.0
+
+    def test_symmetric(self):
+        model = SeekModel(HP97560_SPEC)
+        assert model.seek_time(0, 500) == model.seek_time(500, 0)
+
+    def test_longer_seeks_cost_more(self):
+        model = SeekModel(HP97560_SPEC)
+        assert model.seek_time(0, 1900) > model.seek_time(0, 10)
+
+
+class TestRotationModel:
+    def test_angle_wraps_each_revolution(self):
+        rotation = RotationModel(HP97560_SPEC)
+        assert rotation.angle_at(HP97560_SPEC.revolution_time) == pytest.approx(0.0, abs=1e-9)
+
+    def test_initial_angle_respected(self):
+        rotation = RotationModel(HP97560_SPEC, initial_angle_fraction=0.5)
+        assert rotation.angle_at(0.0) == pytest.approx(0.5)
+
+    def test_delay_to_current_sector_is_zero(self):
+        rotation = RotationModel(HP97560_SPEC)
+        assert rotation.rotational_delay_to_sector(0.0, 0) == pytest.approx(0.0)
+
+    def test_delay_never_exceeds_a_revolution(self):
+        rotation = RotationModel(HP97560_SPEC, initial_angle_fraction=0.37)
+        for sector in range(0, HP97560_SPEC.sectors_per_track, 5):
+            delay = rotation.rotational_delay_to_sector(1.234, sector)
+            assert 0.0 <= delay < HP97560_SPEC.revolution_time
+
+    def test_floating_point_wraparound_treated_as_zero(self):
+        rotation = RotationModel(HP97560_SPEC)
+        # A target a hair "behind" the head must not cost a full revolution.
+        delay = rotation.rotational_delay_to_sector(1e-15, 0)
+        assert delay == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMediaTransfer:
+    def test_single_sector_time(self, geometry):
+        media = MediaTransferModel(HP97560_SPEC, geometry)
+        assert media.transfer_time(0, 1) == pytest.approx(HP97560_SPEC.sector_time)
+
+    def test_block_within_track(self, geometry):
+        media = MediaTransferModel(HP97560_SPEC, geometry)
+        assert media.transfer_time(0, 16) == pytest.approx(16 * HP97560_SPEC.sector_time)
+
+    def test_track_crossing_adds_head_switch(self, geometry):
+        media = MediaTransferModel(HP97560_SPEC, geometry)
+        spt = HP97560_SPEC.sectors_per_track
+        plain = media.transfer_time(0, 16)
+        crossing = media.transfer_time(spt - 8, 16)
+        assert crossing == pytest.approx(plain + HP97560_SPEC.head_switch_time)
+
+    def test_zero_sectors_is_free(self, geometry):
+        media = MediaTransferModel(HP97560_SPEC, geometry)
+        assert media.transfer_time(0, 0) == 0.0
+
+
+class TestDiskMechanics:
+    def test_access_time_updates_cylinder(self, mechanics, geometry):
+        per_cylinder = HP97560_SPEC.sectors_per_track * HP97560_SPEC.heads
+        mechanics.access_time(0.0, 5 * per_cylinder, 16)
+        assert mechanics.current_cylinder == 5
+
+    def test_access_time_includes_seek_and_rotation(self, mechanics):
+        per_cylinder = HP97560_SPEC.sectors_per_track * HP97560_SPEC.heads
+        far = 1000 * per_cylinder
+        elapsed = mechanics.access_time(0.0, far, 16)
+        seek_only = HP97560_SPEC.seek_curve.seek_time(1000)
+        assert elapsed >= seek_only
+
+    def test_positioning_time_zero_when_aligned(self, mechanics):
+        # At time zero, cylinder 0 / sector 0 is directly under the head.
+        assert mechanics.positioning_time(0.0, 0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sequential_transfer_time_is_media_only(self, mechanics):
+        assert mechanics.sequential_transfer_time(0, 16) == pytest.approx(
+            16 * HP97560_SPEC.sector_time)

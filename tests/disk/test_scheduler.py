@@ -1,0 +1,70 @@
+"""Tests for disk request-queue scheduling policies."""
+
+import pytest
+
+from repro.disk import CScanScheduler, FcfsScheduler, SstfScheduler, make_scheduler
+from repro.disk.drive import DiskRequest
+
+
+def _queue(*lbns):
+    return [DiskRequest(op="read", lbn=lbn, n_sectors=16) for lbn in lbns]
+
+
+class TestFcfs:
+    def test_always_picks_head_of_queue(self):
+        scheduler = FcfsScheduler()
+        assert scheduler.select(_queue(500, 100, 900), current_lbn=0) == 0
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ValueError):
+            FcfsScheduler().select([], 0)
+
+
+class TestSstf:
+    def test_picks_nearest(self):
+        scheduler = SstfScheduler()
+        queue = _queue(1000, 90, 5000)
+        assert scheduler.select(queue, current_lbn=100) == 1
+
+    def test_picks_nearest_in_either_direction(self):
+        scheduler = SstfScheduler()
+        queue = _queue(200, 350)
+        assert scheduler.select(queue, current_lbn=300) == 1
+
+    def test_single_entry(self):
+        assert SstfScheduler().select(_queue(123), current_lbn=0) == 0
+
+
+class TestCScan:
+    def test_prefers_requests_ahead_of_head(self):
+        scheduler = CScanScheduler()
+        queue = _queue(50, 500, 200)
+        assert scheduler.select(queue, current_lbn=100) == 2
+
+    def test_wraps_around_when_nothing_ahead(self):
+        scheduler = CScanScheduler()
+        queue = _queue(50, 20, 80)
+        assert scheduler.select(queue, current_lbn=1000) == 1
+
+    def test_serves_in_ascending_order(self):
+        scheduler = CScanScheduler()
+        queue = _queue(700, 300, 500)
+        order = []
+        position = 0
+        while queue:
+            index = scheduler.select(queue, position)
+            request = queue.pop(index)
+            position = request.lbn
+            order.append(request.lbn)
+        assert order == [300, 500, 700]
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("fcfs"), FcfsScheduler)
+        assert isinstance(make_scheduler("sstf"), SstfScheduler)
+        assert isinstance(make_scheduler("cscan"), CScanScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("elevator-of-doom")

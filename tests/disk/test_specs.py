@@ -1,0 +1,77 @@
+"""Tests for the HP 97560 drive specification."""
+
+import pytest
+
+from repro.disk import HP97560_SPEC, DiskSpec
+from repro.disk.specs import SeekCurve
+
+MEGABYTE = 2 ** 20
+
+
+class TestSeekCurve:
+    def test_zero_distance_is_free(self):
+        assert SeekCurve().seek_time(0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            SeekCurve().seek_time(-1)
+
+    def test_short_seeks_use_sqrt_regime(self):
+        curve = SeekCurve()
+        assert curve.seek_time(100) == pytest.approx(
+            curve.short_constant + curve.short_sqrt_coeff * 10.0)
+
+    def test_long_seeks_use_linear_regime(self):
+        curve = SeekCurve()
+        assert curve.seek_time(1000) == pytest.approx(
+            curve.long_constant + curve.long_linear_coeff * 1000)
+
+    def test_monotonic_nondecreasing(self):
+        curve = SeekCurve()
+        times = [curve.seek_time(d) for d in range(0, 1962, 7)]
+        assert all(b >= a - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_single_cylinder_seek_is_milliseconds(self):
+        assert 0.001 < SeekCurve().seek_time(1) < 0.01
+
+
+class TestHP97560Spec:
+    def test_capacity_matches_paper(self):
+        # Table 1: 1.3 GB.
+        assert HP97560_SPEC.capacity_bytes == pytest.approx(1.3e9, rel=0.1)
+
+    def test_peak_transfer_rate_matches_paper(self):
+        # Table 1: 2.34 Mbytes/s (2^20-byte megabytes).
+        assert HP97560_SPEC.media_transfer_rate / MEGABYTE == pytest.approx(2.34, abs=0.02)
+
+    def test_aggregate_of_16_disks_is_papers_peak(self):
+        total = 16 * HP97560_SPEC.media_transfer_rate / MEGABYTE
+        assert total == pytest.approx(37.5, abs=0.3)
+
+    def test_revolution_time_from_rpm(self):
+        assert HP97560_SPEC.revolution_time == pytest.approx(60.0 / 4002.0)
+
+    def test_sector_time_times_sectors_is_revolution(self):
+        spec = HP97560_SPEC
+        assert spec.sector_time * spec.sectors_per_track == pytest.approx(
+            spec.revolution_time)
+
+    def test_sustained_rate_below_peak(self):
+        assert HP97560_SPEC.sustained_transfer_rate < HP97560_SPEC.media_transfer_rate
+
+    def test_track_skew_covers_head_switch(self):
+        spec = HP97560_SPEC
+        assert spec.track_skew_sectors * spec.sector_time >= spec.head_switch_time
+        assert spec.track_skew_sectors < spec.sectors_per_track
+
+    def test_average_rotational_latency_is_half_revolution(self):
+        assert HP97560_SPEC.average_rotational_latency == pytest.approx(
+            HP97560_SPEC.revolution_time / 2)
+
+    def test_full_seek_is_under_a_tenth_of_a_second(self):
+        assert 0.01 < HP97560_SPEC.full_seek_time() < 0.1
+
+    def test_custom_spec_overrides(self):
+        small = DiskSpec(cylinders=100, heads=2, sectors_per_track=32)
+        assert small.total_sectors == 100 * 2 * 32
+        assert small.capacity_bytes == small.total_sectors * 512

@@ -1,0 +1,55 @@
+"""Tests for the headline-claims checker (with synthetic data)."""
+
+from repro.experiments import ExperimentConfig, TrialSummary
+from repro.experiments.claims import check_headline_claims
+
+
+class _FakeResult:
+    def __init__(self, throughput_mb):
+        self.throughput_mb = throughput_mb
+        self.elapsed = 1.0
+
+
+def _summary(method, pattern, layout, record_size, value):
+    summary = TrialSummary(config=ExperimentConfig(
+        method=method, pattern=pattern, layout=layout, record_size=record_size))
+    summary.results = [_FakeResult(value)]
+    return summary
+
+
+def _paper_like_dataset():
+    """Synthetic results shaped like the paper's findings."""
+    data = []
+    for pattern in ("rb", "rc"):
+        data.append(_summary("disk-directed", pattern, "contiguous", 8192, 33.0))
+        data.append(_summary("traditional", pattern, "contiguous", 8192,
+                             30.0 if pattern == "rb" else 2.5))
+        data.append(_summary("disk-directed", pattern, "random", 8192, 6.8))
+        data.append(_summary("disk-directed-nosort", pattern, "random", 8192, 4.6))
+        data.append(_summary("traditional", pattern, "random", 8192, 4.0))
+    return data
+
+
+class TestClaims:
+    def test_paper_like_data_satisfies_all_claims(self):
+        checks = check_headline_claims(_paper_like_dataset())
+        assert checks, "expected some claims to be evaluated"
+        assert all(check.holds for check in checks)
+
+    def test_slow_ddio_fails_first_claim(self):
+        data = [
+            _summary("disk-directed", "rb", "contiguous", 8192, 5.0),
+            _summary("traditional", "rb", "contiguous", 8192, 30.0),
+        ]
+        checks = check_headline_claims(data)
+        first = [c for c in checks if "at least as fast" in c.claim][0]
+        assert not first.holds
+
+    def test_rows_render(self):
+        checks = check_headline_claims(_paper_like_dataset())
+        for check in checks:
+            row = check.as_row()
+            assert set(row) == {"claim", "paper", "measured", "holds"}
+
+    def test_empty_input_gives_no_checks(self):
+        assert check_headline_claims([]) == []

@@ -1,0 +1,67 @@
+"""Tests for the figure generators and the CLI (small, fast configurations)."""
+
+import pytest
+
+from repro.experiments import FIGURES, figure3, figure4, figure5, figure7, table1
+from repro.experiments.figures import main
+
+FAST = dict(file_mb=0.25, trials=1)
+
+
+class TestTable1:
+    def test_contains_paper_parameters(self):
+        rows, text = table1()
+        parameters = {row["parameter"]: row["value"] for row in rows}
+        assert parameters["Compute processors (CPs)"] == "16"
+        assert parameters["Disk type"] == "HP 97560"
+        assert "2.34" in parameters["Disk peak transfer rate"]
+        assert "Table 1" in text
+
+
+class TestFigureGenerators:
+    def test_registry_contains_every_figure(self):
+        assert set(FIGURES) == {"table1", "figure3", "figure4", "figure5",
+                                "figure6", "figure7", "figure8"}
+
+    def test_figure3_runs_subset(self):
+        summaries, text = figure3(record_sizes=(8192,), patterns=("rb", "rc"), **FAST)
+        assert len(summaries) == 2 * 3  # 2 patterns x 3 methods
+        assert all(s.config.layout == "random" for s in summaries)
+        assert "Figure 3" in text
+        assert "#" in text  # the bar chart
+
+    def test_figure4_runs_subset(self):
+        summaries, text = figure4(record_sizes=(8192,), patterns=("rb",), **FAST)
+        assert len(summaries) == 2  # DDIO + TC
+        assert all(s.config.layout == "contiguous" for s in summaries)
+        assert "Figure 4" in text
+
+    def test_figure5_produces_series_per_pattern(self):
+        summaries, text = figure5(cps=(2, 4), patterns=("rb",), **FAST)
+        assert {s.config.n_cps for s in summaries} == {2, 4}
+        assert "CPs" in text
+
+    def test_figure7_single_iop(self):
+        summaries, text = figure7(disks=(1, 2), patterns=("rb",), **FAST)
+        assert all(s.config.n_iops == 1 for s in summaries)
+        assert {s.config.n_disks for s in summaries} == {1, 2}
+        assert "Figure 7" in text
+
+
+class TestCli:
+    def test_table1_via_cli(self, capsys):
+        assert main(["table1", "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "HP 97560" in output
+
+    def test_figure4_via_cli_with_filters(self, capsys):
+        code = main(["figure4", "--quiet", "--file-mb", "0.25",
+                     "--record-size", "8192", "--patterns", "rb"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "disk-directed" in output
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

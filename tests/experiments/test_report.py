@@ -1,0 +1,55 @@
+"""Tests for plain-text report rendering."""
+
+from repro.experiments.report import format_bar_chart, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_columns_aligned_and_ordered(self):
+        rows = [{"pattern": "rb", "throughput": 12.5},
+                {"pattern": "rcc", "throughput": 3.25}]
+        text = format_table(rows, columns=["pattern", "throughput"])
+        lines = text.splitlines()
+        assert lines[0].startswith("pattern")
+        assert "12.50" in text
+        assert "3.25" in text
+        assert len(lines) == 4  # header, separator, two rows
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "x" in text
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert format_bar_chart([]) == "(no data)"
+
+    def test_bars_scale_with_values(self):
+        text = format_bar_chart([("big", 30.0), ("small", 3.0)], width=20)
+        big_line, small_line = text.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+        assert "MB/s" in big_line
+
+    def test_zero_value_gets_no_bar(self):
+        text = format_bar_chart([("none", 0.0), ("some", 1.0)])
+        assert "#" not in text.splitlines()[0]
+
+
+class TestSeriesTable:
+    def test_empty(self):
+        assert format_series_table({}) == "(no data)"
+
+    def test_all_x_values_listed(self):
+        series = {"DDIO": [(1, 2.0), (4, 8.0)], "TC": [(1, 1.0), (4, 2.0)]}
+        text = format_series_table(series, x_label="disks")
+        assert text.splitlines()[0].startswith("disks")
+        assert any(line.startswith("1") for line in text.splitlines()[1:])
+        assert any(line.startswith("4") for line in text.splitlines()[1:])
+
+    def test_missing_points_shown_as_dashes(self):
+        series = {"DDIO": [(1, 2.0)], "TC": [(2, 1.0)]}
+        text = format_series_table(series)
+        assert "--" in text

@@ -1,0 +1,104 @@
+"""Tests for striped files."""
+
+import pytest
+
+from repro.disk import HP97560_SPEC
+from repro.fs import ContiguousLayout, StripedFile
+
+BLOCK = 8192
+
+
+def make_file(size_bytes=32 * BLOCK, n_disks=4):
+    layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+    return StripedFile("f", size_bytes, BLOCK, n_disks, layout)
+
+
+class TestStriping:
+    def test_block_count(self):
+        assert make_file(32 * BLOCK).n_blocks == 32
+
+    def test_partial_last_block_rounds_up(self):
+        assert make_file(32 * BLOCK + 1).n_blocks == 33
+
+    def test_round_robin_disks(self):
+        striped = make_file()
+        assert [striped.disk_of_block(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_local_index_increments_per_disk(self):
+        striped = make_file()
+        assert striped.local_index_of_block(0) == 0
+        assert striped.local_index_of_block(4) == 1
+        assert striped.local_index_of_block(9) == 2
+
+    def test_location_combines_striping_and_layout(self):
+        striped = make_file()
+        location = striped.location(5)
+        assert location.disk_index == 1
+        assert location.local_index == 1
+        assert location.lbn == 1 * (BLOCK // 512)
+
+    def test_blocks_on_disk(self):
+        striped = make_file(size_bytes=10 * BLOCK, n_disks=4)
+        assert striped.blocks_on_disk(0) == [0, 4, 8]
+        assert striped.blocks_on_disk(3) == [3, 7]
+
+    def test_every_block_appears_on_exactly_one_disk(self):
+        striped = make_file(size_bytes=21 * BLOCK, n_disks=4)
+        seen = [block for disk in range(4) for block in striped.blocks_on_disk(disk)]
+        assert sorted(seen) == list(range(21))
+
+    def test_invalid_block_rejected(self):
+        striped = make_file()
+        with pytest.raises(ValueError):
+            striped.location(32)
+        with pytest.raises(ValueError):
+            striped.disk_of_block(-1)
+
+    def test_invalid_sizes_rejected(self):
+        layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+        with pytest.raises(ValueError):
+            StripedFile("f", 0, BLOCK, 4, layout)
+        with pytest.raises(ValueError):
+            StripedFile("f", BLOCK, BLOCK, 0, layout)
+
+
+class TestByteRanges:
+    def test_block_of_offset(self):
+        striped = make_file()
+        assert striped.block_of_offset(0) == 0
+        assert striped.block_of_offset(BLOCK) == 1
+        assert striped.block_of_offset(BLOCK - 1) == 0
+
+    def test_offset_outside_file_rejected(self):
+        striped = make_file()
+        with pytest.raises(ValueError):
+            striped.block_of_offset(striped.size_bytes)
+
+    def test_block_pieces_within_one_block(self):
+        striped = make_file()
+        pieces = list(striped.block_pieces(100, 200))
+        assert pieces == [(0, 100, 200)]
+
+    def test_block_pieces_spanning_blocks(self):
+        striped = make_file()
+        pieces = list(striped.block_pieces(BLOCK - 100, 300))
+        assert pieces == [(0, BLOCK - 100, 100), (1, 0, 200)]
+
+    def test_block_pieces_cover_whole_range(self):
+        striped = make_file()
+        offset, length = 1234, 5 * BLOCK + 17
+        pieces = list(striped.block_pieces(offset, length))
+        assert sum(piece for _b, _o, piece in pieces) == length
+        # Pieces are in file order and contiguous.
+        position = offset
+        for block, offset_in_block, piece in pieces:
+            assert block * BLOCK + offset_in_block == position
+            position += piece
+
+    def test_block_pieces_zero_length(self):
+        assert list(make_file().block_pieces(10, 0)) == []
+
+    def test_block_pieces_out_of_range_rejected(self):
+        striped = make_file()
+        with pytest.raises(ValueError):
+            list(striped.block_pieces(striped.size_bytes - 10, 20))

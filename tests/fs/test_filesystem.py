@@ -1,0 +1,54 @@
+"""Tests for the FileSystem metadata manager."""
+
+import pytest
+
+from repro.fs import FileSystem
+from repro.machine import MachineConfig
+
+
+class TestFileSystem:
+    def test_create_and_open(self, small_config):
+        filesystem = FileSystem(small_config)
+        created = filesystem.create_file("data", 1 << 20)
+        assert filesystem.open("data") is created
+        assert created.n_disks == small_config.n_disks
+        assert created.block_size == small_config.block_size
+
+    def test_duplicate_name_rejected(self, small_config):
+        filesystem = FileSystem(small_config)
+        filesystem.create_file("data", 1 << 20)
+        with pytest.raises(ValueError):
+            filesystem.create_file("data", 1 << 20)
+
+    def test_open_missing_file(self, small_config):
+        with pytest.raises(FileNotFoundError):
+            FileSystem(small_config).open("ghost")
+
+    def test_remove(self, small_config):
+        filesystem = FileSystem(small_config)
+        filesystem.create_file("data", 1 << 20)
+        filesystem.remove("data")
+        with pytest.raises(FileNotFoundError):
+            filesystem.open("data")
+        with pytest.raises(FileNotFoundError):
+            filesystem.remove("data")
+
+    def test_layout_selection(self, small_config):
+        filesystem = FileSystem(small_config)
+        contiguous = filesystem.create_file("a", 1 << 20, layout="contiguous")
+        scattered = filesystem.create_file("b", 1 << 20, layout="random")
+        assert contiguous.layout.name == "contiguous"
+        assert scattered.layout.name == "random"
+
+    def test_layout_seed_override(self, small_config):
+        filesystem = FileSystem(small_config, layout_seed=1)
+        first = filesystem.create_file("a", 1 << 20, layout="random")
+        second = filesystem.create_file("b", 1 << 20, layout="random", layout_seed=2)
+        assert first.layout.seed == 1
+        assert second.layout.seed == 2
+
+    def test_file_too_large_for_disks_rejected(self):
+        config = MachineConfig(n_cps=1, n_iops=1, n_disks=1)
+        filesystem = FileSystem(config)
+        with pytest.raises(ValueError):
+            filesystem.create_file("huge", 2 * config.disk_spec.capacity_bytes)

@@ -1,0 +1,99 @@
+"""Tests for physical disk layouts."""
+
+import pytest
+
+from repro.disk import HP97560_SPEC
+from repro.fs import ContiguousLayout, RandomBlocksLayout, make_layout
+
+BLOCK = 8192
+SECTORS_PER_BLOCK = BLOCK // 512
+
+
+class TestContiguousLayout:
+    def test_blocks_are_adjacent(self):
+        layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+        assert layout.lbn_of(0, 0) == 0
+        assert layout.lbn_of(0, 1) == SECTORS_PER_BLOCK
+        assert layout.lbn_of(0, 10) == 10 * SECTORS_PER_BLOCK
+
+    def test_same_mapping_on_every_disk(self):
+        layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+        assert layout.lbn_of(0, 7) == layout.lbn_of(5, 7)
+
+    def test_start_block_offset(self):
+        layout = ContiguousLayout(HP97560_SPEC, BLOCK, start_block=100)
+        assert layout.lbn_of(0, 0) == 100 * SECTORS_PER_BLOCK
+
+    def test_bad_start_block_rejected(self):
+        with pytest.raises(ValueError):
+            ContiguousLayout(HP97560_SPEC, BLOCK, start_block=-1)
+
+    def test_overflow_rejected(self):
+        layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+        with pytest.raises(ValueError):
+            layout.lbn_of(0, layout.blocks_per_disk)
+
+    def test_block_size_must_divide_sectors(self):
+        with pytest.raises(ValueError):
+            ContiguousLayout(HP97560_SPEC, 1000)
+
+    def test_capacity_check(self):
+        layout = ContiguousLayout(HP97560_SPEC, BLOCK)
+        layout.check_capacity(layout.blocks_per_disk)
+        with pytest.raises(ValueError):
+            layout.check_capacity(layout.blocks_per_disk + 1)
+
+
+class TestRandomBlocksLayout:
+    def test_placement_is_a_permutation(self):
+        layout = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=3)
+        lbns = {layout.lbn_of(0, i) for i in range(200)}
+        assert len(lbns) == 200
+        assert all(lbn % SECTORS_PER_BLOCK == 0 for lbn in lbns)
+
+    def test_same_seed_same_placement(self):
+        first = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=11)
+        second = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=11)
+        assert [first.lbn_of(0, i) for i in range(50)] == \
+            [second.lbn_of(0, i) for i in range(50)]
+
+    def test_different_seeds_differ(self):
+        first = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=1)
+        second = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=2)
+        assert [first.lbn_of(0, i) for i in range(50)] != \
+            [second.lbn_of(0, i) for i in range(50)]
+
+    def test_disks_have_independent_placements(self):
+        layout = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=5)
+        assert [layout.lbn_of(0, i) for i in range(50)] != \
+            [layout.lbn_of(1, i) for i in range(50)]
+
+    def test_placement_is_scattered(self):
+        layout = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=7)
+        lbns = [layout.lbn_of(0, i) for i in range(64)]
+        gaps = [abs(b - a) for a, b in zip(lbns, lbns[1:])]
+        # Random placement means mostly large jumps between consecutive blocks.
+        assert sum(gap > SECTORS_PER_BLOCK for gap in gaps) > len(gaps) // 2
+
+    def test_index_past_capacity_rejected(self):
+        layout = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=1)
+        with pytest.raises(ValueError):
+            layout.lbn_of(0, layout.blocks_per_disk + 10)
+
+
+class TestFactory:
+    def test_names_and_aliases(self):
+        assert isinstance(make_layout("contiguous", HP97560_SPEC, BLOCK),
+                          ContiguousLayout)
+        assert isinstance(make_layout("random", HP97560_SPEC, BLOCK),
+                          RandomBlocksLayout)
+        assert isinstance(make_layout("random-blocks", HP97560_SPEC, BLOCK),
+                          RandomBlocksLayout)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            make_layout("raid5", HP97560_SPEC, BLOCK)
+
+    def test_seed_forwarded_to_random_layout(self):
+        layout = make_layout("random", HP97560_SPEC, BLOCK, seed=99)
+        assert layout.seed == 99

@@ -1,0 +1,50 @@
+"""Measured headline claims on a scaled-down Figure 3/4 sweep."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, sweep
+from repro.experiments.claims import check_headline_claims
+
+MEGABYTE = 2 ** 20
+
+
+def _scaled_sweep():
+    """A small but representative subset of Figures 3 and 4."""
+    configs = []
+    for layout in ("contiguous", "random"):
+        for pattern in ("rb", "rcb"):
+            for method in ("disk-directed", "disk-directed-nosort", "traditional"):
+                if layout == "contiguous" and method == "disk-directed-nosort":
+                    continue
+                configs.append(ExperimentConfig(
+                    method=method, pattern=pattern, record_size=8192,
+                    layout=layout, file_size=2 * MEGABYTE))
+    # One small-record case for the "order of magnitude" claim.
+    for method in ("disk-directed", "traditional"):
+        configs.append(ExperimentConfig(
+            method=method, pattern="rc", record_size=8,
+            layout="contiguous", file_size=MEGABYTE // 4))
+    return sweep(configs, trials=1)
+
+
+@pytest.mark.slow
+class TestHeadlineClaims:
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        return _scaled_sweep()
+
+    def test_every_claim_direction_holds(self, summaries):
+        checks = check_headline_claims(summaries)
+        assert checks
+        failing = [check.claim for check in checks if not check.holds]
+        assert not failing, f"claims violated: {failing}"
+
+    def test_ddio_never_substantially_slower(self, summaries):
+        by_key = {(s.config.method, s.config.pattern, s.config.layout,
+                   s.config.record_size): s.mean_throughput_mb for s in summaries}
+        for (method, pattern, layout, record_size), value in by_key.items():
+            if method != "traditional":
+                continue
+            ddio = by_key.get(("disk-directed", pattern, layout, record_size))
+            assert ddio is not None
+            assert ddio >= 0.9 * value

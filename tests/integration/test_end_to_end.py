@@ -1,0 +1,108 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro import (
+    FileSystem,
+    Machine,
+    MachineConfig,
+    PATTERN_NAMES,
+    make_filesystem,
+    make_pattern,
+)
+
+KILOBYTE = 1024
+MEGABYTE = 2 ** 20
+
+
+def run(method, pattern_name, layout="contiguous", record_size=8192,
+        file_size=128 * KILOBYTE, config=None, seed=1):
+    config = config or MachineConfig(n_cps=4, n_iops=2, n_disks=2)
+    machine = Machine(config, seed=seed)
+    striped = FileSystem(config, layout_seed=seed).create_file(
+        "f", file_size, layout=layout)
+    pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)
+    fs = make_filesystem(method, machine, striped)
+    result = fs.transfer(pattern)
+    return result, machine
+
+
+class TestEveryPatternEveryMethod:
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    @pytest.mark.parametrize("method", ["disk-directed", "traditional"])
+    def test_all_paper_patterns_complete(self, pattern, method):
+        result, machine = run(method, pattern, record_size=1024,
+                              file_size=64 * KILOBYTE)
+        stats = machine.total_disk_stats()
+        moved = stats["bytes_read"] + stats["bytes_written"]
+        assert moved >= 64 * KILOBYTE
+        assert result.elapsed > 0
+        assert result.throughput_mb > 0
+
+    @pytest.mark.parametrize("method", ["disk-directed", "traditional", "two-phase"])
+    def test_both_layouts_work(self, method):
+        for layout in ("contiguous", "random"):
+            result, _machine = run(method, "rbb", layout=layout)
+            assert result.layout_name in ("contiguous", "random")
+            assert result.throughput_mb > 0
+
+
+class TestPhysicalConservation:
+    def test_reads_hit_every_block_exactly_once_with_ddio(self):
+        result, machine = run("disk-directed", "rcb", record_size=1024,
+                              file_size=256 * KILOBYTE)
+        assert machine.total_disk_stats()["reads"] == 256 // 8
+
+    def test_writes_reach_disk_even_with_partial_blocks(self):
+        # 4 CPs writing 1 KB records cyclically: every block is assembled from
+        # several CPs' pieces before being written.
+        result, machine = run("traditional", "wc", record_size=1024,
+                              file_size=128 * KILOBYTE)
+        assert machine.total_disk_stats()["bytes_written"] == 128 * KILOBYTE
+
+    def test_elapsed_times_are_consistent_with_clock(self):
+        config = MachineConfig(n_cps=4, n_iops=2, n_disks=2)
+        machine = Machine(config, seed=1)
+        striped = FileSystem(config).create_file("f", 128 * KILOBYTE)
+        fs = make_filesystem("ddio", machine, striped)
+        pattern = make_pattern("rb", 128 * KILOBYTE, 8192, config.n_cps)
+        result = fs.transfer(pattern)
+        assert result.end_time == machine.now
+        assert result.start_time >= 0
+
+
+class TestMachineShapes:
+    def test_single_cp_single_disk(self):
+        config = MachineConfig(n_cps=1, n_iops=1, n_disks=1)
+        result, _machine = run("disk-directed", "rn", config=config)
+        assert result.throughput_mb > 0
+
+    def test_more_iops_than_disks(self):
+        config = MachineConfig(n_cps=4, n_iops=4, n_disks=2)
+        result, _machine = run("disk-directed", "rb", config=config)
+        assert result.throughput_mb > 0
+
+    def test_many_disks_per_iop(self):
+        config = MachineConfig(n_cps=4, n_iops=1, n_disks=8)
+        result, _machine = run("disk-directed", "rb", config=config,
+                               file_size=512 * KILOBYTE)
+        assert result.throughput_mb > 0
+
+    def test_paper_scale_machine_smoke(self):
+        config = MachineConfig()  # 16/16/16
+        result, _machine = run("disk-directed", "rb", config=config,
+                               file_size=1 * MEGABYTE)
+        assert 10.0 < result.throughput_mb < 40.0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_times(self):
+        first, _ = run("traditional", "rcb", layout="random", seed=9)
+        second, _ = run("traditional", "rcb", layout="random", seed=9)
+        assert first.elapsed == second.elapsed
+        assert first.counters["cp_requests"] == second.counters["cp_requests"]
+
+    def test_different_layout_seeds_produce_different_times(self):
+        first, _ = run("disk-directed", "rb", layout="random", seed=1)
+        second, _ = run("disk-directed", "rb", layout="random", seed=2)
+        assert first.elapsed != second.elapsed

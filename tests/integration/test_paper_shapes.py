@@ -1,0 +1,123 @@
+"""Shape tests: the qualitative results of the paper's evaluation.
+
+These use scaled-down files (the relationships, not the absolute numbers, are
+asserted), on the paper's 16-CP / 16-IOP / 16-disk machine where it matters.
+"""
+
+import pytest
+
+from repro import FileSystem, Machine, MachineConfig, make_filesystem, make_pattern
+
+MEGABYTE = 2 ** 20
+KILOBYTE = 1024
+
+
+def run(method, pattern_name, layout, record_size=8192, file_size=MEGABYTE,
+        config=None, seed=1):
+    config = config or MachineConfig()
+    machine = Machine(config, seed=seed)
+    striped = FileSystem(config, layout_seed=seed).create_file(
+        "f", file_size, layout=layout)
+    pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)
+    return make_filesystem(method, machine, striped).transfer(pattern)
+
+
+@pytest.mark.slow
+class TestFigure4Shapes:
+    """Contiguous layout: DDIO approaches peak; TC depends on the pattern."""
+
+    def test_ddio_read_approaches_peak_disk_bandwidth(self):
+        result = run("disk-directed", "rb", "contiguous", file_size=4 * MEGABYTE)
+        assert result.throughput_mb > 0.75 * 37.5
+
+    def test_ddio_write_approaches_peak_disk_bandwidth(self):
+        result = run("disk-directed", "wb", "contiguous", file_size=4 * MEGABYTE)
+        assert result.throughput_mb > 0.7 * 37.5
+
+    def test_tc_loses_on_multi_locality_pattern(self):
+        ddio = run("disk-directed", "rb", "contiguous", file_size=2 * MEGABYTE)
+        tc = run("traditional", "rb", "contiguous", file_size=2 * MEGABYTE)
+        assert ddio.throughput > 1.5 * tc.throughput
+
+    def test_tc_matches_ddio_on_single_reader(self):
+        ddio = run("disk-directed", "rn", "contiguous", file_size=2 * MEGABYTE)
+        tc = run("traditional", "rn", "contiguous", file_size=2 * MEGABYTE)
+        assert tc.throughput > 0.85 * ddio.throughput
+
+    def test_small_records_hurt_tc_much_more_than_ddio(self):
+        ddio = run("disk-directed", "rc", "contiguous", record_size=8,
+                   file_size=MEGABYTE // 2)
+        tc = run("traditional", "rc", "contiguous", record_size=8,
+                 file_size=MEGABYTE // 4)
+        assert ddio.throughput_mb > 5 * tc.throughput_mb
+
+
+@pytest.mark.slow
+class TestFigure3Shapes:
+    """Random-blocks layout: DDIO consistent, presort pays, TC pattern-dependent."""
+
+    def test_ddio_beats_tc_for_every_sampled_pattern(self):
+        for pattern in ("rb", "rcb", "wb"):
+            ddio = run("disk-directed", pattern, "random", file_size=MEGABYTE)
+            tc = run("traditional", pattern, "random", file_size=MEGABYTE)
+            assert ddio.throughput >= 0.95 * tc.throughput, pattern
+
+    def test_presort_improves_random_layout_noticeably(self):
+        with_sort = run("disk-directed", "rb", "random", file_size=2 * MEGABYTE)
+        without = run("ddio-nosort", "rb", "random", file_size=2 * MEGABYTE)
+        assert with_sort.throughput > 1.15 * without.throughput
+
+    def test_ddio_random_throughput_nearly_pattern_independent(self):
+        values = [run("disk-directed", pattern, "random",
+                      file_size=MEGABYTE).throughput_mb
+                  for pattern in ("rb", "rc", "rcn", "rbb")]
+        assert (max(values) - min(values)) / max(values) < 0.3
+
+
+@pytest.mark.slow
+class TestLayoutEffect:
+    def test_contiguous_much_faster_than_random(self):
+        contiguous = run("disk-directed", "rb", "contiguous", file_size=2 * MEGABYTE)
+        scattered = run("disk-directed", "rb", "random", file_size=2 * MEGABYTE)
+        assert contiguous.throughput > 3 * scattered.throughput
+
+
+@pytest.mark.slow
+class TestSensitivityShapes:
+    """Figures 5-8 directions: hardware limits move with CPs / IOPs / disks."""
+
+    def test_ddio_insensitive_to_cp_count(self):
+        few = run("disk-directed", "rb", "contiguous", file_size=MEGABYTE,
+                  config=MachineConfig(n_cps=2))
+        many = run("disk-directed", "rb", "contiguous", file_size=MEGABYTE,
+                   config=MachineConfig(n_cps=16))
+        assert abs(few.throughput - many.throughput) / many.throughput < 0.2
+
+    def test_tc_rc_suffers_with_few_cps(self):
+        few = run("traditional", "rc", "contiguous", file_size=MEGABYTE,
+                  config=MachineConfig(n_cps=2))
+        many = run("traditional", "rc", "contiguous", file_size=MEGABYTE,
+                   config=MachineConfig(n_cps=16))
+        assert many.throughput > 1.5 * few.throughput
+
+    def test_single_bus_caps_throughput_with_many_disks(self):
+        # 16 disks behind one 10 MB/s SCSI bus: the bus, not the disks, limits.
+        config = MachineConfig(n_cps=16, n_iops=1, n_disks=16)
+        result = run("disk-directed", "rb", "contiguous", file_size=2 * MEGABYTE,
+                     config=config)
+        assert result.throughput_mb < 11.0
+        assert result.throughput_mb > 5.0
+
+    def test_throughput_scales_with_disks_until_bus_limit(self):
+        one = run("disk-directed", "rb", "contiguous", file_size=MEGABYTE,
+                  config=MachineConfig(n_cps=8, n_iops=1, n_disks=1))
+        four = run("disk-directed", "rb", "contiguous", file_size=MEGABYTE,
+                   config=MachineConfig(n_cps=8, n_iops=1, n_disks=4))
+        assert four.throughput > 2.5 * one.throughput
+
+    def test_fewer_iops_means_less_bus_bandwidth(self):
+        sixteen = run("disk-directed", "rb", "contiguous", file_size=2 * MEGABYTE,
+                      config=MachineConfig(n_iops=16, n_disks=16))
+        two = run("disk-directed", "rb", "contiguous", file_size=2 * MEGABYTE,
+                  config=MachineConfig(n_iops=2, n_disks=16))
+        assert sixteen.throughput > 1.3 * two.throughput

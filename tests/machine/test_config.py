@@ -1,0 +1,110 @@
+"""Tests for MachineConfig (Table 1) and the cost model."""
+
+import pytest
+
+from repro.machine import CostModel, MachineConfig
+
+MEGABYTE = 2 ** 20
+
+
+class TestDefaultsMatchTable1:
+    def test_processor_counts(self, paper_config):
+        assert paper_config.n_cps == 16
+        assert paper_config.n_iops == 16
+        assert paper_config.n_disks == 16
+
+    def test_block_size(self, paper_config):
+        assert paper_config.block_size == 8 * 1024
+
+    def test_bus_bandwidth(self, paper_config):
+        assert paper_config.bus_bandwidth == 10e6
+
+    def test_interconnect(self, paper_config):
+        assert paper_config.interconnect_bandwidth == 200e6
+        assert paper_config.router_latency == 20e-9
+
+    def test_cpu_clock(self, paper_config):
+        assert paper_config.cpu_mhz == 50.0
+
+    def test_peak_disk_bandwidth_is_37_5_mb(self, paper_config):
+        assert paper_config.peak_disk_bandwidth / MEGABYTE == pytest.approx(37.5, abs=0.3)
+
+    def test_peak_bus_bandwidth(self, paper_config):
+        assert paper_config.peak_bus_bandwidth == 160e6
+
+
+class TestValidation:
+    def test_rejects_zero_cps(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cps=0)
+
+    def test_rejects_zero_iops(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_iops=0)
+
+    def test_rejects_zero_disks(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_disks=0)
+
+    def test_rejects_non_sector_multiple_block(self):
+        with pytest.raises(ValueError):
+            MachineConfig(block_size=1000)
+
+
+class TestDiskToIopMapping:
+    def test_round_robin_assignment(self):
+        config = MachineConfig(n_iops=4, n_disks=8)
+        assert config.disks_on_iop(0) == [0, 4]
+        assert config.disks_on_iop(3) == [3, 7]
+        assert config.iop_of_disk(5) == 1
+
+    def test_more_iops_than_disks(self):
+        config = MachineConfig(n_iops=8, n_disks=4)
+        assert config.disks_on_iop(6) == []
+        assert config.iop_of_disk(2) == 2
+
+    def test_disks_per_iop_rounds_up(self):
+        assert MachineConfig(n_iops=4, n_disks=6).disks_per_iop == 2
+        assert MachineConfig(n_iops=4, n_disks=8).disks_per_iop == 2
+        assert MachineConfig(n_iops=16, n_disks=16).disks_per_iop == 1
+
+    def test_invalid_disk_index_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig().iop_of_disk(16)
+
+
+class TestNodeIds:
+    def test_cps_come_first(self, paper_config):
+        assert paper_config.cp_node_id(0) == 0
+        assert paper_config.cp_node_id(15) == 15
+        assert paper_config.iop_node_id(0) == 16
+        assert paper_config.iop_node_id(15) == 31
+        assert paper_config.n_nodes == 32
+
+    def test_out_of_range_rejected(self, paper_config):
+        with pytest.raises(ValueError):
+            paper_config.cp_node_id(16)
+        with pytest.raises(ValueError):
+            paper_config.iop_node_id(16)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_config(self, paper_config):
+        varied = paper_config.with_overrides(n_cps=4)
+        assert varied.n_cps == 4
+        assert paper_config.n_cps == 16
+
+    def test_sectors_per_block(self, paper_config):
+        assert paper_config.sectors_per_block == 16
+
+    def test_cost_model_is_replaceable(self):
+        costs = CostModel(message_overhead=1e-3)
+        config = MachineConfig(costs=costs)
+        assert config.costs.message_overhead == 1e-3
+
+    def test_cost_model_defaults_are_positive(self):
+        costs = CostModel()
+        assert costs.message_overhead > 0
+        assert costs.cache_lookup_overhead > 0
+        assert costs.per_piece_overhead > 0
+        assert costs.memory_copy_bandwidth > 0

@@ -1,0 +1,120 @@
+"""Tests for the machine builder, nodes and SCSI busses."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig, ScsiBus
+from repro.sim import Environment
+
+
+class TestMachineConstruction:
+    def test_builds_requested_topology(self, small_config):
+        machine = Machine(small_config, seed=0)
+        assert len(machine.cps) == 4
+        assert len(machine.iops) == 4
+        assert len(machine.disks) == 4
+
+    def test_each_iop_has_bus_and_disk(self, small_config):
+        machine = Machine(small_config, seed=0)
+        for iop in machine.iops:
+            assert iop.bus is not None
+            assert len(iop.disks) == 1
+
+    def test_multiple_disks_per_iop(self):
+        config = MachineConfig(n_cps=2, n_iops=1, n_disks=4)
+        machine = Machine(config, seed=0)
+        assert len(machine.iops[0].disks) == 4
+        # All four drives share the single IOP's bus resource.
+        resources = {disk.bus_port.resource for disk in machine.disks}
+        assert len(resources) == 1
+
+    def test_node_lookup_by_id(self, small_config):
+        machine = Machine(small_config, seed=0)
+        assert machine.node(0) is machine.cps[0]
+        assert machine.node(small_config.n_cps) is machine.iops[0]
+
+    def test_iop_for_disk(self, small_config):
+        machine = Machine(small_config, seed=0)
+        assert machine.iop_for_disk(2) is machine.iops[2]
+
+    def test_local_disk_lookup(self):
+        config = MachineConfig(n_cps=2, n_iops=2, n_disks=4)
+        machine = Machine(config, seed=0)
+        iop0 = machine.iops[0]
+        assert iop0.local_disk(0) is machine.disks[0]
+        assert iop0.local_disk(2) is machine.disks[2]
+        with pytest.raises(KeyError):
+            iop0.local_disk(1)
+
+    def test_seed_controls_rotational_positions(self, small_config):
+        first = Machine(small_config, seed=1)
+        second = Machine(small_config, seed=1)
+        third = Machine(small_config, seed=2)
+        first_angles = [d.mechanics.rotation.initial_angle_fraction for d in first.disks]
+        second_angles = [d.mechanics.rotation.initial_angle_fraction for d in second.disks]
+        third_angles = [d.mechanics.rotation.initial_angle_fraction for d in third.disks]
+        assert first_angles == second_angles
+        assert first_angles != third_angles
+
+    def test_run_and_now_delegate_to_environment(self, small_config):
+        machine = Machine(small_config, seed=0)
+        machine.run(until=1.5)
+        assert machine.now == 1.5
+
+    def test_total_disk_stats_aggregates(self, small_config):
+        machine = Machine(small_config, seed=0)
+        stats = machine.total_disk_stats()
+        assert stats["reads"] == 0
+        assert set(stats) >= {"reads", "writes", "bytes_read", "bytes_written"}
+
+    def test_external_environment_can_be_supplied(self, small_config):
+        env = Environment()
+        machine = Machine(small_config, seed=0, env=env)
+        assert machine.env is env
+
+
+class TestScsiBus:
+    def test_busy_fraction_tracks_usage(self):
+        env = Environment()
+        bus = ScsiBus(env, bandwidth=10e6, transfer_overhead=0.0)
+        port = bus.port()
+
+        def user(env):
+            yield from port.transfer(env, 5_000_000)  # 0.5 s on a 10 MB/s bus
+            yield env.timeout(0.5)
+
+        env.run(env.process(user(env)))
+        assert bus.busy_fraction() == pytest.approx(0.5, rel=0.05)
+        assert bus.bytes_transferred.value == 5_000_000
+
+    def test_transfer_overhead_added(self):
+        env = Environment()
+        bus = ScsiBus(env, bandwidth=10e6, transfer_overhead=1e-3)
+        port = bus.port()
+        assert port.transfer_time(10_000) == pytest.approx(1e-3 + 1e-3)
+
+
+class TestNodes:
+    def test_compute_charges_cpu(self, small_config):
+        machine = Machine(small_config, seed=0)
+        cp = machine.cps[0]
+
+        def worker(env):
+            yield from cp.compute(0.25)
+            return env.now
+
+        assert machine.env.run(machine.env.process(worker(machine.env))) == 0.25
+
+    def test_compute_zero_duration_is_free(self, small_config):
+        machine = Machine(small_config, seed=0)
+        cp = machine.cps[0]
+
+        def worker(env):
+            yield from cp.compute(0.0)
+            return env.now
+
+        assert machine.env.run(machine.env.process(worker(machine.env))) == 0.0
+
+    def test_node_names(self, small_config):
+        machine = Machine(small_config, seed=0)
+        assert machine.cps[0].name == "cp0"
+        assert machine.iops[3].name == "iop3"

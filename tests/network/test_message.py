@@ -1,0 +1,85 @@
+"""Tests for messages and mailboxes."""
+
+from repro.network import Mailbox, Message, MessageKind
+from repro.network.message import HEADER_BYTES
+from repro.sim import Environment
+
+
+class TestMessage:
+    def test_wire_bytes_adds_header(self):
+        message = Message(kind=MessageKind.READ_REPLY, src=0, dst=1, data_bytes=100)
+        assert message.wire_bytes == 100 + HEADER_BYTES
+
+    def test_control_message_is_header_only(self):
+        message = Message(kind=MessageKind.COLLECTIVE_REQUEST, src=0, dst=1)
+        assert message.wire_bytes == HEADER_BYTES
+
+    def test_message_ids_are_unique(self):
+        first = Message(kind=MessageKind.MEMPUT, src=0, dst=1)
+        second = Message(kind=MessageKind.MEMPUT, src=0, dst=1)
+        assert first.message_id != second.message_id
+
+    def test_all_protocol_kinds_exist(self):
+        names = {kind.name for kind in MessageKind}
+        assert {"READ_REQUEST", "READ_REPLY", "WRITE_REQUEST", "COLLECTIVE_REQUEST",
+                "COLLECTIVE_DONE", "MEMPUT", "MEMGET_REQUEST"} <= names
+
+
+class TestMailbox:
+    def test_deliver_then_receive(self):
+        env = Environment()
+        mailbox = Mailbox(env, name="iop0")
+        received = []
+
+        def consumer(env):
+            message = yield mailbox.receive("requests")
+            received.append(message)
+
+        message = Message(kind=MessageKind.READ_REQUEST, src=1, dst=0)
+        mailbox.deliver(message, "requests")
+        env.process(consumer(env))
+        env.run()
+        assert received == [message]
+
+    def test_receive_blocks_until_delivery(self):
+        env = Environment()
+        mailbox = Mailbox(env)
+        arrival = []
+
+        def consumer(env):
+            yield mailbox.receive()
+            arrival.append(env.now)
+
+        def producer(env):
+            yield env.timeout(2.0)
+            yield mailbox.deliver(Message(kind=MessageKind.DONE, src=0, dst=1))
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert arrival == [2.0]
+
+    def test_tags_are_independent_queues(self):
+        env = Environment()
+        mailbox = Mailbox(env)
+        got = []
+
+        def consumer(env, tag):
+            message = yield mailbox.receive(tag)
+            got.append((tag, message.kind))
+
+        mailbox.deliver(Message(kind=MessageKind.READ_REQUEST, src=0, dst=1), "a")
+        mailbox.deliver(Message(kind=MessageKind.WRITE_REQUEST, src=0, dst=1), "b")
+        env.process(consumer(env, "b"))
+        env.process(consumer(env, "a"))
+        env.run()
+        assert sorted(got) == [("a", MessageKind.READ_REQUEST),
+                               ("b", MessageKind.WRITE_REQUEST)]
+
+    def test_pending_counts_per_tag(self):
+        env = Environment()
+        mailbox = Mailbox(env)
+        mailbox.deliver(Message(kind=MessageKind.DONE, src=0, dst=1), "done")
+        env.run()
+        assert mailbox.pending("done") == 1
+        assert mailbox.pending("other") == 0

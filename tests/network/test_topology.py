@@ -1,0 +1,70 @@
+"""Tests for the torus topology."""
+
+import pytest
+
+from repro.network import TorusTopology
+
+
+class TestConstruction:
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            TorusTopology(0)
+
+    def test_paper_machine_fits_on_6x6(self):
+        # 32 processors -> the paper's 6x6 torus.
+        assert TorusTopology(32).dimensions == (6, 6)
+
+    def test_explicit_dimensions_respected(self):
+        assert TorusTopology(8, dimensions=(2, 4)).dimensions == (2, 4)
+
+    def test_too_small_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            TorusTopology(10, dimensions=(3, 3))
+
+
+class TestHops:
+    def test_self_distance_is_zero(self):
+        topo = TorusTopology(16)
+        assert topo.hops(5, 5) == 0
+
+    def test_neighbours_are_one_hop(self):
+        topo = TorusTopology(16)  # 4x4
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 4) == 1
+
+    def test_wraparound_shortens_paths(self):
+        topo = TorusTopology(16)  # 4x4
+        # Node 0 and node 3 are adjacent through the wrap-around link.
+        assert topo.hops(0, 3) == 1
+
+    def test_symmetric(self):
+        topo = TorusTopology(32)
+        for src, dst in [(0, 31), (3, 17), (8, 25)]:
+            assert topo.hops(src, dst) == topo.hops(dst, src)
+
+    def test_triangle_inequality(self):
+        topo = TorusTopology(16)
+        for a in range(16):
+            for b in range(16):
+                for c in (0, 5, 10, 15):
+                    assert topo.hops(a, b) <= topo.hops(a, c) + topo.hops(c, b)
+
+    def test_out_of_range_rejected(self):
+        topo = TorusTopology(4)
+        with pytest.raises(ValueError):
+            topo.hops(0, 4)
+
+    def test_max_distance_on_torus(self):
+        topo = TorusTopology(36)  # 6x6
+        maximum = max(topo.hops(0, node) for node in range(36))
+        assert maximum == 6  # 3 + 3
+
+    def test_mean_hops_positive_and_bounded(self):
+        topo = TorusTopology(16)
+        assert 0 < topo.mean_hops() <= 4
+
+    def test_coordinates_row_major(self):
+        topo = TorusTopology(16)  # 4x4
+        assert topo.coordinates_of(0) == (0, 0)
+        assert topo.coordinates_of(5) == (1, 1)
+        assert topo.coordinates_of(15) == (3, 3)

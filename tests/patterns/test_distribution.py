@@ -1,0 +1,68 @@
+"""Tests for the NONE/BLOCK/CYCLIC dimension distributions."""
+
+import numpy as np
+import pytest
+
+from repro.patterns import Distribution
+
+
+class TestParsing:
+    def test_letters(self):
+        assert Distribution.from_letter("n") is Distribution.NONE
+        assert Distribution.from_letter("b") is Distribution.BLOCK
+        assert Distribution.from_letter("c") is Distribution.CYCLIC
+
+    def test_unknown_letter(self):
+        with pytest.raises(ValueError):
+            Distribution.from_letter("x")
+
+
+class TestGridIndex:
+    def test_none_maps_everything_to_zero(self):
+        owners = Distribution.NONE.grid_index_of(np.arange(10), extent=10, grid_size=4)
+        assert (owners == 0).all()
+
+    def test_block_splits_contiguously(self):
+        owners = Distribution.BLOCK.grid_index_of(np.arange(8), extent=8, grid_size=4)
+        assert owners.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_with_uneven_extent(self):
+        owners = Distribution.BLOCK.grid_index_of(np.arange(10), extent=10, grid_size=4)
+        # ceil(10/4) = 3 per grid position, last one short.
+        assert owners.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_cyclic_deals_round_robin(self):
+        owners = Distribution.CYCLIC.grid_index_of(np.arange(8), extent=8, grid_size=4)
+        assert owners.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_single_grid_position_gets_everything(self):
+        for dist in Distribution:
+            owners = dist.grid_index_of(np.arange(6), extent=6, grid_size=1)
+            assert (owners == 0).all()
+
+    def test_block_never_exceeds_grid(self):
+        owners = Distribution.BLOCK.grid_index_of(np.arange(100), extent=100, grid_size=7)
+        assert owners.max() == 6
+
+
+class TestOwnedCount:
+    @pytest.mark.parametrize("dist", list(Distribution))
+    def test_counts_sum_to_extent(self, dist):
+        extent, grid = 37, 5
+        total = sum(dist.owned_count(extent, grid, g) for g in range(grid))
+        assert total == extent
+
+    def test_none_gives_all_to_position_zero(self):
+        assert Distribution.NONE.owned_count(50, 4, 0) == 50
+        assert Distribution.NONE.owned_count(50, 4, 1) == 0
+
+    def test_cyclic_spreads_remainder(self):
+        assert Distribution.CYCLIC.owned_count(10, 4, 0) == 3
+        assert Distribution.CYCLIC.owned_count(10, 4, 3) == 2
+
+    def test_counts_match_grid_index_of(self):
+        extent, grid = 29, 4
+        for dist in Distribution:
+            owners = dist.grid_index_of(np.arange(extent), extent, grid)
+            for g in range(grid):
+                assert dist.owned_count(extent, grid, g) == int((owners == g).sum())

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the workload generator's invariants.
+
+These are the invariants the file-system implementations rely on:
+
+* every byte of the file is owned by exactly one CP (except ``ra``);
+* the per-CP chunk lists and the per-block piece lists describe the same
+  mapping (they are just two different slicings of it);
+* chunk lists are sorted, disjoint and non-empty.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns import PATTERN_NAMES, make_pattern
+
+BLOCK = 8192
+
+partition_names = st.sampled_from([name for name in PATTERN_NAMES if name != "ra"])
+record_sizes = st.sampled_from([8, 64, 1024, 8192])
+cp_counts = st.sampled_from([1, 2, 4, 8, 16])
+n_blocks = st.integers(min_value=1, max_value=24)
+
+
+@st.composite
+def pattern_cases(draw):
+    name = draw(partition_names)
+    record_size = draw(record_sizes)
+    blocks = draw(n_blocks)
+    file_size = blocks * BLOCK
+    cps = draw(cp_counts)
+    return name, file_size, record_size, cps
+
+
+@given(pattern_cases())
+@settings(max_examples=60, deadline=None)
+def test_bytes_partition_the_file(case):
+    name, file_size, record_size, cps = case
+    pattern = make_pattern(name, file_size, record_size, cps)
+    total = sum(pattern.bytes_for_cp(cp) for cp in range(cps))
+    assert total == file_size
+
+
+@given(pattern_cases())
+@settings(max_examples=60, deadline=None)
+def test_pieces_partition_every_block(case):
+    name, file_size, record_size, cps = case
+    pattern = make_pattern(name, file_size, record_size, cps)
+    n_file_blocks = file_size // BLOCK
+    for block in {0, n_file_blocks // 2, n_file_blocks - 1}:
+        pieces = pattern.pieces_in_block(block, BLOCK)
+        assert sum(piece.n_bytes for piece in pieces) == BLOCK
+        assert all(piece.n_pieces >= 1 for piece in pieces)
+        assert len({piece.cp for piece in pieces}) == len(pieces)
+
+
+@given(pattern_cases())
+@settings(max_examples=40, deadline=None)
+def test_chunks_match_bytes_per_cp(case):
+    name, file_size, record_size, cps = case
+    pattern = make_pattern(name, file_size, record_size, cps)
+    for cp in range(cps):
+        chunk_bytes = sum(length for _offset, length in pattern.chunks_for_cp(cp))
+        assert chunk_bytes == pattern.bytes_for_cp(cp)
+
+
+@given(pattern_cases())
+@settings(max_examples=40, deadline=None)
+def test_chunks_are_sorted_disjoint_and_in_bounds(case):
+    name, file_size, record_size, cps = case
+    pattern = make_pattern(name, file_size, record_size, cps)
+    for cp in range(min(cps, 4)):
+        previous_end = 0
+        for offset, length in pattern.chunks_for_cp(cp):
+            assert length > 0
+            assert offset >= previous_end
+            previous_end = offset + length
+        assert previous_end <= file_size
+
+
+@given(pattern_cases())
+@settings(max_examples=30, deadline=None)
+def test_chunks_and_pieces_agree_on_block_zero(case):
+    name, file_size, record_size, cps = case
+    pattern = make_pattern(name, file_size, record_size, cps)
+    pieces = {piece.cp: piece.n_bytes for piece in pattern.pieces_in_block(0, BLOCK)}
+    overlap_per_cp = {}
+    for cp in range(cps):
+        overlap = 0
+        for offset, length in pattern.chunks_for_cp(cp):
+            if offset >= BLOCK:
+                break
+            overlap += min(offset + length, BLOCK) - offset
+        if overlap:
+            overlap_per_cp[cp] = overlap
+    assert overlap_per_cp == pieces
+
+
+@given(st.integers(min_value=1, max_value=4096))
+@settings(max_examples=60, deadline=None)
+def test_matrix_dims_always_factor_exactly(n_records):
+    from repro.patterns import choose_matrix_dims
+    rows, cols = choose_matrix_dims(n_records)
+    assert rows * cols == n_records
+    assert rows <= cols

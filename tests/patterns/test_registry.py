@@ -1,0 +1,83 @@
+"""Tests for pattern names, matrix sizing and CP-grid selection."""
+
+import pytest
+
+from repro.patterns import (
+    PATTERN_NAMES,
+    READ_PATTERN_NAMES,
+    WRITE_PATTERN_NAMES,
+    Distribution,
+    choose_cp_grid,
+    choose_matrix_dims,
+    make_pattern,
+)
+
+
+class TestNameLists:
+    def test_paper_read_patterns_present(self):
+        assert set(READ_PATTERN_NAMES) == {
+            "ra", "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc", "rcn"}
+
+    def test_paper_write_patterns_present(self):
+        assert set(WRITE_PATTERN_NAMES) == {
+            "wn", "wb", "wc", "wnb", "wbb", "wcb", "wbc", "wcc", "wcn"}
+
+    def test_no_write_all_pattern(self):
+        assert "wa" not in PATTERN_NAMES
+
+    def test_all_names_construct(self):
+        for name in PATTERN_NAMES:
+            pattern = make_pattern(name, 2 ** 16, 8, 16)
+            assert pattern.name == name
+
+    def test_redundant_names_still_work(self):
+        # The paper drops rnn/rnc/rbn as redundant; they are still accepted.
+        for name, equivalent in (("rnn", "rn"), ("rnc", "rc"), ("rbn", "rb")):
+            redundant = make_pattern(name, 2 ** 16, 8, 16)
+            canonical = make_pattern(equivalent, 2 ** 16, 8, 16)
+            assert [redundant.bytes_for_cp(cp) for cp in range(16)] == \
+                [canonical.bytes_for_cp(cp) for cp in range(16)]
+
+
+class TestMatrixDims:
+    def test_perfect_square(self):
+        assert choose_matrix_dims(1024) == (32, 32)
+
+    def test_near_square(self):
+        rows, cols = choose_matrix_dims(1280)
+        assert rows * cols == 1280
+        assert rows <= cols
+        assert rows == 32 and cols == 40
+
+    def test_prime_count_degrades_to_vector(self):
+        assert choose_matrix_dims(17) == (1, 17)
+
+    def test_one_record(self):
+        assert choose_matrix_dims(1) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            choose_matrix_dims(0)
+
+
+class TestCpGrid:
+    def test_both_distributed_is_near_square(self):
+        assert choose_cp_grid(16, Distribution.BLOCK, Distribution.BLOCK) == (4, 4)
+        assert choose_cp_grid(8, Distribution.CYCLIC, Distribution.BLOCK) == (2, 4)
+
+    def test_none_row_collapses_grid(self):
+        assert choose_cp_grid(16, Distribution.NONE, Distribution.BLOCK) == (1, 16)
+
+    def test_none_col_collapses_grid(self):
+        assert choose_cp_grid(16, Distribution.CYCLIC, Distribution.NONE) == (16, 1)
+
+    def test_both_none(self):
+        assert choose_cp_grid(16, Distribution.NONE, Distribution.NONE) == (1, 1)
+
+    def test_explicit_matrix_dims_respected(self):
+        pattern = make_pattern("rbb", 64 * 8, 8, 4, matrix_dims=(4, 16))
+        assert (pattern.rows, pattern.cols) == (4, 16)
+
+    def test_mismatched_matrix_dims_rejected(self):
+        with pytest.raises(ValueError):
+            make_pattern("rbb", 64 * 8, 8, 4, matrix_dims=(5, 5))

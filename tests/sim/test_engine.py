@@ -1,0 +1,170 @@
+"""Tests for the event loop / environment."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_until_number_advances_clock(self):
+        env = Environment()
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_events_processed_in_time_order(self):
+        env = Environment()
+        order = []
+
+        def worker(env, delay, name):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(worker(env, 3.0, "late"))
+        env.process(worker(env, 1.0, "early"))
+        env.process(worker(env, 2.0, "middle"))
+        env.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_processed_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def worker(env, name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in "abc":
+            env.process(worker(env, name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestRun:
+    def test_run_to_exhaustion(self):
+        env = Environment()
+        ticks = []
+
+        def ticker(env):
+            for _ in range(5):
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(ticker(env))
+        env.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(2.0)
+            return "the answer"
+
+        proc = env.process(worker(env))
+        assert env.run(proc) == "the answer"
+
+    def test_run_until_event_deadlock_detected(self):
+        env = Environment()
+        never = env.event()
+        with pytest.raises(SimulationError):
+            env.run(never)
+
+    def test_run_until_event_that_failed_raises(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("worker died")
+
+        proc = env.process(worker(env))
+        with pytest.raises(RuntimeError, match="worker died"):
+            env.run(proc)
+
+    def test_run_until_time_leaves_pending_events(self):
+        env = Environment()
+        fired = []
+
+        def worker(env):
+            yield env.timeout(10.0)
+            fired.append(env.now)
+
+        env.process(worker(env))
+        env.run(until=5.0)
+        assert fired == []
+        env.run()
+        assert fired == [10.0]
+
+    def test_step_on_empty_queue_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(4.0)
+        assert env.peek() == 4.0
+
+    def test_peek_empty_is_infinite(self):
+        assert Environment().peek() == float("inf")
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.schedule(env.event(), delay=-1.0)
+
+    def test_unhandled_event_failure_surfaces(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("nobody caught me"))
+        with pytest.raises(RuntimeError, match="nobody caught me"):
+            env.run()
+
+
+class TestHelpers:
+    def test_all_of_helper(self):
+        env = Environment()
+        done = []
+
+        def coordinator(env):
+            yield env.all_of([env.timeout(1.0), env.timeout(2.0)])
+            done.append(env.now)
+
+        env.process(coordinator(env))
+        env.run()
+        assert done == [2.0]
+
+    def test_any_of_helper(self):
+        env = Environment()
+        done = []
+
+        def coordinator(env):
+            yield env.any_of([env.timeout(1.0), env.timeout(2.0)])
+            done.append(env.now)
+
+        env.process(coordinator(env))
+        env.run(until=5.0)
+        assert done == [1.0]
+
+    def test_active_process_visible_inside_process(self):
+        env = Environment()
+        seen = []
+
+        def worker(env):
+            seen.append(env.active_process)
+            yield env.timeout(1.0)
+
+        proc = env.process(worker(env))
+        env.run()
+        assert seen == [proc]
+        assert env.active_process is None

@@ -1,0 +1,177 @@
+"""Tests for the event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, SimulationError, Timeout
+
+
+class TestEvent:
+    def test_new_event_is_untriggered(self, env):
+        event = Event(env)
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = Event(env)
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_succeed_sets_value(self, env):
+        event = Event(env)
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        event = Event(env)
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = Event(env)
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_records_exception(self, env):
+        event = Event(env)
+        error = RuntimeError("boom")
+        event.fail(error)
+        event.defuse()
+        assert event.triggered
+        assert not event.ok
+        assert event.value is error
+        env.run()
+
+    def test_processed_after_run(self, env):
+        event = Event(env)
+        event.succeed("done")
+        env.run()
+        assert event.processed
+
+    def test_callbacks_receive_event(self, env):
+        event = Event(env)
+        seen = []
+        event.callbacks.append(seen.append)
+        event.succeed()
+        env.run()
+        assert seen == [event]
+
+    def test_trigger_copies_outcome(self, env):
+        source = Event(env)
+        source.succeed("payload")
+        target = Event(env)
+        target.trigger(source)
+        assert target.value == "payload"
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            Timeout(env, -1.0)
+
+    def test_timeout_fires_at_right_time(self, env):
+        times = []
+
+        def waiter(env):
+            yield env.timeout(2.5)
+            times.append(env.now)
+
+        env.process(waiter(env))
+        env.run()
+        assert times == [2.5]
+
+    def test_timeout_carries_value(self, env):
+        received = []
+
+        def waiter(env):
+            value = yield env.timeout(1.0, value="tick")
+            received.append(value)
+
+        env.process(waiter(env))
+        env.run()
+        assert received == ["tick"]
+
+    def test_zero_delay_allowed(self, env):
+        timeout = env.timeout(0)
+        env.run()
+        assert timeout.processed
+
+    def test_delay_property(self, env):
+        assert env.timeout(3.5).delay == 3.5
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self, env):
+        finish_times = []
+
+        def worker(env, delay):
+            yield env.timeout(delay)
+            return delay
+
+        def coordinator(env):
+            procs = [env.process(worker(env, d)) for d in (1.0, 3.0, 2.0)]
+            values = yield AllOf(env, procs)
+            finish_times.append((env.now, sorted(values.values())))
+
+        env.process(coordinator(env))
+        env.run()
+        assert finish_times == [(3.0, [1.0, 2.0, 3.0])]
+
+    def test_any_of_fires_on_first(self, env):
+        arrival = []
+
+        def coordinator(env):
+            timeouts = [env.timeout(5.0), env.timeout(1.0), env.timeout(3.0)]
+            yield AnyOf(env, timeouts)
+            arrival.append(env.now)
+
+        env.process(coordinator(env))
+        env.run(until=10)
+        assert arrival == [1.0]
+
+    def test_all_of_empty_list_fires_immediately(self, env):
+        fired = []
+
+        def coordinator(env):
+            yield AllOf(env, [])
+            fired.append(env.now)
+
+        env.process(coordinator(env))
+        env.run()
+        assert fired == [0.0]
+
+    def test_all_of_mixing_environments_rejected(self, env):
+        other = Environment()
+        event = Event(other)
+        with pytest.raises(SimulationError):
+            AllOf(env, [event])
+
+    def test_all_of_with_already_processed_events(self, env):
+        early = env.timeout(0.5)
+        env.run(until=1.0)
+        assert early.processed
+        done = []
+
+        def coordinator(env):
+            yield AllOf(env, [early, env.timeout(1.0)])
+            done.append(env.now)
+
+        env.process(coordinator(env))
+        env.run()
+        assert done == [2.0]
+
+    def test_all_of_propagates_failure(self, env):
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("expected failure")
+
+        def coordinator(env):
+            with pytest.raises(ValueError):
+                yield AllOf(env, [env.process(failing(env)), env.timeout(5.0)])
+            return "handled"
+
+        proc = env.process(coordinator(env))
+        result = env.run(proc)
+        assert result == "handled"

@@ -1,0 +1,102 @@
+"""Tests for capacity-limited resources."""
+
+import pytest
+
+from repro.sim import Environment, Resource
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_when_free(self, env):
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        assert request.triggered
+        assert resource.count == 1
+
+    def test_queueing_when_full(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert first.triggered
+        assert not second.triggered
+        assert resource.queue_length == 1
+        resource.release(first)
+        assert second.triggered
+        assert resource.queue_length == 0
+
+    def test_release_of_unknown_request_raises(self, env):
+        resource = Resource(env, capacity=1)
+        granted = resource.request()
+        other = Resource(env, capacity=1).request()
+        with pytest.raises(ValueError):
+            resource.release(other)
+        resource.release(granted)
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(env, resource, name, hold):
+            yield from resource.acquire(hold)
+            order.append((name, env.now))
+
+        for index, name in enumerate("abc"):
+            env.process(user(env, resource, name, 1.0))
+        env.run()
+        assert order == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_multi_capacity_allows_parallel_use(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        done = []
+
+        def user(env, resource, name):
+            yield from resource.acquire(1.0)
+            done.append((name, env.now))
+
+        for name in "abcd":
+            env.process(user(env, resource, name))
+        env.run()
+        # Two at a time: a+b finish at 1.0, c+d at 2.0.
+        assert [t for _n, t in done] == [1.0, 1.0, 2.0, 2.0]
+
+    def test_acquire_releases_even_on_zero_hold(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def user(env, resource):
+            yield from resource.acquire(0.0)
+
+        env.process(user(env, resource))
+        env.run()
+        assert resource.count == 0
+
+    def test_utilization_tracking(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def user(env, resource):
+            yield from resource.acquire(4.0)
+            yield env.timeout(4.0)
+
+        env.process(user(env, resource))
+        env.run()
+        assert env.now == 8.0
+        assert resource.utilization.busy_fraction() == pytest.approx(0.5)
+
+    def test_request_as_context_manager(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def user(env, resource):
+            with resource.request() as request:
+                yield request
+                yield env.timeout(1.0)
+
+        env.process(user(env, resource))
+        env.run()
+        assert resource.count == 0

@@ -1,0 +1,45 @@
+"""Tests for deterministic random streams."""
+
+import numpy as np
+
+from repro.sim import RandomStreams, spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+
+    def test_different_roots_differ(self):
+        assert spawn_seeds(1, 3) != spawn_seeds(2, 3)
+
+    def test_right_count(self):
+        assert len(spawn_seeds(7, 9)) == 9
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(123)
+        b = RandomStreams(123)
+        assert np.allclose(a.stream("disk_layout").random(10),
+                           b.stream("disk_layout").random(10))
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(5)
+        layout_draw = streams.stream("disk_layout").random(4)
+        rotation_draw = streams.stream("rotation").random(4)
+        assert not np.allclose(layout_draw, rotation_draw)
+
+    def test_consuming_one_stream_does_not_disturb_another(self):
+        reference = RandomStreams(9).stream("rotation").random(5)
+        streams = RandomStreams(9)
+        streams.stream("disk_layout").random(1000)
+        assert np.allclose(streams.stream("rotation").random(5), reference)
+
+    def test_adhoc_stream_is_reproducible(self):
+        a = RandomStreams(11).stream("custom-component").random(3)
+        b = RandomStreams(11).stream("custom-component").random(3)
+        assert np.allclose(a, b)
+
+    def test_getitem_alias(self):
+        streams = RandomStreams(1)
+        assert streams["workload"] is streams.stream("workload")

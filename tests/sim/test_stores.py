@@ -1,0 +1,149 @@
+"""Tests for FIFO and priority stores."""
+
+import pytest
+
+from repro.sim import Environment, PriorityStore, Store
+
+
+class TestStore:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            received.append(item)
+
+        store.put("hello")
+        env.process(consumer(env, store))
+        env.run()
+        assert received == ["hello"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            received.append((env.now, item))
+
+        def producer(env, store):
+            yield env.timeout(3.0)
+            yield store.put("late item")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert received == [(3.0, "late item")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        for item in (1, 2, 3):
+            store.put(item)
+        env.process(consumer(env, store))
+        env.run()
+        assert received == [1, 2, 3]
+
+    def test_bounded_capacity_blocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("first")
+            log.append(("put-first", env.now))
+            yield store.put("second")
+            log.append(("put-second", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(5.0)
+            item = yield store.get()
+            log.append(("got", item, env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert ("put-first", 0.0) in log
+        assert ("put-second", 5.0) in log
+
+    def test_len_and_items(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        env.run()
+        assert len(store) == 2
+        assert store.items == ["a", "b"]
+
+    def test_multiple_consumers_each_get_one(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env, store, name):
+            item = yield store.get()
+            received.append((name, item))
+
+        env.process(consumer(env, store, "x"))
+        env.process(consumer(env, store, "y"))
+        for item in (1, 2):
+            store.put(item)
+        env.run()
+        assert sorted(received) == [("x", 1), ("y", 2)]
+
+
+class TestPriorityStore:
+    def test_items_pop_in_priority_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        received = []
+
+        def consumer(env, store):
+            yield env.timeout(1.0)
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        store.put_with_priority(5, "low")
+        store.put_with_priority(1, "high")
+        store.put_with_priority(3, "mid")
+        env.process(consumer(env, store))
+        env.run()
+        assert received == ["high", "mid", "low"]
+
+    def test_equal_priorities_keep_insertion_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        received = []
+
+        def consumer(env, store):
+            yield env.timeout(1.0)
+            for _ in range(3):
+                received.append((yield store.get()))
+
+        for name in ("first", "second", "third"):
+            store.put_with_priority(7, name)
+        env.process(consumer(env, store))
+        env.run()
+        assert received == ["first", "second", "third"]
+
+    def test_len_tracks_heap(self, env):
+        store = PriorityStore(env)
+        store.put_with_priority(2, "b")
+        store.put_with_priority(1, "a")
+        env.run()
+        assert len(store) == 2
+        assert store.items == ["a", "b"]

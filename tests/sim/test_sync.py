@@ -1,0 +1,108 @@
+"""Tests for barriers and latches."""
+
+import pytest
+
+from repro.sim import Barrier, CountDownLatch, Environment, SimulationError
+
+
+class TestBarrier:
+    def test_requires_at_least_one_party(self, env):
+        with pytest.raises(ValueError):
+            Barrier(env, parties=0)
+
+    def test_all_parties_released_together(self):
+        env = Environment()
+        barrier = Barrier(env, parties=3)
+        released = []
+
+        def participant(env, barrier, delay, name):
+            yield env.timeout(delay)
+            yield barrier.wait()
+            released.append((name, env.now))
+
+        env.process(participant(env, barrier, 1.0, "a"))
+        env.process(participant(env, barrier, 5.0, "b"))
+        env.process(participant(env, barrier, 3.0, "c"))
+        env.run()
+        assert all(time == 5.0 for _name, time in released)
+        assert len(released) == 3
+
+    def test_barrier_is_reusable(self):
+        env = Environment()
+        barrier = Barrier(env, parties=2)
+        generations = []
+
+        def participant(env, barrier):
+            for _ in range(3):
+                generation = yield barrier.wait()
+                generations.append(generation)
+                yield env.timeout(1.0)
+
+        env.process(participant(env, barrier))
+        env.process(participant(env, barrier))
+        env.run()
+        assert sorted(generations) == [0, 0, 1, 1, 2, 2]
+
+    def test_single_party_barrier_never_blocks(self):
+        env = Environment()
+        barrier = Barrier(env, parties=1)
+        log = []
+
+        def participant(env, barrier):
+            yield barrier.wait()
+            log.append(env.now)
+
+        env.process(participant(env, barrier))
+        env.run()
+        assert log == [0.0]
+
+    def test_n_waiting(self, env):
+        barrier = Barrier(env, parties=3)
+        barrier.wait()
+        barrier.wait()
+        assert barrier.n_waiting == 2
+        barrier.wait()
+        assert barrier.n_waiting == 0
+        env.run()
+
+
+class TestCountDownLatch:
+    def test_negative_count_rejected(self, env):
+        with pytest.raises(ValueError):
+            CountDownLatch(env, -1)
+
+    def test_zero_count_is_open_immediately(self, env):
+        latch = CountDownLatch(env, 0)
+        assert latch.wait().triggered
+
+    def test_opens_after_n_countdowns(self):
+        env = Environment()
+        latch = CountDownLatch(env, 3)
+        opened = []
+
+        def waiter(env, latch):
+            yield latch.wait()
+            opened.append(env.now)
+
+        def worker(env, latch, delay):
+            yield env.timeout(delay)
+            latch.count_down()
+
+        env.process(waiter(env, latch))
+        for delay in (1.0, 2.0, 4.0):
+            env.process(worker(env, latch, delay))
+        env.run()
+        assert opened == [4.0]
+
+    def test_count_down_below_zero_is_an_error(self, env):
+        latch = CountDownLatch(env, 1)
+        latch.count_down()
+        with pytest.raises(SimulationError):
+            latch.count_down()
+        env.run()
+
+    def test_remaining_counts_down(self, env):
+        latch = CountDownLatch(env, 2)
+        assert latch.remaining == 2
+        latch.count_down()
+        assert latch.remaining == 1
