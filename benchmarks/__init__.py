@@ -1,0 +1,8 @@
+"""Benchmark harness (pytest-benchmark based) for the paper's figures.
+
+This is a package so the shared helpers in :mod:`benchmarks.conftest` can be
+imported absolutely from the individual benchmark modules, which works under
+any pytest import mode (relative imports break under rootdir collection).
+Run with ``pytest benchmarks`` — the default test run (``pytest`` with no
+arguments) only collects ``tests/``.
+"""

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the simulation kernel, tracked over time.
+
+Times the canonical trials (disk-directed and traditional caching, random and
+contiguous layouts, at the benchmark-harness 1 MB scale plus the paper-scale
+10 MB disk-directed random-blocks trial), compares them against the recorded
+seed-kernel baseline, checks that a parallel sweep reproduces the serial
+results bit-for-bit, and appends the measurements to ``BENCH_kernel.json`` —
+a trajectory file: one entry per run, so the kernel's performance history is
+visible across PRs.
+
+Run from the repository root::
+
+    python benchmarks/perf_kernel.py            # full run, appends a record
+    python benchmarks/perf_kernel.py --quick    # skip the 10 MB trial
+
+This is a plain script (not collected by pytest); the pytest-benchmark suite
+in the sibling ``test_*.py`` modules covers per-figure simulated throughput.
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import ExperimentConfig, sweep, sweep_parallel  # noqa: E402
+from repro.experiments.config import MEGABYTE  # noqa: E402
+from repro.experiments.runner import run_experiment  # noqa: E402
+
+#: Seed-kernel wall-clock baseline (min of 7 reps), measured at commit 48df3aa
+#: on the reference container (Python 3.11, 1 CPU).  The ≥2x acceptance target
+#: for the disk-directed random-blocks trial is judged against these numbers
+#: when re-measuring on the same class of machine.
+SEED_BASELINE_S = {
+    "ddio_random_rb_10mb": 0.18423,
+    "ddio_random_rb_1mb": 0.07110,
+    "tc_random_rb_1mb": 0.06117,
+    "ddio_contig_rb_1mb": 0.01358,
+}
+
+#: The canonical trials.  Keys must match SEED_BASELINE_S.
+CASES = {
+    "ddio_random_rb_10mb": ExperimentConfig(
+        method="disk-directed", pattern="rb", layout="random",
+        record_size=8192, file_size=10 * MEGABYTE),
+    "ddio_random_rb_1mb": ExperimentConfig(
+        method="disk-directed", pattern="rb", layout="random",
+        record_size=8192, file_size=MEGABYTE),
+    "tc_random_rb_1mb": ExperimentConfig(
+        method="traditional", pattern="rb", layout="random",
+        record_size=8192, file_size=MEGABYTE),
+    "ddio_contig_rb_1mb": ExperimentConfig(
+        method="disk-directed", pattern="rb", layout="contiguous",
+        record_size=8192, file_size=MEGABYTE),
+}
+
+#: The trial the acceptance criterion is about.
+HEADLINE_CASE = "ddio_random_rb_10mb"
+
+
+def time_case(config, reps, seed=1):
+    """Minimum wall-clock seconds over *reps* runs of one trial."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        run_experiment(config, seed=seed)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def figure3_sized_configs():
+    """A Figure-3-shaped config list (all patterns x methods, 1 MB scale)."""
+    configs = []
+    for pattern in ("ra", "rn", "rb", "rc"):
+        for method in ("disk-directed", "disk-directed-nosort", "traditional"):
+            configs.append(ExperimentConfig(
+                method=method, pattern=pattern, record_size=8192,
+                layout="random", file_size=MEGABYTE, label=method))
+    return configs
+
+
+def check_sweep_parallel(workers):
+    """Serial-vs-parallel timing and bit-for-bit result comparison."""
+    configs = figure3_sized_configs()
+    start = time.perf_counter()
+    serial = sweep(configs, trials=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = sweep_parallel(configs, trials=1, workers=workers)
+    parallel_s = time.perf_counter() - start
+    identical = all(
+        [dataclasses.asdict(r) for r in s.results]
+        == [dataclasses.asdict(r) for r in p.results]
+        for s, p in zip(serial, parallel))
+    return {
+        "configs": len(configs),
+        "workers": workers,
+        "serial_s": round(serial_s, 5),
+        "parallel_s": round(parallel_s, 5),
+        "scaling": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical_results": identical,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--reps", type=int, default=7,
+                        help="repetitions per case (minimum is reported)")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the 10 MB paper-scale trial")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the sweep-scaling check")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the serial-vs-parallel sweep check")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_kernel.json",
+                        help="trajectory file to append to")
+    parser.add_argument("--label", type=str, default="",
+                        help="free-form label recorded with this run")
+    args = parser.parse_args(argv)
+
+    timings = {}
+    for name, config in CASES.items():
+        if args.quick and name == HEADLINE_CASE:
+            continue
+        timings[name] = round(time_case(config, args.reps), 5)
+        print(f"  {name:24s} {timings[name]:.5f} s "
+              f"(seed {SEED_BASELINE_S[name]:.5f} s, "
+              f"{SEED_BASELINE_S[name] / timings[name]:.2f}x)")
+
+    speedups = {name: round(SEED_BASELINE_S[name] / secs, 3)
+                for name, secs in timings.items()}
+
+    record = {
+        "label": args.label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "reps": args.reps,
+        "timings_s": timings,
+        "speedup_vs_seed": speedups,
+    }
+    if not args.skip_sweep:
+        record["sweep"] = check_sweep_parallel(args.workers)
+        print(f"  sweep: serial {record['sweep']['serial_s']:.2f}s, "
+              f"parallel({args.workers}) {record['sweep']['parallel_s']:.2f}s "
+              f"on {record['cpus']} CPU(s), identical="
+              f"{record['sweep']['identical_results']}")
+
+    trajectory = {"schema": 1,
+                  "baseline": {"commit": "48df3aa (seed)",
+                               "timings_s": SEED_BASELINE_S},
+                  "runs": []}
+    if args.output.exists():
+        try:
+            existing = json.loads(args.output.read_text())
+            if isinstance(existing.get("runs"), list):
+                trajectory["runs"] = existing["runs"]
+        except (json.JSONDecodeError, OSError):
+            pass
+    trajectory["runs"].append(record)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(trajectory['runs'])} run(s))")
+
+    headline = speedups.get(HEADLINE_CASE)
+    if headline is not None:
+        status = "PASS" if headline >= 2.0 else "BELOW TARGET"
+        print(f"headline ({HEADLINE_CASE}): {headline:.2f}x vs seed [{status}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

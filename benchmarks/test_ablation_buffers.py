@@ -8,7 +8,7 @@ import pytest
 
 from repro import DiskDirectedFS, FileSystem, Machine, MachineConfig, make_pattern
 
-from .conftest import MEGABYTE
+from benchmarks.conftest import MEGABYTE
 
 
 def _run_with_buffers(buffers, pattern_name="ra", layout="contiguous",

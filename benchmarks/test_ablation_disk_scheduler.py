@@ -9,7 +9,7 @@ import pytest
 
 from repro import FileSystem, Machine, MachineConfig, TraditionalCachingFS, make_pattern
 
-from .conftest import MEGABYTE
+from benchmarks.conftest import MEGABYTE
 
 
 def _run_tc_with_scheduler(scheduler, pattern_name="rb", layout="random",

@@ -9,7 +9,7 @@ import pytest
 
 from repro import FileSystem, Machine, MachineConfig, TraditionalCachingFS, make_pattern
 
-from .conftest import MEGABYTE
+from benchmarks.conftest import MEGABYTE
 
 
 def _run(outstanding, pattern_name="rb", layout="random", file_size=MEGABYTE,

@@ -8,7 +8,7 @@ import pytest
 
 from repro.experiments import run_experiment
 
-from .conftest import MEGABYTE, bench_config, run_benchmark_case
+from benchmarks.conftest import MEGABYTE, bench_config, run_benchmark_case
 
 
 @pytest.mark.parametrize("layout", ("contiguous", "random"))

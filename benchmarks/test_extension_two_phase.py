@@ -8,7 +8,7 @@ benchmark does.
 
 import pytest
 
-from .conftest import KILOBYTE, MEGABYTE, bench_config, run_benchmark_case
+from benchmarks.conftest import KILOBYTE, MEGABYTE, bench_config, run_benchmark_case
 
 METHODS = ("traditional", "two-phase", "disk-directed")
 

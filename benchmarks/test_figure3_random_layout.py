@@ -9,7 +9,7 @@ numbers are lower for TC's request-bound cases but the ordering holds.
 
 import pytest
 
-from .conftest import bench_config, run_benchmark_case
+from benchmarks.conftest import bench_config, run_benchmark_case
 
 PATTERNS_8K = ("ra", "rn", "rb", "rc", "rbb", "rcb", "wb", "wcb")
 METHODS = ("disk-directed", "disk-directed-nosort", "traditional")

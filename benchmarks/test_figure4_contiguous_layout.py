@@ -7,7 +7,7 @@ friendliest patterns and is up to 16x slower in the worst case.
 
 import pytest
 
-from .conftest import MEGABYTE, bench_config, run_benchmark_case
+from benchmarks.conftest import MEGABYTE, bench_config, run_benchmark_case
 
 PATTERNS_8K = ("ra", "rn", "rb", "rc", "rbb", "rcb", "rcn", "wb", "wcb", "wn")
 

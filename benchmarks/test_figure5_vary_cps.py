@@ -8,7 +8,7 @@ disks busy).
 
 import pytest
 
-from .conftest import bench_config, run_benchmark_case
+from benchmarks.conftest import bench_config, run_benchmark_case
 
 CP_COUNTS = (2, 4, 16)
 PATTERNS = ("ra", "rn", "rb", "rc")

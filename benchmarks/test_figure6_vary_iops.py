@@ -6,7 +6,7 @@ Paper result: with 16 disks total, fewer IOPs means more disks per bus; below
 
 import pytest
 
-from .conftest import MEGABYTE, bench_config, run_benchmark_case
+from benchmarks.conftest import MEGABYTE, bench_config, run_benchmark_case
 
 IOP_COUNTS = (1, 2, 4, 16)
 

@@ -6,7 +6,7 @@ Paper result: throughput scales with the number of disks until the single
 
 import pytest
 
-from .conftest import MEGABYTE, bench_config, run_benchmark_case
+from benchmarks.conftest import MEGABYTE, bench_config, run_benchmark_case
 
 DISK_COUNTS = (1, 2, 4, 8, 16)
 

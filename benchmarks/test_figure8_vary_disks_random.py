@@ -7,7 +7,7 @@ traditional caching falls behind disk-directed I/O.
 
 import pytest
 
-from .conftest import MEGABYTE, bench_config, run_benchmark_case
+from benchmarks.conftest import MEGABYTE, bench_config, run_benchmark_case
 
 DISK_COUNTS = (1, 4, 16)
 

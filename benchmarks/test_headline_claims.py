@@ -3,7 +3,7 @@
 from repro.experiments import ExperimentConfig, sweep
 from repro.experiments.claims import check_headline_claims
 
-from .conftest import MEGABYTE
+from benchmarks.conftest import MEGABYTE
 
 
 def test_headline_claims_hold_in_shape(benchmark):

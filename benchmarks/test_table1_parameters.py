@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments.figures import table1
 
-from .conftest import KILOBYTE, bench_config, run_benchmark_case
+from benchmarks.conftest import KILOBYTE, bench_config, run_benchmark_case
 
 MEGABYTE = 2 ** 20
 

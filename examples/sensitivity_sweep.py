@@ -28,10 +28,15 @@ def main():
                         help="file size in Mbytes per data point")
     parser.add_argument("--trials", type=int, default=1,
                         help="trials per data point")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan data points out over N processes")
+    parser.add_argument("--cache", type=str, default=None, metavar="DIR",
+                        help="reuse cached trial results from DIR")
     args = parser.parse_args()
 
     generator = SWEEPS[args.dimension]
-    _summaries, text = generator(file_mb=args.file_mb, trials=args.trials)
+    _summaries, text = generator(file_mb=args.file_mb, trials=args.trials,
+                                 workers=args.workers, cache=args.cache)
     print(text)
     print("\nCompare with the corresponding figure in the paper: disk-directed "
           "I/O tracks the hardware limit (disks or bus), while traditional "

@@ -1,4 +1,22 @@
-"""Setup shim for environments where PEP 660 editable installs are unavailable."""
-from setuptools import setup
+"""Setup shim for environments where PEP 660 editable installs are unavailable.
 
-setup()
+The canonical metadata lives in ``pyproject.toml``; it is duplicated here only
+so that ``python setup.py develop`` keeps working on minimal toolchains
+(setuptools without the ``wheel`` package, no network for build isolation).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="ddio-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of Kotz's 'Disk-directed I/O for MIMD Multiprocessors' "
+        "(OSDI 1994)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["ddio-figures=repro.experiments.figures:main"],
+    },
+)

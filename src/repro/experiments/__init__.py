@@ -12,7 +12,14 @@
 """
 
 from repro.experiments.config import ExperimentConfig, TrialSummary
-from repro.experiments.runner import run_experiment, run_trials, sweep
+from repro.experiments.runner import (
+    ResultCache,
+    run_experiment,
+    run_trials,
+    sweep,
+    sweep_parallel,
+    trial_cache_key,
+)
 from repro.experiments.figures import (
     FIGURES,
     figure3,
@@ -27,6 +34,7 @@ from repro.experiments.figures import (
 __all__ = [
     "ExperimentConfig",
     "FIGURES",
+    "ResultCache",
     "TrialSummary",
     "figure3",
     "figure4",
@@ -37,5 +45,7 @@ __all__ = [
     "run_experiment",
     "run_trials",
     "sweep",
+    "sweep_parallel",
     "table1",
+    "trial_cache_key",
 ]

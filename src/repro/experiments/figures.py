@@ -16,7 +16,7 @@ import sys
 from repro.experiments.claims import check_headline_claims
 from repro.experiments.config import MEGABYTE, ExperimentConfig
 from repro.experiments.report import format_bar_chart, format_series_table, format_table
-from repro.experiments.runner import run_trials, sweep
+from repro.experiments.runner import run_trials, sweep, sweep_parallel
 from repro.machine import MachineConfig
 from repro.patterns import READ_PATTERN_NAMES, WRITE_PATTERN_NAMES
 
@@ -68,7 +68,7 @@ def _render_pattern_figure(title, summaries):
 
 
 def figure3(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
-            patterns=None, progress=None):
+            patterns=None, progress=None, workers=None, cache=None):
     """Figure 3: all patterns, random-blocks layout, TC vs DDIO vs DDIO+presort."""
     all_summaries = []
     texts = []
@@ -77,7 +77,8 @@ def figure3(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
         selected = patterns or (READ_PATTERN_NAMES + WRITE_PATTERN_NAMES)
         configs = _pattern_sweep(_FIG3_METHODS, selected, record_size,
                                  "random", file_size)
-        summaries = sweep(configs, trials=trials, progress=progress)
+        summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                                   workers=workers, cache=cache)
         all_summaries.extend(summaries)
         texts.append(_render_pattern_figure(
             f"Figure 3 ({record_size}-byte records, random-blocks layout, "
@@ -86,7 +87,7 @@ def figure3(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
 
 
 def figure4(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
-            patterns=None, progress=None):
+            patterns=None, progress=None, workers=None, cache=None):
     """Figure 4: all patterns, contiguous layout, TC vs DDIO."""
     all_summaries = []
     texts = []
@@ -95,7 +96,8 @@ def figure4(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
         selected = patterns or (READ_PATTERN_NAMES + WRITE_PATTERN_NAMES)
         configs = _pattern_sweep(_FIG4_METHODS, selected, record_size,
                                  "contiguous", file_size)
-        summaries = sweep(configs, trials=trials, progress=progress)
+        summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                                   workers=workers, cache=cache)
         all_summaries.extend(summaries)
         texts.append(_render_pattern_figure(
             f"Figure 4 ({record_size}-byte records, contiguous layout, "
@@ -104,7 +106,8 @@ def figure4(record_sizes=(8, 8192), file_mb=None, trials=1, paper_scale=False,
 
 
 def _sensitivity(vary, values, fixed, record_size, file_mb, trials,
-                 paper_scale, patterns, progress=None):
+                 paper_scale, patterns, progress=None, workers=None,
+                 cache=None):
     """Shared machinery of Figures 5-8: vary one machine dimension."""
     file_size = _default_file_size(record_size, file_mb, paper_scale)
     configs = []
@@ -121,7 +124,8 @@ def _sensitivity(vary, values, fixed, record_size, file_mb, trials,
                     label=f"{method}-{pattern}",
                     **overrides,
                 ))
-    summaries = sweep(configs, trials=trials, progress=progress)
+    summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                               workers=workers, cache=cache)
     series = {}
     for summary in summaries:
         key = f"{'DDIO' if summary.config.method == 'disk-directed' else 'TC'} " \
@@ -132,22 +136,24 @@ def _sensitivity(vary, values, fixed, record_size, file_mb, trials,
 
 
 def figure5(record_size=8192, file_mb=None, trials=1, paper_scale=False,
-            cps=(1, 2, 4, 8, 16), patterns=_SENSITIVITY_PATTERNS, progress=None):
+            cps=(1, 2, 4, 8, 16), patterns=_SENSITIVITY_PATTERNS, progress=None,
+            workers=None, cache=None):
     """Figure 5: vary the number of CPs; contiguous layout, 8 KB records."""
     summaries, series = _sensitivity(
         "n_cps", cps, {"layout": "contiguous"}, record_size, file_mb, trials,
-        paper_scale, patterns, progress)
+        paper_scale, patterns, progress, workers, cache)
     text = ("Figure 5: throughput vs number of CPs (contiguous layout)\n\n"
             + format_series_table(series, x_label="CPs"))
     return summaries, text
 
 
 def figure6(record_size=8192, file_mb=None, trials=1, paper_scale=False,
-            iops=(1, 2, 4, 8, 16), patterns=_SENSITIVITY_PATTERNS, progress=None):
+            iops=(1, 2, 4, 8, 16), patterns=_SENSITIVITY_PATTERNS, progress=None,
+            workers=None, cache=None):
     """Figure 6: vary the number of IOPs (and busses); 16 disks total."""
     summaries, series = _sensitivity(
         "n_iops", iops, {"layout": "contiguous", "n_disks": 16}, record_size,
-        file_mb, trials, paper_scale, patterns, progress)
+        file_mb, trials, paper_scale, patterns, progress, workers, cache)
     text = ("Figure 6: throughput vs number of IOPs/busses (contiguous layout, "
             "16 disks)\n\n" + format_series_table(series, x_label="IOPs"))
     return summaries, text
@@ -155,11 +161,12 @@ def figure6(record_size=8192, file_mb=None, trials=1, paper_scale=False,
 
 def figure7(record_size=8192, file_mb=None, trials=1, paper_scale=False,
             disks=(1, 2, 4, 8, 16, 32), patterns=_SENSITIVITY_PATTERNS,
-            progress=None):
+            progress=None, workers=None, cache=None):
     """Figure 7: vary the number of disks on a single IOP; contiguous layout."""
     summaries, series = _sensitivity(
         "n_disks", disks, {"layout": "contiguous", "n_iops": 1, "n_cps": 16},
-        record_size, file_mb, trials, paper_scale, patterns, progress)
+        record_size, file_mb, trials, paper_scale, patterns, progress,
+        workers, cache)
     text = ("Figure 7: throughput vs number of disks (1 IOP, contiguous layout)\n\n"
             + format_series_table(series, x_label="disks"))
     return summaries, text
@@ -167,11 +174,12 @@ def figure7(record_size=8192, file_mb=None, trials=1, paper_scale=False,
 
 def figure8(record_size=8192, file_mb=None, trials=1, paper_scale=False,
             disks=(1, 2, 4, 8, 16, 32), patterns=_SENSITIVITY_PATTERNS,
-            progress=None):
+            progress=None, workers=None, cache=None):
     """Figure 8: vary the number of disks on a single IOP; random-blocks layout."""
     summaries, series = _sensitivity(
         "n_disks", disks, {"layout": "random", "n_iops": 1, "n_cps": 16},
-        record_size, file_mb, trials, paper_scale, patterns, progress)
+        record_size, file_mb, trials, paper_scale, patterns, progress,
+        workers, cache)
     text = ("Figure 8: throughput vs number of disks (1 IOP, random-blocks "
             "layout)\n\n" + format_series_table(series, x_label="disks"))
     return summaries, text
@@ -242,6 +250,12 @@ def main(argv=None):
                         help="restrict figures 3/4 to one record size")
     parser.add_argument("--patterns", type=str, default=None,
                         help="comma-separated list of patterns to run")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run data points in a pool of N processes "
+                             "(default: serial)")
+    parser.add_argument("--cache", type=str, default=None, metavar="DIR",
+                        help="cache trial results on disk so re-running a "
+                             "figure only simulates changed data points")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
 
@@ -261,13 +275,14 @@ def main(argv=None):
             summaries, text = generator(
                 record_sizes=record_sizes, file_mb=args.file_mb,
                 trials=args.trials, paper_scale=args.paper_scale,
-                patterns=patterns, progress=progress)
+                patterns=patterns, progress=progress,
+                workers=args.workers, cache=args.cache)
             collected.extend(summaries)
         else:
             summaries, text = generator(
                 record_size=args.record_size or 8192, file_mb=args.file_mb,
                 trials=args.trials, paper_scale=args.paper_scale,
-                progress=progress)
+                progress=progress, workers=args.workers, cache=args.cache)
             collected.extend(summaries)
         print(text)
         print()

@@ -1,10 +1,29 @@
-"""Run experiments: build the machine, the file and the pattern, then transfer."""
+"""Run experiments: build the machine, the file and the pattern, then transfer.
+
+Besides the serial :func:`sweep`, this module provides :func:`sweep_parallel`
+(same results, fanned out over a process pool with deterministic per-trial
+seeds) and :class:`ResultCache`, an on-disk JSON cache of single-trial results
+keyed by a stable hash of the configuration, so regenerating figures is
+incremental: only data points whose configuration changed are re-simulated.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
 
 from repro.core import make_filesystem
+from repro.core.result import TransferResult
 from repro.experiments.config import ExperimentConfig, TrialSummary
 from repro.fs import FileSystem
 from repro.machine import Machine, MachineConfig
 from repro.patterns import make_pattern
+
+#: Bump to invalidate every cache entry when a model change alters results.
+CACHE_SCHEMA_VERSION = 1
 
 
 def build_machine_config(config):
@@ -37,28 +56,199 @@ def run_experiment(config, seed=None):
     return implementation.transfer(pattern)
 
 
-def run_trials(config, trials=5, base_seed=None):
+# -- result caching ------------------------------------------------------------
+
+def trial_cache_key(config, seed):
+    """Stable content hash identifying one (configuration, trial seed) result.
+
+    The ``label`` field is cosmetic and the ``seed`` field is superseded by
+    the effective trial seed, so neither participates in the key.
+    """
+    payload = asdict(config)
+    payload.pop("label", None)
+    payload.pop("seed", None)
+    payload["trial_seed"] = seed
+    payload["schema"] = CACHE_SCHEMA_VERSION
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class ResultCache:
+    """On-disk cache of single-trial :class:`TransferResult` objects.
+
+    One JSON file per trial, named by :func:`trial_cache_key`.  Writes go
+    through a temp file + atomic rename so concurrent sweeps sharing a cache
+    directory never observe torn entries.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return self.directory / f"{key}.json"
+
+    def get(self, key):
+        """The cached :class:`TransferResult` for *key*, or ``None``.
+
+        Unreadable, corrupt, or stale-schema entries (e.g. written before a
+        field was added to :class:`TransferResult`) degrade to a miss and are
+        re-simulated rather than crashing the sweep.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = TransferResult(**data)
+        except (FileNotFoundError, json.JSONDecodeError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key, result):
+        """Persist *result* under *key*."""
+        data = asdict(result)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def clear(self):
+        """Delete every cached entry."""
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+
+
+def _as_cache(cache):
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+# -- trial running --------------------------------------------------------------
+
+def run_trials(config, trials=5, base_seed=None, cache=None):
     """Replicate *config* over independent trials (the paper uses five)."""
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
+    cache = _as_cache(cache)
     first_seed = config.seed if base_seed is None else base_seed
     summary = TrialSummary(config=config)
     for trial in range(trials):
-        summary.results.append(run_experiment(config, seed=first_seed + trial))
+        seed = first_seed + trial
+        result = None
+        key = None
+        if cache is not None:
+            key = trial_cache_key(config, seed)
+            result = cache.get(key)
+        if result is None:
+            result = run_experiment(config, seed=seed)
+            if cache is not None:
+                cache.put(key, result)
+        summary.results.append(result)
     return summary
 
 
-def sweep(configs, trials=1, base_seed=None, progress=None):
+def sweep(configs, trials=1, base_seed=None, progress=None, cache=None):
     """Run a list of configurations; returns a list of :class:`TrialSummary`.
 
     *progress*, if given, is called with ``(index, total, summary)`` after each
     configuration finishes — handy for long command-line sweeps.
     """
+    cache = _as_cache(cache)
     summaries = []
     total = len(configs)
     for index, config in enumerate(configs):
-        summary = run_trials(config, trials=trials, base_seed=base_seed)
+        summary = run_trials(config, trials=trials, base_seed=base_seed,
+                             cache=cache)
         summaries.append(summary)
         if progress is not None:
             progress(index, total, summary)
+    return summaries
+
+
+def _run_trial_job(job):
+    """Top-level worker so :class:`ProcessPoolExecutor` can pickle it."""
+    config, seed = job
+    return run_experiment(config, seed=seed)
+
+
+def sweep_parallel(configs, trials=1, base_seed=None, workers=None,
+                   cache=None, progress=None):
+    """:func:`sweep`, fanned out over a process pool.
+
+    Produces exactly the same :class:`TrialSummary` list as the serial sweep:
+    every trial's seed is a pure function of its configuration and position
+    (``base_seed + trial``, as in :func:`run_trials`), and the simulator is
+    deterministic given a seed, so the fan-out is unobservable in the results.
+
+    *workers* ``None``/``0``/``1`` delegates to the serial :func:`sweep`
+    (still using *cache*); otherwise a pool of that many processes serves the
+    cache misses.  Cached trials are never resubmitted, which is what makes
+    figure regeneration incremental.  *progress* fires as each configuration
+    completes, in configuration order, just as in the serial sweep.
+    """
+    cache = _as_cache(cache)
+    configs = list(configs)
+    if not (workers and workers > 1):
+        return sweep(configs, trials=trials, base_seed=base_seed,
+                     progress=progress, cache=cache)
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    total = len(configs)
+
+    # One slot per (config, trial); filled from cache or from the pool.
+    results = [[None] * trials for _ in configs]
+    pending = [0] * total    # uncached trials per config, counted down below
+    jobs = []                # (config_index, trial_index, (config, seed))
+    for config_index, config in enumerate(configs):
+        first_seed = config.seed if base_seed is None else base_seed
+        for trial in range(trials):
+            seed = first_seed + trial
+            if cache is not None:
+                cached = cache.get(trial_cache_key(config, seed))
+                if cached is not None:
+                    results[config_index][trial] = cached
+                    continue
+            pending[config_index] += 1
+            jobs.append((config_index, trial, (config, seed)))
+
+    summaries = [None] * total
+    emitted = 0
+
+    def emit_completed():
+        # Jobs are config-major and pool.map preserves order, so configs
+        # finish in index order; stream each one's summary as it completes.
+        nonlocal emitted
+        while emitted < total and pending[emitted] == 0:
+            summary = TrialSummary(config=configs[emitted],
+                                   results=results[emitted])
+            summaries[emitted] = summary
+            if progress is not None:
+                progress(emitted, total, summary)
+            emitted += 1
+
+    emit_completed()  # configs served entirely from cache
+    if jobs:
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            fresh = pool.map(_run_trial_job, [job for _, _, job in jobs],
+                             chunksize=chunksize)
+            for (config_index, trial, job), result in zip(jobs, fresh):
+                results[config_index][trial] = result
+                if cache is not None:
+                    cache.put(trial_cache_key(job[0], job[1]), result)
+                pending[config_index] -= 1
+                emit_completed()
     return summaries

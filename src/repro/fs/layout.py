@@ -57,12 +57,69 @@ class ContiguousLayout(PhysicalLayout):
         return physical_block * self.sectors_per_block
 
 
+class _PartialPermutation:
+    """Lazily materialised prefix of a uniform random permutation of ``range(n)``.
+
+    Classic Fisher–Yates, drawn only as far as requested: ``get(i)`` is the
+    i-th entry of the permutation, and extending the prefix never changes
+    entries already drawn.  Draws happen in fixed-size chunks whose boundaries
+    are multiples of ``_CHUNK``, so the underlying random stream is consumed
+    identically no matter in what order or how far the prefix is grown — the
+    value at index *i* is a pure function of (rng seed, i).
+
+    A full-disk permutation (what ``numpy.random.Generator.permutation``
+    materialises) costs O(disk size); a file only ever touches a tiny prefix,
+    so this is O(blocks actually placed).
+    """
+
+    #: Entries drawn per batch; boundaries are always multiples of this, which
+    #: is what makes the prefix independent of the access pattern.
+    _CHUNK = 128
+
+    __slots__ = ("_rng", "_n", "_drawn", "_displaced")
+
+    def __init__(self, rng, n):
+        self._rng = rng
+        self._n = n
+        self._drawn = []       # permutation prefix materialised so far
+        self._displaced = {}   # sparse tail: position -> value swapped into it
+
+    def get(self, index):
+        drawn = self._drawn
+        if index >= len(drawn):
+            self._extend(index + 1)
+            drawn = self._drawn
+        return drawn[index]
+
+    def _extend(self, needed):
+        chunk = self._CHUNK
+        n = self._n
+        target = min(-(-needed // chunk) * chunk, n)
+        drawn = self._drawn
+        displaced = self._displaced
+        start = len(drawn)
+        # One uniform double per entry; j = i + floor(u * (n - i)) is the
+        # Fisher-Yates partner drawn from [i, n).  u < 1 guarantees j < n.
+        for u in self._rng.random(target - start):
+            i = start
+            j = i + int(u * (n - i))
+            value_i = displaced.pop(i, i)
+            if j == i:
+                drawn.append(value_i)
+            else:
+                drawn.append(displaced.pop(j, j))
+                displaced[j] = value_i
+            start += 1
+
+
 class RandomBlocksLayout(PhysicalLayout):
     """File blocks placed at uniformly random (distinct) physical blocks.
 
     Each disk gets its own permutation, derived deterministically from the
     layout seed and the disk index so experiments are reproducible and every
-    disk's placement is independent.
+    disk's placement is independent.  The permutation is drawn lazily (partial
+    Fisher–Yates): only the prefix a file actually touches is materialised,
+    and growing the prefix never changes already-placed blocks.
     """
 
     name = "random"
@@ -74,19 +131,21 @@ class RandomBlocksLayout(PhysicalLayout):
         self._blocks_hint = blocks_per_disk_needed
 
     def _placement_for(self, disk_index):
-        if disk_index not in self._placements:
+        placement = self._placements.get(disk_index)
+        if placement is None:
             rng = np.random.default_rng(
                 np.random.SeedSequence([self.seed, disk_index]))
-            self._placements[disk_index] = rng.permutation(self.blocks_per_disk)
-        return self._placements[disk_index]
+            placement = _PartialPermutation(rng, self.blocks_per_disk)
+            self._placements[disk_index] = placement
+        return placement
 
     def lbn_of(self, disk_index, local_block_index):
-        placement = self._placement_for(disk_index)
-        if local_block_index >= len(placement):
+        if local_block_index >= self.blocks_per_disk:
             raise ValueError(
                 f"block slot {local_block_index} exceeds disk capacity "
-                f"{len(placement)}")
-        return int(placement[local_block_index]) * self.sectors_per_block
+                f"{self.blocks_per_disk}")
+        placement = self._placement_for(disk_index)
+        return placement.get(local_block_index) * self.sectors_per_block
 
 
 _LAYOUTS = {

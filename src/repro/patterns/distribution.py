@@ -23,6 +23,22 @@ class Distribution(Enum):
                 return member
         raise ValueError(f"unknown distribution letter {letter!r}")
 
+    def grid_index_scalar(self, index, extent, grid_size):
+        """Scalar counterpart of :meth:`grid_index_of` (no ndarray overhead).
+
+        Used on the per-block fast path where a block spans only a handful of
+        records and numpy's per-call cost would dominate.
+        """
+        if self is Distribution.NONE or grid_size <= 1:
+            return 0
+        if self is Distribution.BLOCK:
+            block = -(-extent // grid_size)  # ceil division
+            grid_index = index // block
+            last = grid_size - 1
+            return grid_index if grid_index < last else last
+        # CYCLIC
+        return index % grid_size
+
     def grid_index_of(self, indices, extent, grid_size):
         """Vectorised mapping from array indices to grid coordinates.
 

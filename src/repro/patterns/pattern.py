@@ -15,6 +15,11 @@ PieceSummary = namedtuple("PieceSummary", ["cp", "n_bytes", "n_pieces"])
 #: How many records to process per numpy batch when streaming chunk lists.
 _CHUNK_BATCH_RECORDS = 1 << 16
 
+#: Below this many records per block, ``pieces_in_block`` uses scalar Python
+#: arithmetic; numpy only wins once the per-block record count is sizeable
+#: (small-record patterns such as 8-byte records in 8 KB blocks).
+_SMALL_BLOCK_RECORDS = 64
+
 
 class AccessPattern:
     """Base class: a mapping from file records to compute processors."""
@@ -197,6 +202,13 @@ class MatrixPattern(AccessPattern):
     def _run_to_bytes(self, record_start, record_length):
         return (record_start * self.record_size, record_length * self.record_size)
 
+    def _owner_of_record(self, index):
+        """Scalar counterpart of :meth:`owners_of` for the per-block fast path."""
+        row, col = divmod(index, self.cols)
+        grid_row = self.row_dist.grid_index_scalar(row, self.rows, self.grid_rows)
+        grid_col = self.col_dist.grid_index_scalar(col, self.cols, self.grid_cols)
+        return grid_row * self.grid_cols + grid_col
+
     # -- per-block pieces (IOP side) ---------------------------------------------------
     def pieces_in_block(self, block_index, block_size):
         block_start = block_index * block_size
@@ -205,6 +217,28 @@ class MatrixPattern(AccessPattern):
         block_end = min(block_start + block_size, self.file_size)
         first_record = block_start // self.record_size
         last_record = (block_end - 1) // self.record_size
+        if last_record - first_record < _SMALL_BLOCK_RECORDS:
+            # Blocks holding few records (e.g. 8 KB records in 8 KB blocks, the
+            # paper's common case) are much cheaper in plain Python than through
+            # a dozen tiny-ndarray numpy calls.
+            record_size = self.record_size
+            owner_of = self._owner_of_record
+            bytes_per = {}
+            pieces_per = {}
+            previous_owner = None
+            for record in range(first_record, last_record + 1):
+                owner = owner_of(record)
+                start = record * record_size
+                end = start + record_size
+                overlap = ((end if end < block_end else block_end)
+                           - (start if start > block_start else block_start))
+                bytes_per[owner] = bytes_per.get(owner, 0) + overlap
+                if owner != previous_owner:
+                    pieces_per[owner] = pieces_per.get(owner, 0) + 1
+                    previous_owner = owner
+            return [PieceSummary(cp=cp, n_bytes=bytes_per[cp],
+                                 n_pieces=pieces_per[cp])
+                    for cp in sorted(pieces_per)]
         records = np.arange(first_record, last_record + 1, dtype=np.int64)
         owners = self.owners_of(records)
 

@@ -1,7 +1,13 @@
-"""The simulation environment: virtual clock plus event queue."""
+"""The simulation environment: virtual clock plus event queue.
 
-import heapq
-from itertools import count
+The run loops are deliberately flat: popping an event, advancing the clock and
+running the callbacks happens inline (rather than through :meth:`step`) so the
+per-event cost is a handful of bytecodes.  :meth:`step` remains the one-event
+reference implementation for tests and debugging; the inlined bodies must stay
+in sync with it.
+"""
+
+from heapq import heappop, heappush
 
 from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -22,10 +28,12 @@ class Environment:
     waiting on them.
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
         self._queue = []
-        self._eid = count()
+        self._eid = 0
         self._active_process = None
 
     # -- clock ---------------------------------------------------------------
@@ -65,7 +73,21 @@ class Environment:
         """Insert *event* into the queue, to be processed after *delay*."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
+
+    def _schedule_now(self, event):
+        """Fast path used by ``Event.succeed``/``fail``: no delay arithmetic."""
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self._now, NORMAL, eid, event))
+
+    def _schedule_at(self, when, event):
+        """Fast path used by ``Timeout``: the delay was already validated."""
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (when, NORMAL, eid, event))
 
     def peek(self):
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
@@ -77,7 +99,7 @@ class Environment:
         """Process exactly one event (advancing the clock to its time)."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _priority, _eid, event = heappop(self._queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -94,27 +116,47 @@ class Environment:
         simulated time), or an :class:`Event` (run until it is processed and
         return its value).
         """
+        queue = self._queue
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _priority, _eid, event = heappop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             return None
 
         if isinstance(until, Event):
             sentinel = until
-            while not sentinel.processed:
-                if not self._queue:
+            while sentinel.callbacks is not None:
+                if not queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event fired "
                         "(deadlock: a process is waiting on something that never happens)")
-                self.step()
-            if sentinel.ok:
-                return sentinel.value
-            raise sentinel.value
+                when, _priority, _eid, event = heappop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            if sentinel._ok:
+                return sentinel._value
+            raise sentinel._value
 
         stop_at = float(until)
         if stop_at < self._now:
             raise ValueError(f"until={stop_at} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= stop_at:
-            self.step()
+        while queue and queue[0][0] <= stop_at:
+            when, _priority, _eid, event = heappop(queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         self._now = stop_at
         return None

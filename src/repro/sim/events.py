@@ -4,6 +4,11 @@ An :class:`Event` is the unit of synchronisation: processes yield events and
 are resumed when the event is *processed* (popped from the event queue and its
 callbacks run).  Events carry a value (delivered to waiters) or an exception
 (raised in waiters).
+
+This module is the hottest code in the simulator (one Event per disk rotation,
+bus hop, message and CPU charge), so the classes use ``__slots__`` and the
+state checks read the underlying attributes directly instead of going through
+the public properties.
 """
 
 from repro.sim.errors import SimulationError
@@ -21,6 +26,8 @@ class Event:
       environment's queue;
     * *processed* — the environment has popped it and run its callbacks.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env):
         self.env = env
@@ -58,22 +65,22 @@ class Event:
     # -- triggering ---------------------------------------------------------
     def succeed(self, value=None):
         """Mark the event successful and schedule its callbacks for *now*."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        self.env._schedule_now(self)
         return self
 
     def fail(self, exception):
         """Mark the event failed with *exception*; waiters will see it raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() requires an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        self.env._schedule_now(self)
         return self
 
     def trigger(self, event):
@@ -89,22 +96,32 @@ class Event:
         self._defused = True
 
     def __repr__(self):
-        state = "processed" if self.processed else (
-            "triggered" if self.triggered else "pending")
+        state = "processed" if self.callbacks is None else (
+            "triggered" if self._value is not _PENDING else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
-    """An event that succeeds automatically after a simulated delay."""
+    """An event that succeeds automatically after a simulated delay.
+
+    The constructor is flattened (no ``super().__init__`` / ``succeed`` /
+    ``schedule`` chain): a timeout is born triggered, so it goes straight
+    into the environment's queue.  This is the single most frequently built
+    object in a simulation run.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self._delay = delay
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self._defused = False
+        self._delay = delay
+        env._schedule_at(env._now + delay, self)
 
     @property
     def delay(self):
@@ -117,60 +134,84 @@ class ConditionValue(dict):
 
 
 class _Condition(Event):
-    """Base class for composite events over a fixed set of child events."""
+    """Base class for composite events over a fixed set of child events.
+
+    Satisfaction is tracked with a pending counter updated once per child
+    callback, so waiting on N children costs O(N) total rather than the
+    O(N^2) of re-scanning the child list from every callback.
+    """
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env, events):
         super().__init__(env)
-        self._events = list(events)
-        self._pending = 0
-        for event in self._events:
+        self._events = events = list(events)
+        for event in events:
             if event.env is not env:
                 raise SimulationError("cannot mix events from different environments")
-        for event in self._events:
-            if event.processed:
-                self._on_child(event)
+        pending = 0
+        on_child = self._on_child
+        for event in events:
+            if event.callbacks is None:  # already processed
+                if not event._ok and self._value is _PENDING:
+                    event._defused = True
+                    self.fail(event._value)
             else:
-                self._pending += 1
-                event.callbacks.append(self._on_child)
-        self._check_initial()
-
-    # Subclasses decide when the condition is satisfied.
-    def _satisfied(self):
-        raise NotImplementedError
-
-    def _check_initial(self):
-        if not self.triggered and self._satisfied():
+                pending += 1
+                event.callbacks.append(on_child)
+        self._pending = pending
+        if self._value is _PENDING and self._initially_satisfied():
             self._finish()
 
+    # Subclasses decide when the condition is satisfied.
+    def _initially_satisfied(self):
+        """Whether the condition already holds at construction time."""
+        raise NotImplementedError
+
+    def _child_succeeded(self):
+        """Whether one more successful child completes the condition."""
+        raise NotImplementedError
+
     def _on_child(self, event):
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
-            event.defuse()
-            self.fail(event.value)
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
             return
-        if self._satisfied():
+        self._pending -= 1
+        if self._child_succeeded():
             self._finish()
 
     def _finish(self):
         result = ConditionValue()
         for event in self._events:
-            if event.processed and event.ok:
-                result[event] = event.value
+            if event.callbacks is None and event._ok:
+                result[event] = event._value
         self.succeed(result)
 
 
 class AllOf(_Condition):
     """Succeeds when *all* child events have been processed successfully."""
 
-    def _satisfied(self):
-        return all(event.processed and event.ok for event in self._events)
+    __slots__ = ()
+
+    def _initially_satisfied(self):
+        return self._pending == 0
+
+    def _child_succeeded(self):
+        return self._pending == 0
 
 
 class AnyOf(_Condition):
     """Succeeds as soon as *any* child event has been processed successfully."""
 
-    def _satisfied(self):
+    __slots__ = ()
+
+    def _initially_satisfied(self):
         if not self._events:
             return True
-        return any(event.processed and event.ok for event in self._events)
+        return any(e.callbacks is None and e._ok for e in self._events)
+
+    def _child_succeeded(self):
+        return True

@@ -5,14 +5,27 @@ objects.  When a yielded event is processed, the process is resumed with the
 event's value (or the event's exception is thrown into the generator).  The
 process object is itself an event that succeeds with the generator's return
 value, so processes can wait for each other simply by yielding them.
+
+:meth:`Process._resume` is the single hottest function in the simulator (it
+runs once per processed event with a waiter), so the common success path is
+fully inlined there; the rarely-taken throw paths (failures, interrupts) go
+through :meth:`Process._step`.  The two must stay behaviourally in sync.
 """
 
 from repro.sim.errors import Interrupt, SimulationError, StopProcess
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
+
+
+class _Interruption(Event):
+    """Internal event used to deliver :meth:`Process.interrupt`."""
+
+    __slots__ = ("_interrupt_cause",)
 
 
 class Process(Event):
     """A running simulation process (also usable as a "join" event)."""
+
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, env, generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -32,7 +45,7 @@ class Process(Event):
     @property
     def is_alive(self):
         """True while the underlying generator has not finished."""
-        return not self.triggered
+        return self._value is _PENDING
 
     @property
     def name(self):
@@ -41,16 +54,16 @@ class Process(Event):
 
     def interrupt(self, cause=None):
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
-        interruption = Event(self.env)
+        interruption = _Interruption(self.env)
         interruption._interrupt_cause = cause
         interruption.callbacks.append(self._deliver_interrupt)
         interruption.succeed()
 
     # -- internals --------------------------------------------------------------
     def _deliver_interrupt(self, interruption):
-        if self.triggered:
+        if self._value is not _PENDING:
             return  # finished between scheduling and delivery
         # Detach from whatever we were waiting on so the stale resume is ignored.
         target = self._waiting_on
@@ -63,13 +76,44 @@ class Process(Event):
         self._step(throw=Interrupt(interruption._interrupt_cause))
 
     def _resume(self, event):
-        if self._waiting_on is not None and event is not self._waiting_on:
+        waiting_on = self._waiting_on
+        if waiting_on is not None and event is not waiting_on:
             return  # stale wakeup (we were interrupted away from this event)
         self._waiting_on = None
-        if event._ok or event._ok is None:
-            self._step(value=event._value if event.triggered else None)
+        ok = event._ok
+        if ok or ok is None:
+            # Inlined success path of _step (the overwhelmingly common case).
+            env = self.env
+            previous = env._active_process
+            env._active_process = self
+            try:
+                value = event._value
+                target = self._generator.send(
+                    value if value is not _PENDING else None)
+            except StopIteration as stop:
+                env._active_process = previous
+                self.succeed(stop.value)
+                return
+            except StopProcess as stop:
+                env._active_process = previous
+                self.succeed(stop.value)
+                return
+            except Interrupt as interrupt:
+                # The generator chose not to handle an interrupt: treat as failure.
+                env._active_process = previous
+                self.fail(interrupt)
+                return
+            except Exception as exc:  # model error inside the process
+                env._active_process = previous
+                self.fail(exc)
+                return
+            finally:
+                # Mirrors _step: restore even when a BaseException (e.g.
+                # KeyboardInterrupt) escapes the generator.
+                env._active_process = previous
+            self._wait_for(target)
         else:
-            event.defuse()
+            event._defused = True
             self._step(throw=event._value)
 
     def _step(self, value=None, throw=None):
@@ -100,25 +144,29 @@ class Process(Event):
         finally:
             env._active_process = previous
 
+        self._wait_for(target)
+
+    def _wait_for(self, target):
+        """Attach to the event the generator just yielded."""
         if not isinstance(target, Event):
             self._generator.throw(TypeError(
                 f"process {self.name!r} yielded {target!r}, which is not an Event"))
             return
-        if target.processed:
+        if target.callbacks is None:
             # Already finished: resume on the next scheduling round to keep
             # event ordering fair.
-            bounce = Event(env)
+            bounce = Event(self.env)
             bounce._ok = target._ok
             bounce._value = target._value
             if not target._ok:
-                target.defuse()
+                target._defused = True
             bounce.callbacks.append(self._resume)
-            env.schedule(bounce)
+            self.env._schedule_now(bounce)
             self._waiting_on = bounce
         else:
             target.callbacks.append(self._resume)
             self._waiting_on = target
 
     def __repr__(self):
-        state = "finished" if self.triggered else "running"
+        state = "finished" if self._value is not _PENDING else "running"
         return f"<Process {self.name} {state}>"

@@ -4,7 +4,12 @@ The model mirrors SimPy's ``Resource``: ``request()`` returns an event that
 fires once a slot is available; ``release(request)`` frees the slot.  The
 ``using`` context-style helper is provided via :meth:`Resource.acquire` for
 the common acquire/hold/release idiom inside process generators.
+
+Every bus hop and CPU charge goes through a resource, so the waiter queue is a
+deque (O(1) FIFO handoff) and :class:`Request` carries ``__slots__``.
 """
+
+from collections import deque
 
 from repro.sim.events import Event
 from repro.sim.stats import UtilizationTracker
@@ -16,6 +21,8 @@ class Preempted(Exception):
 
 class Request(Event):
     """The event returned by :meth:`Resource.request`."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource):
         super().__init__(resource.env)
@@ -40,6 +47,8 @@ class Resource:
         bus.release(req)
     """
 
+    __slots__ = ("env", "capacity", "name", "_users", "_waiters", "utilization")
+
     def __init__(self, env, capacity=1, name=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -47,7 +56,7 @@ class Resource:
         self.capacity = capacity
         self.name = name or f"resource@{id(self):#x}"
         self._users = []
-        self._waiters = []
+        self._waiters = deque()
         self.utilization = UtilizationTracker(env, capacity=capacity)
 
     # -- introspection --------------------------------------------------------
@@ -65,9 +74,10 @@ class Resource:
     def request(self):
         """Ask for a slot; returns an event that fires when the slot is granted."""
         req = Request(self)
-        if len(self._users) < self.capacity:
-            self._users.append(req)
-            self.utilization.set(len(self._users))
+        users = self._users
+        if len(users) < self.capacity:
+            users.append(req)
+            self.utilization.set(len(users))
             req.succeed()
         else:
             self._waiters.append(req)
@@ -75,15 +85,17 @@ class Resource:
 
     def release(self, request):
         """Return a previously granted slot."""
+        users = self._users
         try:
-            self._users.remove(request)
+            users.remove(request)
         except ValueError:
             raise ValueError("release() of a request that does not hold this resource")
-        while self._waiters and len(self._users) < self.capacity:
-            nxt = self._waiters.pop(0)
-            self._users.append(nxt)
+        waiters = self._waiters
+        while waiters and len(users) < self.capacity:
+            nxt = waiters.popleft()
+            users.append(nxt)
             nxt.succeed()
-        self.utilization.set(len(self._users))
+        self.utilization.set(len(users))
 
     def acquire(self, hold_time):
         """Convenience process-fragment: acquire, hold for *hold_time*, release.

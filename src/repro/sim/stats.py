@@ -1,8 +1,15 @@
-"""Statistics helpers: counters, time-weighted values and utilisation."""
+"""Statistics helpers: counters, time-weighted values and utilisation.
+
+These are updated on nearly every resource acquire/release, so the classes use
+``__slots__`` and :meth:`UtilizationTracker.set` is flattened into a single
+method (no ``super()`` dispatch on the hot path).
+"""
 
 
 class Counter:
     """A simple named accumulator for event counts and byte totals."""
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name=""):
         self.name = name
@@ -27,6 +34,9 @@ class TimeWeightedValue:
     records how long the previous level persisted.
     """
 
+    __slots__ = ("env", "_level", "_last_change", "_weighted_sum",
+                 "_start_time", "maximum")
+
     def __init__(self, env, initial=0.0):
         self.env = env
         self._level = float(initial)
@@ -42,7 +52,7 @@ class TimeWeightedValue:
 
     def set(self, level):
         """Change the level, accumulating the time spent at the previous one."""
-        now = self.env.now
+        now = self.env._now
         self._weighted_sum += self._level * (now - self._last_change)
         self._level = float(level)
         self._last_change = now
@@ -66,6 +76,8 @@ class TimeWeightedValue:
 class UtilizationTracker(TimeWeightedValue):
     """Time-weighted busy fraction of a resource with known capacity."""
 
+    __slots__ = ("capacity", "busy_time", "_busy_since")
+
     def __init__(self, env, capacity=1):
         super().__init__(env, initial=0.0)
         self.capacity = capacity
@@ -73,11 +85,19 @@ class UtilizationTracker(TimeWeightedValue):
         self._busy_since = None
 
     def set(self, level):
-        now = self.env.now
-        if self._level > 0 and self._busy_since is not None:
+        # Flattened TimeWeightedValue.set + busy-time bookkeeping: this runs
+        # on every resource request/release.
+        now = self.env._now
+        previous = self._level
+        if previous > 0 and self._busy_since is not None:
             self.busy_time += now - self._busy_since
             self._busy_since = None
-        super().set(level)
+        self._weighted_sum += previous * (now - self._last_change)
+        level = float(level)
+        self._level = level
+        self._last_change = now
+        if level > self.maximum:
+            self.maximum = level
         if level > 0:
             self._busy_since = now
 

@@ -1,6 +1,7 @@
 """FIFO and priority stores for passing items between processes."""
 
 import heapq
+from collections import deque
 from itertools import count
 
 from repro.sim.events import Event
@@ -9,6 +10,8 @@ from repro.sim.events import Event
 class StorePut(Event):
     """Event returned by :meth:`Store.put`; succeeds once the item is accepted."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store, item):
         super().__init__(store.env)
         self.item = item
@@ -16,6 +19,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event returned by :meth:`Store.get`; succeeds with the retrieved item."""
+
+    __slots__ = ()
 
     def __init__(self, store):
         super().__init__(store.env)
@@ -35,9 +40,9 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.name = name or f"store@{id(self):#x}"
-        self._items = []
-        self._putters = []
-        self._getters = []
+        self._items = deque()
+        self._putters = deque()
+        self._getters = deque()
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -73,7 +78,7 @@ class Store:
 
     def _do_get(self, event):
         if self._items:
-            event.succeed(self._items.pop(0))
+            event.succeed(self._items.popleft())
             return True
         return False
 
@@ -82,11 +87,11 @@ class Store:
         while progressed:
             progressed = False
             while self._putters and len(self._items) < self.capacity:
-                putter = self._putters.pop(0)
+                putter = self._putters.popleft()
                 self._do_put(putter)
                 progressed = True
             while self._getters and self._items:
-                getter = self._getters.pop(0)
+                getter = self._getters.popleft()
                 self._do_get(getter)
                 progressed = True
 
@@ -135,8 +140,8 @@ class PriorityStore(Store):
         while progressed:
             progressed = False
             while self._putters and len(self._heap) < self.capacity:
-                self._do_put(self._putters.pop(0))
+                self._do_put(self._putters.popleft())
                 progressed = True
             while self._getters and self._heap:
-                self._do_get(self._getters.pop(0))
+                self._do_get(self._getters.popleft())
                 progressed = True

@@ -1,9 +1,11 @@
 """Tests for physical disk layouts."""
 
+import numpy as np
 import pytest
 
 from repro.disk import HP97560_SPEC
 from repro.fs import ContiguousLayout, RandomBlocksLayout, make_layout
+from repro.fs.layout import _PartialPermutation
 
 BLOCK = 8192
 SECTORS_PER_BLOCK = BLOCK // 512
@@ -79,6 +81,66 @@ class TestRandomBlocksLayout:
         layout = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=1)
         with pytest.raises(ValueError):
             layout.lbn_of(0, layout.blocks_per_disk + 10)
+
+
+class TestPartialPermutation:
+    """The lazily-grown Fisher-Yates behind RandomBlocksLayout."""
+
+    def _fresh(self, seed=7, n=10000):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0]))
+        return _PartialPermutation(rng, n)
+
+    def test_prefix_independent_of_growth_order(self):
+        grown_in_steps = self._fresh()
+        all_at_once = self._fresh()
+        stepwise = [grown_in_steps.get(i) for i in range(1500)]
+        all_at_once.get(1499)  # jump straight to the deep index
+        jumped = [all_at_once.get(i) for i in range(1500)]
+        assert stepwise == jumped
+
+    def test_growing_never_rewrites_existing_entries(self):
+        perm = self._fresh()
+        prefix = [perm.get(i) for i in range(100)]
+        perm.get(5000)
+        assert [perm.get(i) for i in range(100)] == prefix
+
+    def test_full_draw_is_a_permutation(self):
+        n = 997  # deliberately not a chunk multiple
+        perm = _PartialPermutation(np.random.default_rng(3), n)
+        values = [perm.get(i) for i in range(n)]
+        assert sorted(values) == list(range(n))
+
+    def test_values_stay_in_range(self):
+        perm = self._fresh(n=300)
+        assert all(0 <= perm.get(i) < 300 for i in range(300))
+
+
+class TestRandomBlocksLayoutDeterminism:
+    """Placement determinism guarantees across access patterns and instances."""
+
+    def test_placement_independent_of_query_order(self):
+        forward = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=13)
+        backward = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=13)
+        n = 300
+        forward_lbns = [forward.lbn_of(0, i) for i in range(n)]
+        backward_lbns = [backward.lbn_of(0, i) for i in reversed(range(n))]
+        assert forward_lbns == list(reversed(backward_lbns))
+
+    def test_small_file_prefix_matches_larger_file(self):
+        # A 10-block file and a 1000-block file on the same (seed, disk) must
+        # place their common prefix identically: the placement of block i is a
+        # pure function of (seed, disk, i).
+        small = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=21)
+        large = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=21)
+        small_lbns = [small.lbn_of(2, i) for i in range(10)]
+        large_lbns = [large.lbn_of(2, i) for i in range(1000)]
+        assert large_lbns[:10] == small_lbns
+
+    def test_lazy_draw_touches_only_needed_prefix(self):
+        layout = RandomBlocksLayout(HP97560_SPEC, BLOCK, seed=2)
+        layout.lbn_of(0, 5)
+        placement = layout._placement_for(0)
+        assert len(placement._drawn) < layout.blocks_per_disk // 100
 
 
 class TestFactory:

@@ -1,5 +1,6 @@
 """The example scripts must run (they are part of the public deliverable)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,12 +8,15 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 def run_example(name, *args, timeout=600):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout, check=False)
+        capture_output=True, text=True, timeout=timeout, check=False, env=env)
 
 
 @pytest.mark.slow

@@ -175,3 +175,101 @@ class TestConditions:
         proc = env.process(coordinator(env))
         result = env.run(proc)
         assert result == "handled"
+
+    def test_all_of_with_all_children_already_processed(self, env):
+        timeouts = [env.timeout(0.5), env.timeout(1.0)]
+        env.run(until=2.0)
+        done = []
+
+        def coordinator(env):
+            values = yield AllOf(env, timeouts)
+            done.append((env.now, len(values)))
+
+        env.process(coordinator(env))
+        env.run()
+        assert done == [(2.0, 2)]
+
+    def test_all_of_with_already_failed_child_fails_immediately(self, env):
+        def failing(env):
+            yield env.timeout(0.5)
+            raise ValueError("already dead")
+
+        proc = env.process(failing(env))
+        with pytest.raises(ValueError):
+            env.run()
+        caught = []
+
+        def coordinator(env):
+            try:
+                yield AllOf(env, [proc, env.timeout(10.0)])
+            except ValueError as error:
+                caught.append(str(error))
+
+        env.process(coordinator(env))
+        env.run(until=1.0)
+        assert caught == ["already dead"]
+
+    def test_any_of_with_already_processed_child_fires_immediately(self, env):
+        early = env.timeout(0.25)
+        env.run(until=1.0)
+        done = []
+
+        def coordinator(env):
+            yield AnyOf(env, [early, env.timeout(50.0)])
+            done.append(env.now)
+
+        env.process(coordinator(env))
+        env.run(until=2.0)
+        assert done == [1.0]
+
+    def test_any_of_empty_list_fires_immediately(self, env):
+        fired = []
+
+        def coordinator(env):
+            yield AnyOf(env, [])
+            fired.append(env.now)
+
+        env.process(coordinator(env))
+        env.run()
+        assert fired == [0.0]
+
+    def test_all_of_duplicate_events(self, env):
+        shared = env.timeout(1.0, value="twice")
+        done = []
+
+        def coordinator(env):
+            values = yield AllOf(env, [shared, shared])
+            done.append((env.now, values[shared]))
+
+        env.process(coordinator(env))
+        env.run()
+        assert done == [(1.0, "twice")]
+
+    def test_all_of_many_children_linear_counter(self, env):
+        # The pending-counter design: a single decrement per child callback.
+        events = [env.timeout(float(i % 7)) for i in range(500)]
+        condition = AllOf(env, events)
+        assert condition._pending == 500
+        done = []
+
+        def coordinator(env):
+            values = yield condition
+            done.append((env.now, len(values)))
+
+        env.process(coordinator(env))
+        env.run()
+        assert done == [(6.0, 500)]
+        assert condition._pending == 0
+
+    def test_all_of_value_collects_only_successes_in_order(self, env):
+        first = env.timeout(1.0, value="a")
+        second = env.timeout(2.0, value="b")
+        collected = []
+
+        def coordinator(env):
+            values = yield AllOf(env, [first, second])
+            collected.append(list(values.values()))
+
+        env.process(coordinator(env))
+        env.run()
+        assert collected == [["a", "b"]]

@@ -112,6 +112,16 @@ class TestProcessBasics:
         proc = env.process(worker(env))
         assert env.run(proc) == (2.0, None)
 
+    def test_active_process_restored_when_base_exception_escapes(self, env):
+        def interrupted(env):
+            yield env.timeout(1.0)
+            raise KeyboardInterrupt
+
+        env.process(interrupted(env))
+        with pytest.raises(KeyboardInterrupt):
+            env.run()
+        assert env.active_process is None
+
 
 class TestInterrupt:
     def test_interrupt_wakes_process(self, env):
