@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Benchmark of the service-style workload driver, tracked over time.
+
+Runs the canonical service points — the default service-figure workload (32
+mixed collectives over 16 random-layout 1 MB files, K=4) at saturation load,
+DDIO vs traditional caching, plus a closed-loop point — and records both the
+*simulated* sustained throughput (the model's result) and the *wall-clock*
+cost of simulating it (the kernel's cost).  Appends to ``BENCH_service.json``
+so both trajectories are visible across PRs.
+
+Run from the repository root::
+
+    python benchmarks/perf_service.py              # full run, appends a record
+    python benchmarks/perf_service.py --smoke      # scaled-down CI smoke run
+
+The headline check mirrors the service experiment's acceptance criterion:
+disk-directed I/O must sustain higher throughput than traditional caching
+under concurrent load (ddio_advantage > 1).
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.service import (  # noqa: E402
+    ServiceExperimentConfig,
+    run_service_experiment,
+)
+
+#: The canonical service points.  "smoke" variants are CI-sized.
+CASES = {
+    "poisson_saturation": dict(arrival="poisson", arrival_rate=8.0),
+    "poisson_overload": dict(arrival="poisson", arrival_rate=16.0),
+    "closed_loop_k4": dict(arrival="closed"),
+}
+
+SMOKE_OVERRIDES = dict(n_cps=4, n_iops=2, n_disks=2, n_requests=12,
+                       n_files=8, file_size=128 * 1024, read_fraction=1.0,
+                       arrival="closed", concurrency=4)
+
+
+def run_case(overrides, seed=3, trials=2):
+    """Mean simulated throughput and total wall seconds per method."""
+    out = {}
+    for method in ("disk-directed", "traditional"):
+        throughputs = []
+        start = time.perf_counter()
+        for trial in range(trials):
+            config = ServiceExperimentConfig(method=method, seed=seed,
+                                             **overrides)
+            result = run_service_experiment(config, seed=seed + trial)
+            if not result.conserves_bytes():
+                raise AssertionError(
+                    f"byte conservation violated for {method} {overrides}")
+            throughputs.append(result.throughput_mb)
+        wall = time.perf_counter() - start
+        key = "ddio" if method == "disk-directed" else "tc"
+        out[f"{key}_throughput_mb"] = round(
+            sum(throughputs) / len(throughputs), 3)
+        out[f"{key}_wall_s"] = round(wall, 3)
+    out["ddio_advantage"] = round(
+        out["ddio_throughput_mb"] / out["tc_throughput_mb"], 3)
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: one scaled-down closed-loop point")
+    parser.add_argument("--trials", type=int, default=2,
+                        help="trials per data point (seeds seed..seed+t-1)")
+    parser.add_argument("--seed", type=int, default=3, help="base trial seed")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_service.json",
+                        help="trajectory file to append to")
+    parser.add_argument("--label", type=str, default="",
+                        help="free-form label recorded with this run")
+    args = parser.parse_args(argv)
+
+    cases = {"smoke_closed_loop": SMOKE_OVERRIDES} if args.smoke else CASES
+    measurements = {}
+    for name, overrides in cases.items():
+        measurements[name] = run_case(overrides, seed=args.seed,
+                                      trials=args.trials)
+        point = measurements[name]
+        print(f"  {name:22s} ddio {point['ddio_throughput_mb']:6.2f} MB/s "
+              f"({point['ddio_wall_s']:.2f}s wall)  "
+              f"tc {point['tc_throughput_mb']:6.2f} MB/s "
+              f"({point['tc_wall_s']:.2f}s wall)  "
+              f"advantage {point['ddio_advantage']:.2f}x")
+
+    record = {
+        "label": args.label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "trials": args.trials,
+        "smoke": args.smoke,
+        "cases": measurements,
+    }
+
+    trajectory = {"schema": 1, "runs": []}
+    if args.output.exists():
+        try:
+            existing = json.loads(args.output.read_text())
+            if isinstance(existing.get("runs"), list):
+                trajectory["runs"] = existing["runs"]
+        except (json.JSONDecodeError, OSError):
+            pass
+    trajectory["runs"].append(record)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(trajectory['runs'])} run(s))")
+
+    advantages = [point["ddio_advantage"] for point in measurements.values()]
+    worst = min(advantages)
+    status = "PASS" if worst > 1.0 else "BELOW TARGET"
+    print(f"headline: DDIO advantage under concurrent load "
+          f"{worst:.2f}x (worst case) [{status}]")
+    return 0 if worst > 1.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,76 +1,200 @@
-"""Shared plumbing for the collective-I/O implementations."""
+"""Shared plumbing for the collective-I/O implementations.
+
+The central abstraction is the :class:`CollectiveSession`: one in-flight
+collective operation (a pattern applied to one striped file).  A
+:class:`CollectiveFileSystem` is bound to a machine and can run *many*
+sessions concurrently — :meth:`~CollectiveFileSystem.begin_transfer` starts a
+session without blocking, and the service-style workload driver
+(:mod:`repro.workload`) streams dozens of them through one machine.  The
+original single-collective interface, :meth:`~CollectiveFileSystem.transfer`,
+remains and simply runs one session to completion.
+"""
+
+from itertools import count
 
 from repro.core.result import TransferResult
+from repro.sim.events import Event
 from repro.sim.stats import Counter
+
+#: Counter names tracked both per session and for the file system's lifetime.
+#: ``bytes_moved`` counts CP<->IOP traffic only, so it equals the pattern's
+#: requested bytes (the conservation invariant); CP-to-CP redistribution
+#: (two-phase I/O's permute phase) is tallied separately in ``permute_bytes``.
+SESSION_COUNTERS = ("cp_requests", "iop_messages", "bytes_moved",
+                    "permute_bytes")
+
+_session_ids = count()
+_fs_ids = count()
+
+
+class CollectiveSession:
+    """One in-flight collective operation: a pattern applied to one file.
+
+    Sessions are created by :meth:`CollectiveFileSystem.begin_transfer`; the
+    implementation's processes carry the session instead of bare patterns so
+    several collectives can be in flight on the same machine without their
+    messages, buffers or statistics crossing wires.  ``done`` fires with the
+    session's :class:`TransferResult` when the operation — including any
+    write-behind — is complete.
+    """
+
+    __slots__ = ("session_id", "fs", "pattern", "file", "env", "start_time",
+                 "end_time", "done", "counters", "result")
+
+    def __init__(self, fs, pattern, striped_file):
+        self.session_id = next(_session_ids)
+        self.fs = fs
+        self.pattern = pattern
+        self.file = striped_file
+        self.env = fs.env
+        self.start_time = None
+        self.end_time = None
+        self.done = Event(fs.env)
+        self.counters = {name: Counter(name) for name in SESSION_COUNTERS}
+        self.result = None
+
+    @property
+    def in_flight(self):
+        """True while the collective has started but not yet completed."""
+        return self.start_time is not None and self.end_time is None
+
+    @property
+    def elapsed(self):
+        """Simulated seconds from start to completion (None while in flight)."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def bytes_moved(self):
+        """Bytes actually moved between CPs and IOPs for this collective."""
+        return self.counters["bytes_moved"].value
+
+    @property
+    def bytes_requested(self):
+        """Bytes the pattern asks the I/O system to move."""
+        return self.pattern.total_transfer_bytes()
+
+    def count(self, name, amount=1):
+        """Increment a session counter (and its file-system lifetime twin)."""
+        self.counters[name].add(amount)
+        self.fs.counters[name].add(amount)
+
+    def __repr__(self):
+        state = "in-flight" if self.in_flight else \
+            ("done" if self.result is not None else "new")
+        return (f"<CollectiveSession #{self.session_id} {self.pattern.name} "
+                f"on {self.file.name!r} [{state}]>")
 
 
 class CollectiveFileSystem:
-    """Base class: a file-system implementation bound to one machine and one file.
+    """Base class: a file-system implementation bound to one machine.
 
     Subclasses implement :meth:`_start_transfer`, which kicks off all the
-    simulation processes for one collective operation and returns an event
-    that fires when the operation — including any write-behind — is complete.
+    simulation processes for one :class:`CollectiveSession` and returns an
+    event that fires when the operation — including any write-behind — is
+    complete.  Implementations must be *re-entrant*: any state specific to one
+    collective (buffer pools, completion tallies, reply routing) belongs on
+    the session or in per-session mailbox tags, never on ``self``.
+
+    ``striped_file`` is the default target file; re-entrant callers may
+    instead pass a file per transfer, so one instance can serve a whole
+    multi-file workload.
     """
 
     method_name = "abstract"
 
-    def __init__(self, machine, striped_file):
+    def __init__(self, machine, striped_file=None):
         self.machine = machine
         self.env = machine.env
         self.config = machine.config
         self.costs = machine.config.costs
         self.file = striped_file
-        self.counters = {
-            "cp_requests": Counter("cp_requests"),
-            "iop_messages": Counter("iop_messages"),
-            "bytes_moved": Counter("bytes_moved"),
-        }
+        #: Distinguishes this instance's mailbox traffic from any other
+        #: instance sharing the machine (e.g. a DDIO and a TC file system
+        #: being compared on the same simulated hardware).
+        self.fs_id = next(_fs_ids)
+        #: Lifetime totals across every session this instance has run.
+        self.counters = {name: Counter(name) for name in SESSION_COUNTERS}
+        #: Sessions currently in flight (session_id -> session).
+        self.active_sessions = {}
 
     # -- public API -------------------------------------------------------------
-    def transfer(self, pattern):
+    def transfer(self, pattern, striped_file=None):
         """Run one collective read or write and return its :class:`TransferResult`.
 
         The simulation clock is *not* reset between calls, so several
         transfers can be issued back to back on the same machine (an
         out-of-core application alternating reads and writes, for example).
         """
-        self._validate_pattern(pattern)
-        start_time = self.env.now
-        done = self._start_transfer(pattern)
-        self.env.run(done)
-        end_time = self.env.now
-        return TransferResult(
+        session = self.begin_transfer(pattern, striped_file)
+        self.env.run(session.done)
+        return session.result
+
+    def begin_transfer(self, pattern, striped_file=None):
+        """Start a collective without blocking; returns its :class:`CollectiveSession`.
+
+        The caller decides when to advance the simulation (``env.run``) and
+        may start further collectives first — that is how the workload driver
+        models a server handling concurrent requests.  ``session.done`` fires
+        with the :class:`TransferResult` once the collective completes.
+        """
+        target = striped_file if striped_file is not None else self.file
+        if target is None:
+            raise ValueError(
+                "no target file: pass striped_file to begin_transfer() or "
+                "bind a default file at construction")
+        self._validate_pattern(pattern, target)
+        session = CollectiveSession(self, pattern, target)
+        session.start_time = self.env.now
+        self.active_sessions[session.session_id] = session
+        done = self._start_transfer(session)
+        self.env.process(self._complete(session, done))
+        return session
+
+    def _complete(self, session, done):
+        yield done
+        session.end_time = self.env.now
+        session.result = TransferResult(
             method=self.method_name,
-            pattern_name=pattern.name,
-            layout_name=self.file.layout.name,
-            file_size=self.file.size_bytes,
-            record_size=pattern.record_size,
+            pattern_name=session.pattern.name,
+            layout_name=session.file.layout.name,
+            file_size=session.file.size_bytes,
+            record_size=session.pattern.record_size,
             n_cps=self.config.n_cps,
             n_iops=self.config.n_iops,
             n_disks=self.config.n_disks,
-            start_time=start_time,
-            end_time=end_time,
-            bytes_transferred=pattern.total_transfer_bytes(),
-            counters=self._snapshot_counters(),
+            start_time=session.start_time,
+            end_time=session.end_time,
+            bytes_transferred=session.bytes_requested,
+            counters=self._snapshot_counters(session),
         )
+        del self.active_sessions[session.session_id]
+        session.done.succeed(session.result)
 
     # -- to be provided by subclasses ------------------------------------------------
-    def _start_transfer(self, pattern):
+    def _start_transfer(self, session):
         raise NotImplementedError
 
     # -- helpers ------------------------------------------------------------------------
-    def _validate_pattern(self, pattern):
-        if pattern.file_size != self.file.size_bytes:
+    def _validate_pattern(self, pattern, striped_file):
+        if pattern.file_size != striped_file.size_bytes:
             raise ValueError(
                 f"pattern is for a {pattern.file_size}-byte file but the file is "
-                f"{self.file.size_bytes} bytes")
+                f"{striped_file.size_bytes} bytes")
         if pattern.n_cps != self.config.n_cps:
             raise ValueError(
                 f"pattern is for {pattern.n_cps} CPs but the machine has "
                 f"{self.config.n_cps}")
 
-    def _snapshot_counters(self):
-        snapshot = {name: counter.value for name, counter in self.counters.items()}
+    def _snapshot_counters(self, session):
+        # cp_requests / iop_messages / bytes_moved / permute_bytes are scoped
+        # to this session; the disk stats and bus busy fraction merged below
+        # are MACHINE-CUMULATIVE at completion time (they include any other
+        # sessions that ran before or alongside this one — per-session disk
+        # attribution is a ROADMAP follow-up).
+        snapshot = {name: counter.value
+                    for name, counter in session.counters.items()}
         snapshot.update(self.machine.total_disk_stats())
         snapshot["bus_busy_fraction"] = max(
             (iop.bus.busy_fraction() for iop in self.machine.iops), default=0.0)
@@ -82,14 +206,14 @@ class CollectiveFileSystem:
         if seconds > 0:
             yield from node.cpu.acquire(seconds)
 
-    def _send(self, src_node, dst_node, data_bytes, header_bytes=32):
+    def _send(self, session, src_node, dst_node, data_bytes, header_bytes=32):
         """Process fragment: move a message's bytes across the interconnect."""
         yield from self.machine.network.transfer(
             src_node.node_id, dst_node.node_id, header_bytes + data_bytes)
-        self.counters["bytes_moved"].add(data_bytes)
+        session.count("bytes_moved", data_bytes)
 
 
-def make_filesystem(method, machine, striped_file, **kwargs):
+def make_filesystem(method, machine, striped_file=None, **kwargs):
     """Factory used by the experiment harness and examples.
 
     *method* is one of ``traditional`` (aliases ``tc``, ``caching``),

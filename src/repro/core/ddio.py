@@ -10,6 +10,12 @@ the per-CP pieces directly between IOP buffer and CP memory with Memput /
 Memget remote-memory operations.  When an IOP finishes all of its blocks it
 notifies the requesting CP; a final barrier ends the collective operation.
 
+Concurrency: the IOP server loop accepts a new collective request as soon as
+the previous one's handler is spawned, so several collectives (tagged by
+session id, each with its own per-disk buffer pool) can be in flight at one
+IOP at a time.  They contend for the IOP CPU, the SCSI bus and the disk
+queues — exactly the contention a service-style workload is about.
+
 Fidelity note: every Memput/Memget between an IOP and one CP for one block is
 simulated as a single event charged ``setup + n_pieces * per_piece`` CPU time
 plus the wire time of the actual bytes.  This matches the cost of the paper's
@@ -28,25 +34,33 @@ class DiskDirectedFS(CollectiveFileSystem):
 
     method_name = "disk-directed"
 
-    #: mailbox tag for collective requests arriving at IOPs
+    #: base mailbox tag for collective requests arriving at IOPs
     REQUEST_TAG = "ddio-request"
-    #: mailbox tag for completion notifications arriving at the proxy CP
+    #: base mailbox tag for completion notifications arriving at the proxy CP
     DONE_TAG = "ddio-done"
 
-    def __init__(self, machine, striped_file, presort=True, buffers_per_disk=2):
+    def __init__(self, machine, striped_file=None, presort=True, buffers_per_disk=2):
         super().__init__(machine, striped_file)
         if buffers_per_disk < 1:
             raise ValueError("need at least one buffer per disk")
         self.presort = presort
         self.buffers_per_disk = buffers_per_disk
         self.method_name = "disk-directed" if presort else "disk-directed-nosort"
+        #: Requests for this instance only; lets several file-system
+        #: instances coexist on one machine without stealing each other's mail.
+        self.request_tag = (self.REQUEST_TAG, self.fs_id)
         self.env.process(self._iop_server_loop_all())
 
+    def _done_tag(self, session):
+        """Completion notifications are routed per collective."""
+        return (self.DONE_TAG, session.session_id)
+
     # -- transfer orchestration ---------------------------------------------------------
-    def _start_transfer(self, pattern):
-        barrier = Barrier(self.env, self.config.n_cps, name="ddio-barrier")
+    def _start_transfer(self, session):
+        barrier = Barrier(self.env, self.config.n_cps,
+                          name=f"ddio-barrier-{session.session_id}")
         cp_processes = [
-            self.env.process(self._cp_worker(cp_index, pattern, barrier))
+            self.env.process(self._cp_worker(cp_index, session, barrier))
             for cp_index in range(self.config.n_cps)
         ]
         return self.env.process(self._finish(cp_processes))
@@ -55,7 +69,7 @@ class DiskDirectedFS(CollectiveFileSystem):
         yield AllOf(self.env, cp_processes)
 
     # -- compute-processor side -----------------------------------------------------------
-    def _cp_worker(self, cp_index, pattern, barrier):
+    def _cp_worker(self, cp_index, session, barrier):
         """All CPs arrange their buffers, barrier, and CP 0 drives the request."""
         cp_node = self.machine.cps[cp_index]
         # "Arrange for incoming data to be stored at the destination address":
@@ -63,12 +77,12 @@ class DiskDirectedFS(CollectiveFileSystem):
         yield from self._charge_cpu(cp_node, self.costs.cp_request_overhead)
         yield barrier.wait()
         if cp_index == 0:
-            yield from self._multicast_request(cp_node, pattern)
-            yield from self._await_completions(cp_node)
+            yield from self._multicast_request(cp_node, session)
+            yield from self._await_completions(cp_node, session)
         # Final barrier: everybody waits until the I/O is complete.
         yield barrier.wait()
 
-    def _multicast_request(self, cp_node, pattern):
+    def _multicast_request(self, cp_node, session):
         """CP 0 sends the collective request to every IOP."""
         for iop in self.machine.iops:
             yield from self._charge_cpu(cp_node, self.costs.message_overhead)
@@ -77,15 +91,19 @@ class DiskDirectedFS(CollectiveFileSystem):
                 src=cp_node.node_id,
                 dst=iop.node_id,
                 data_bytes=0,
-                payload=pattern,
+                payload=session,
             )
             yield from self.machine.network.send(
-                message, iop.mailbox, tag=self.REQUEST_TAG)
-            self.counters["cp_requests"].add(1)
+                message, iop.mailbox, tag=self.request_tag)
+            session.count("cp_requests")
 
-    def _await_completions(self, cp_node):
+    def _await_completions(self, cp_node, session):
+        done_tag = self._done_tag(session)
         for _ in range(self.config.n_iops):
-            yield cp_node.mailbox.receive(self.DONE_TAG)
+            yield cp_node.mailbox.receive(done_tag)
+        # The tag is per-session and now fully drained; drop its queue so a
+        # long request stream does not leak one dead Store per collective.
+        cp_node.mailbox.discard(done_tag)
 
     # -- I/O-processor side -----------------------------------------------------------------
     def _iop_server_loop_all(self):
@@ -97,14 +115,19 @@ class DiskDirectedFS(CollectiveFileSystem):
 
     def _iop_server(self, iop):
         while True:
-            message = yield iop.mailbox.receive(self.REQUEST_TAG)
-            self.counters["iop_messages"].add(1)
+            message = yield iop.mailbox.receive(self.request_tag)
+            session = message.payload
+            session.count("iop_messages")
             yield from self._charge_cpu(
                 iop, self.costs.message_overhead + self.costs.collective_request_overhead)
-            yield self.env.process(self._serve_collective(iop, message))
+            # Spawn without waiting: the server immediately listens for the
+            # next collective, multiplexing several in-flight sessions.
+            self.env.process(self._serve_collective(iop, message))
 
     def _serve_collective(self, iop, message):
-        pattern = message.payload
+        session = message.payload
+        pattern = session.pattern
+        striped_file = session.file
         requesting_cp = self.machine.node(message.src)
 
         # Determine the local block list of each local disk, with physical
@@ -113,8 +136,8 @@ class DiskDirectedFS(CollectiveFileSystem):
         total_blocks = 0
         for local_position, disk in enumerate(iop.disks):
             global_index = iop.disk_indices[local_position]
-            blocks = self.file.blocks_on_disk(global_index)
-            entries = [(block, self.file.location(block).lbn) for block in blocks]
+            blocks = striped_file.blocks_on_disk(global_index)
+            entries = [(block, striped_file.location(block).lbn) for block in blocks]
             if self.presort:
                 entries.sort(key=lambda entry: entry[1])
             disk_work.append((disk, entries))
@@ -124,19 +147,24 @@ class DiskDirectedFS(CollectiveFileSystem):
             setup_cost += total_blocks * self.costs.presort_per_block_overhead
         yield from self._charge_cpu(iop, setup_cost)
 
-        # Two buffer threads per disk stream blocks between disk and CPs.
+        # A buffer pool per collective: two buffer threads per disk stream
+        # blocks between disk and CPs for this session only.
         threads = []
+        write_behind = []   # media-completion events of this collective's writes
         for disk, entries in disk_work:
             shared = {"entries": entries, "next": 0}
             for _buffer in range(self.buffers_per_disk):
                 threads.append(self.env.process(
-                    self._buffer_thread(iop, disk, shared, pattern)))
+                    self._buffer_thread(iop, disk, shared, session, write_behind)))
         if threads:
             yield AllOf(self.env, threads)
-        if pattern.is_write:
-            yield AllOf(self.env, [disk.flush() for disk in iop.disks])
+        if write_behind:
+            # Drain this collective's write-behind only.  Waiting on a whole-
+            # disk flush here would couple concurrent collectives: a session
+            # could not complete while another kept the drive's buffer busy.
+            yield AllOf(self.env, write_behind)
 
-        # Tell the requesting CP this IOP is done.
+        # Tell the requesting CP this IOP is done with this collective.
         yield from self._charge_cpu(iop, self.costs.message_overhead)
         done = Message(
             kind=MessageKind.COLLECTIVE_DONE,
@@ -145,12 +173,13 @@ class DiskDirectedFS(CollectiveFileSystem):
             data_bytes=0,
         )
         yield from self.machine.network.send(
-            done, requesting_cp.mailbox, tag=self.DONE_TAG)
+            done, requesting_cp.mailbox, tag=self._done_tag(session))
 
-    def _buffer_thread(self, iop, disk, shared, pattern):
+    def _buffer_thread(self, iop, disk, shared, session, write_behind):
         """One of the (two) per-disk buffer threads: move blocks until none remain."""
+        pattern = session.pattern
         sectors_per_block = self.config.sectors_per_block
-        block_size = self.file.block_size
+        block_size = session.file.block_size
         while True:
             position = shared["next"]
             if position >= len(shared["entries"]):
@@ -160,25 +189,30 @@ class DiskDirectedFS(CollectiveFileSystem):
             pieces = pattern.pieces_in_block(block, block_size)
             if pattern.is_read:
                 yield disk.read(lbn, sectors_per_block, tag=block)
-                yield from self._deliver_to_cps(iop, pieces)
+                yield from self._deliver_to_cps(iop, pieces, session)
             else:
-                yield from self._gather_from_cps(iop, pieces)
-                yield disk.write(lbn, sectors_per_block, tag=block)
+                yield from self._gather_from_cps(iop, pieces, session)
+                accepted, on_media = disk.write_tracked(
+                    lbn, sectors_per_block, tag=block)
+                write_behind.append(on_media)
+                yield accepted
 
     # -- remote-memory operations ----------------------------------------------------------
-    def _deliver_to_cps(self, iop, pieces):
+    def _deliver_to_cps(self, iop, pieces, session):
         """Memput the per-CP pieces of one block, concurrently to all CPs."""
-        transfers = [self.env.process(self._memput(iop, piece)) for piece in pieces]
+        transfers = [self.env.process(self._memput(iop, piece, session))
+                     for piece in pieces]
         if transfers:
             yield AllOf(self.env, transfers)
 
-    def _gather_from_cps(self, iop, pieces):
+    def _gather_from_cps(self, iop, pieces, session):
         """Memget the per-CP pieces of one block, concurrently from all CPs."""
-        transfers = [self.env.process(self._memget(iop, piece)) for piece in pieces]
+        transfers = [self.env.process(self._memget(iop, piece, session))
+                     for piece in pieces]
         if transfers:
             yield AllOf(self.env, transfers)
 
-    def _memput(self, iop, piece):
+    def _memput(self, iop, piece, session):
         """Move one CP's share of a block from IOP memory into CP memory."""
         costs = self.costs
         cp_node = self.machine.cps[piece.cp]
@@ -186,9 +220,9 @@ class DiskDirectedFS(CollectiveFileSystem):
         yield from self._charge_cpu(iop, cpu_time)
         yield from self.machine.network.transfer(
             iop.node_id, cp_node.node_id, HEADER_BYTES + piece.n_bytes)
-        self.counters["bytes_moved"].add(piece.n_bytes)
+        session.count("bytes_moved", piece.n_bytes)
 
-    def _memget(self, iop, piece):
+    def _memget(self, iop, piece, session):
         """Ask one CP for its share of a block and receive the data (DMA round trip)."""
         costs = self.costs
         cp_node = self.machine.cps[piece.cp]
@@ -200,4 +234,4 @@ class DiskDirectedFS(CollectiveFileSystem):
         # ... and the CP's DMA engine replies with the data.
         yield from self.machine.network.transfer(
             cp_node.node_id, iop.node_id, HEADER_BYTES + piece.n_bytes)
-        self.counters["bytes_moved"].add(piece.n_bytes)
+        session.count("bytes_moved", piece.n_bytes)

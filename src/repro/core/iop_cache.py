@@ -6,6 +6,12 @@ write-behind that flushes a buffer once all of its bytes have been written.
 It must also cope with many concurrent requesters: a block being fetched has
 a ready-event that later requesters simply wait on, and eviction of a dirty
 buffer forces its write-back first.
+
+Buffers are keyed per (file, block), so one cache can serve requests against
+several concurrently-open files — block 5 of one file and block 5 of another
+are distinct buffers.  Every public method takes an optional ``file``
+argument; omitting it uses the file bound at construction, preserving the
+original single-file interface.
 """
 
 from dataclasses import dataclass, field
@@ -44,6 +50,7 @@ class IOPCacheStats:
 @dataclass
 class _CacheEntry:
     block: int
+    file: object = None
     state: str = EMPTY
     ready: Event = None
     dirty_bytes: int = 0
@@ -64,7 +71,9 @@ class IOPCache:
                  sectors_per_block, stats=None):
         """
         ``disk_lookup`` maps a global disk index to that IOP's local
-        :class:`~repro.disk.drive.Disk` object.
+        :class:`~repro.disk.drive.Disk` object.  ``striped_file`` is the
+        default file for block arguments; it may be ``None`` when every call
+        passes an explicit ``file``.
         """
         if capacity_blocks < 1:
             raise ValueError(f"cache needs at least one block, got {capacity_blocks}")
@@ -83,32 +92,53 @@ class IOPCache:
         self._use_clock = count()
         self._space_waiters = []
 
+    # -- keys ----------------------------------------------------------------------
+    def _file_of(self, file):
+        target = file if file is not None else self.file
+        if target is None:
+            raise ValueError("no file bound to this cache: pass file= explicitly")
+        return target
+
+    def _key(self, block, file):
+        return (id(file), block)
+
     # -- queries --------------------------------------------------------------------
     def __contains__(self, block):
-        return block in self._entries
+        if self.file is None:
+            return False  # no default file bound; use contains(block, file)
+        return self._key(block, self.file) in self._entries
+
+    def contains(self, block, file=None):
+        """Whether (*file*, *block*) currently has a buffer."""
+        return self._key(block, self._file_of(file)) in self._entries
 
     def __len__(self):
         return len(self._entries)
 
     @property
     def dirty_blocks(self):
-        """Blocks with bytes not yet written to disk."""
+        """Blocks (across all files) with bytes not yet written to disk."""
         return [entry.block for entry in self._entries.values()
                 if entry.dirty_bytes > 0]
 
+    def _dirty_entries(self):
+        return [entry for entry in self._entries.values() if entry.dirty_bytes > 0]
+
     # -- read path --------------------------------------------------------------------
-    def acquire_for_read(self, block, prefetch=False):
+    def acquire_for_read(self, block, prefetch=False, file=None):
         """Event that fires when *block*'s data is in the cache.
 
         A miss allocates a buffer (evicting if needed) and issues the disk
         read.  ``prefetch=True`` marks the fetch as speculative for the
         prefetch-accuracy statistics.
         """
+        striped_file = self._file_of(file)
+        key = self._key(block, striped_file)
         self.stats.lookups += 1
-        if block in self._inflight:
+        if key in self._inflight:
             self.stats.hits += 1
-            return self._inflight[block]
-        entry = self._entries.get(block)
+            return self._inflight[key]
+        entry = self._entries.get(key)
         if entry is not None and entry.state in (FETCHING, VALID):
             self.stats.hits += 1
             self._touch(entry)
@@ -122,56 +152,60 @@ class IOPCache:
             return entry.ready
         self.stats.misses += 1
         ready = Event(self.env)
-        self._inflight[block] = ready
-        self.env.process(self._fetch(block, ready, prefetch))
+        self._inflight[key] = ready
+        self.env.process(self._fetch(block, striped_file, ready, prefetch))
         return ready
 
-    def try_prefetch(self, block):
+    def try_prefetch(self, block, file=None):
         """Prefetch *block* if it is absent and a buffer is free without eviction.
 
         The paper's cache prefetches one block ahead after every read request;
         we skip the prefetch rather than evict for it, which is both safer
         (no deadlock on a full cache) and kind to the workload.
         """
-        if block < 0 or block >= self.file.n_blocks:
+        striped_file = self._file_of(file)
+        if block < 0 or block >= striped_file.n_blocks:
             return False
-        if block in self._entries or block in self._inflight:
+        key = self._key(block, striped_file)
+        if key in self._entries or key in self._inflight:
             return False
         if len(self._entries) >= self.capacity:
             return False
         self.stats.prefetches_issued += 1
         ready = Event(self.env)
-        self._inflight[block] = ready
-        self.env.process(self._fetch(block, ready, was_prefetch=True))
+        self._inflight[key] = ready
+        self.env.process(self._fetch(block, striped_file, ready, was_prefetch=True))
         return True
 
-    def _fetch(self, block, ready, was_prefetch=False):
-        entry = yield from self._allocate(block)
+    def _fetch(self, block, striped_file, ready, was_prefetch=False):
+        entry = yield from self._allocate(block, striped_file)
         entry.state = FETCHING
         entry.ready = ready
         entry.was_prefetch = was_prefetch
-        location = self.file.location(block)
+        location = striped_file.location(block)
         disk = self.disk_lookup(location.disk_index)
         yield disk.read(location.lbn, self.sectors_per_block)
         entry.state = VALID
-        self._inflight.pop(block, None)
+        self._inflight.pop(self._key(block, striped_file), None)
         if not ready.triggered:
             ready.succeed()
         self._notify_space()
 
     # -- write path --------------------------------------------------------------------
-    def acquire_for_write(self, block):
+    def acquire_for_write(self, block, file=None):
         """Event firing when a buffer for *block* is available to receive data.
 
         Traditional caching does not read-modify-write: partial writes simply
         accumulate in the buffer (the paper flushes once *n* bytes have been
         written to an *n*-byte buffer).
         """
+        striped_file = self._file_of(file)
+        key = self._key(block, striped_file)
         self.stats.lookups += 1
-        if block in self._inflight:
+        if key in self._inflight:
             self.stats.hits += 1
-            return self._inflight[block]
-        entry = self._entries.get(block)
+            return self._inflight[key]
+        entry = self._entries.get(key)
         ready = Event(self.env)
         if entry is not None:
             self.stats.hits += 1
@@ -179,25 +213,48 @@ class IOPCache:
             ready.succeed()
             return ready
         self.stats.misses += 1
-        self._inflight[block] = ready
-        self.env.process(self._allocate_for_write(block, ready))
+        self._inflight[key] = ready
+        self.env.process(self._allocate_for_write(block, striped_file, ready))
         return ready
 
-    def _allocate_for_write(self, block, ready):
-        entry = yield from self._allocate(block)
+    def _allocate_for_write(self, block, striped_file, ready):
+        entry = yield from self._allocate(block, striped_file)
         entry.state = VALID
-        self._inflight.pop(block, None)
+        self._inflight.pop(self._key(block, striped_file), None)
         if not ready.triggered:
             ready.succeed()
 
-    def record_write(self, block, n_bytes, block_size):
+    def pin(self, block, file=None):
+        """Protect (*file*, *block*) from eviction; False if it is not resident.
+
+        A write handler pins the buffer between allocation and
+        :meth:`record_write`, closing the window where cache pressure could
+        evict the buffer and silently drop the written bytes.
+        """
+        entry = self._entries.get(self._key(block, self._file_of(file)))
+        if entry is None:
+            return False
+        entry.pins += 1
+        return True
+
+    def unpin(self, block, file=None):
+        """Release one pin on (*file*, *block*)."""
+        entry = self._entries.get(self._key(block, self._file_of(file)))
+        if entry is None or entry.pins <= 0:
+            return
+        entry.pins -= 1
+        if entry.pins == 0:
+            # An allocation may be waiting for an evictable victim.
+            self._notify_space()
+
+    def record_write(self, block, n_bytes, block_size, file=None):
         """Account *n_bytes* written into *block*'s buffer; True when it is full.
 
         If the buffer was evicted (written back) between allocation and this
         call — possible under extreme cache pressure — the bytes are simply
         treated as already flushed and False is returned.
         """
-        entry = self._entries.get(block)
+        entry = self._entries.get(self._key(block, self._file_of(file)))
         if entry is None:
             self.stats.extra_lost_buffers = getattr(self.stats, "extra_lost_buffers", 0) + 1
             return False
@@ -206,9 +263,12 @@ class IOPCache:
         self._touch(entry)
         return entry.written_bytes >= block_size
 
-    def flush_block(self, block):
+    def flush_block(self, block, file=None):
         """Event firing when *block*'s dirty data has reached its disk."""
-        entry = self._entries.get(block)
+        entry = self._entries.get(self._key(block, self._file_of(file)))
+        return self._flush_entry(entry)
+
+    def _flush_entry(self, entry):
         done = Event(self.env)
         if entry is not None and entry.flushing and entry.flush_event is not None:
             # A write-back is already under way; wait for that one.
@@ -225,8 +285,8 @@ class IOPCache:
         return done
 
     def flush_all(self):
-        """Event firing when every dirty block has been written back."""
-        events = [self.flush_block(block) for block in self.dirty_blocks]
+        """Event firing when every dirty block (of every file) is written back."""
+        events = [self._flush_entry(entry) for entry in self._dirty_entries()]
         done = Event(self.env)
         if not events:
             done.succeed()
@@ -243,7 +303,7 @@ class IOPCache:
         entry.flushing = True
         entry.flush_event = done
         self.stats.writebacks += 1
-        location = self.file.location(entry.block)
+        location = entry.file.location(entry.block)
         disk = self.disk_lookup(location.disk_index)
         yield disk.write(location.lbn, self.sectors_per_block)
         entry.dirty_bytes = 0
@@ -254,17 +314,18 @@ class IOPCache:
         self._notify_space()
 
     # -- allocation / eviction -------------------------------------------------------
-    def _allocate(self, block):
+    def _allocate(self, block, striped_file):
         """Process fragment returning a resident entry for *block* (evicting if needed)."""
+        key = self._key(block, striped_file)
         while True:
-            existing = self._entries.get(block)
+            existing = self._entries.get(key)
             if existing is not None:
                 self._touch(existing)
                 return existing
             if len(self._entries) < self.capacity:
-                entry = _CacheEntry(block=block)
+                entry = _CacheEntry(block=block, file=striped_file)
                 self._touch(entry)
-                self._entries[block] = entry
+                self._entries[key] = entry
                 return entry
             victim = self._pick_victim()
             if victim is None:
@@ -275,11 +336,15 @@ class IOPCache:
             if victim.dirty_bytes > 0:
                 done = Event(self.env)
                 yield from self._writeback(victim, done)
-            if victim.block in self._entries and victim.state != FETCHING \
-                    and victim.dirty_bytes == 0:
+            victim_key = self._key(victim.block, victim.file)
+            # Re-check pins too: a writer may have pinned the victim while
+            # its writeback was in flight, and evicting it now would drop the
+            # bytes that writer is about to record.
+            if victim_key in self._entries and victim.state != FETCHING \
+                    and victim.dirty_bytes == 0 and victim.pins == 0:
                 if victim.was_prefetch and not victim.touched_after_prefetch:
                     self.stats.prefetches_wasted += 1
-                del self._entries[victim.block]
+                del self._entries[victim_key]
                 self.stats.evictions += 1
             # Loop: re-check capacity (another process may have raced us).
 

@@ -8,6 +8,11 @@ handler thread which consults the IOP's LRU block cache, performs the disk
 I/O on a miss, prefetches one block ahead on reads, accumulates writes in the
 cache and flushes buffers once they fill (write-behind).  The reply carries
 the data and is deposited straight into the user's buffer by DMA.
+
+Because the IOP software never had a collective interface to begin with, it
+is naturally re-entrant: requests from several concurrent collectives (and
+several files — cache buffers are keyed per file) interleave freely in the
+dispatcher, contending for the cache, the CPU and the disks.
 """
 
 from dataclasses import dataclass
@@ -28,7 +33,13 @@ class _Request:
     length: int
     cp_index: int
     disk_index: int
+    session: object = None    # the CollectiveSession this request belongs to
     reply_event: Event = None
+
+    @property
+    def file(self):
+        """The striped file this request targets."""
+        return self.session.file
 
 
 class TraditionalCachingFS(CollectiveFileSystem):
@@ -36,10 +47,10 @@ class TraditionalCachingFS(CollectiveFileSystem):
 
     method_name = "traditional"
 
-    #: mailbox tag under which IOPs receive file-system requests
+    #: base mailbox tag under which IOPs receive file-system requests
     REQUEST_TAG = "tc-request"
 
-    def __init__(self, machine, striped_file, cache_blocks_per_cp_per_disk=2,
+    def __init__(self, machine, striped_file=None, cache_blocks_per_cp_per_disk=2,
                  prefetch_blocks=1, outstanding_per_disk=1):
         super().__init__(machine, striped_file)
         if outstanding_per_disk < 1:
@@ -47,6 +58,7 @@ class TraditionalCachingFS(CollectiveFileSystem):
         self.prefetch_blocks = prefetch_blocks
         self.outstanding_per_disk = outstanding_per_disk
         self.cache_blocks_per_cp_per_disk = cache_blocks_per_cp_per_disk
+        self.request_tag = (self.REQUEST_TAG, self.fs_id)
         self.caches = []
         for iop in machine.iops:
             local_disks = len(iop.disks)
@@ -64,18 +76,19 @@ class TraditionalCachingFS(CollectiveFileSystem):
             self.env.process(self._iop_dispatcher(iop, cache))
 
     # -- transfer orchestration ---------------------------------------------------------
-    def _start_transfer(self, pattern):
+    def _start_transfer(self, session):
+        pattern = session.pattern
         cp_processes = []
         for cp_index in range(self.config.n_cps):
             if pattern.bytes_for_cp(cp_index) == 0:
                 continue
-            cp_processes.append(self.env.process(self._cp_worker(cp_index, pattern)))
-        return self.env.process(self._finish(cp_processes, pattern))
+            cp_processes.append(self.env.process(self._cp_worker(cp_index, session)))
+        return self.env.process(self._finish(cp_processes, session))
 
-    def _finish(self, cp_processes, pattern):
+    def _finish(self, cp_processes, session):
         if cp_processes:
             yield AllOf(self.env, cp_processes)
-        if pattern.is_write:
+        if session.pattern.is_write:
             # Write-behind: wait for IOP caches to drain and disks to destage,
             # so the reported time includes all outstanding writes (as in the
             # paper's methodology).
@@ -83,7 +96,7 @@ class TraditionalCachingFS(CollectiveFileSystem):
             yield AllOf(self.env, [disk.flush() for disk in self.machine.disks])
 
     # -- compute-processor side -----------------------------------------------------------
-    def _cp_worker(self, cp_index, pattern):
+    def _cp_worker(self, cp_index, session):
         """One CP's request loop: ReadCP/WriteCP once per contiguous chunk.
 
         Mirrors Figure 1a: within one chunk the CP keeps up to one request
@@ -93,29 +106,36 @@ class TraditionalCachingFS(CollectiveFileSystem):
         the behaviour the paper's sensitivity analysis calls out for ``rc``.
         """
         cp_node = self.machine.cps[cp_index]
-        for offset, length in pattern.chunks_for_cp(cp_index):
-            yield from self._cp_transfer_chunk(cp_node, cp_index, pattern,
-                                               offset, length)
+        for offset, length in session.pattern.chunks_for_cp(cp_index):
+            yield from self._issue_byte_range(cp_node, cp_index, session,
+                                              offset, length)
 
-    def _cp_transfer_chunk(self, cp_node, cp_index, pattern, offset, length):
-        """One ReadCP/WriteCP call: issue per-block requests, then wait for all."""
+    def _issue_byte_range(self, cp_node, cp_index, session, offset, length):
+        """One ReadCP/WriteCP call: issue per-block requests, then wait for all.
+
+        Shared by traditional caching's chunk loop and two-phase I/O's
+        conforming-distribution phase: at most ``outstanding_per_disk``
+        requests in flight per disk, then wait for the stragglers.
+        """
+        striped_file = session.file
         outstanding = {}
-        for block, offset_in_block, piece in self.file.block_pieces(offset, length):
-            disk_index = self.file.disk_of_block(block)
+        for block, offset_in_block, piece in striped_file.block_pieces(offset, length):
+            disk_index = striped_file.disk_of_block(block)
             waiting = outstanding.get(disk_index)
             if waiting is not None and len(waiting) >= self.outstanding_per_disk:
                 yield waiting.pop(0)
             request = _Request(
-                kind="write" if pattern.is_write else "read",
+                kind="write" if session.pattern.is_write else "read",
                 block=block,
                 offset_in_block=offset_in_block,
                 length=piece,
                 cp_index=cp_index,
                 disk_index=disk_index,
+                session=session,
             )
             event = self.env.process(self._cp_issue_request(cp_node, request))
             outstanding.setdefault(disk_index, []).append(event)
-            self.counters["cp_requests"].add(1)
+            session.count("cp_requests")
         remaining = [event for events in outstanding.values() for event in events]
         if remaining:
             yield AllOf(self.env, remaining)
@@ -138,7 +158,7 @@ class TraditionalCachingFS(CollectiveFileSystem):
             payload=request,
         )
         yield from self.machine.network.send(
-            message, iop.mailbox, tag=self.REQUEST_TAG)
+            message, iop.mailbox, tag=self.request_tag)
         # The reply is DMA'd into the user buffer; the CP just waits for it.
         yield request.reply_event
 
@@ -147,8 +167,8 @@ class TraditionalCachingFS(CollectiveFileSystem):
         """Receive requests and hand each one to a fresh handler thread."""
         costs = self.costs
         while True:
-            message = yield iop.mailbox.receive(self.REQUEST_TAG)
-            self.counters["iop_messages"].add(1)
+            message = yield iop.mailbox.receive(self.request_tag)
+            message.payload.session.count("iop_messages")
             yield from self._charge_cpu(
                 iop, costs.message_overhead + costs.thread_dispatch_overhead)
             self.env.process(self._handle_request(iop, cache, message.payload))
@@ -161,32 +181,45 @@ class TraditionalCachingFS(CollectiveFileSystem):
 
     def _handle_read(self, iop, cache, request):
         costs = self.costs
+        striped_file = request.file
         yield from self._charge_cpu(iop, costs.cache_lookup_overhead)
-        yield cache.acquire_for_read(request.block)
+        yield cache.acquire_for_read(request.block, file=striped_file)
         # One-block-ahead prefetch: the next block of this file on this disk.
         if self.prefetch_blocks > 0:
             for ahead in range(1, self.prefetch_blocks + 1):
-                next_block = request.block + ahead * self.file.n_disks
-                if next_block < self.file.n_blocks:
-                    cache.try_prefetch(next_block)
+                next_block = request.block + ahead * striped_file.n_disks
+                if next_block < striped_file.n_blocks:
+                    cache.try_prefetch(next_block, file=striped_file)
         # Reply with the data (deposited into the user's buffer by DMA).
         yield from self._charge_cpu(iop, costs.message_overhead)
         cp_node = self.machine.cps[request.cp_index]
         yield from self.machine.network.transfer(
             iop.node_id, cp_node.node_id, HEADER_BYTES + request.length)
-        self.counters["bytes_moved"].add(request.length)
+        request.session.count("bytes_moved", request.length)
         request.reply_event.succeed()
 
     def _handle_write(self, iop, cache, request):
         costs = self.costs
+        striped_file = request.file
         yield from self._charge_cpu(iop, costs.cache_lookup_overhead)
-        yield cache.acquire_for_write(request.block)
+        # Acquire and pin the buffer: under concurrent collectives the cache
+        # can thrash, and an unpinned buffer could be evicted between
+        # allocation and the copy — silently dropping the written bytes.
+        while True:
+            yield cache.acquire_for_write(request.block, file=striped_file)
+            if cache.pin(request.block, file=striped_file):
+                break
         # The single memory-memory copy of the design: thread buffer -> cache.
         copy_time = request.length / costs.memory_copy_bandwidth
         yield from self._charge_cpu(iop, copy_time)
-        full = cache.record_write(request.block, request.length, self.file.block_size)
+        # The data crossed the wire in the request message; account it here,
+        # where the IOP has accepted it into the cache.
+        request.session.count("bytes_moved", request.length)
+        full = cache.record_write(request.block, request.length,
+                                  striped_file.block_size, file=striped_file)
         if full:
-            cache.flush_block(request.block)
+            cache.flush_block(request.block, file=striped_file)
+        cache.unpin(request.block, file=striped_file)
         # Acknowledge so the CP can reuse its outstanding-request slot.
         yield from self._charge_cpu(iop, costs.message_overhead)
         cp_node = self.machine.cps[request.cp_index]

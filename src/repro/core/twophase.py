@@ -26,45 +26,47 @@ class TwoPhaseFS(TraditionalCachingFS):
 
     method_name = "two-phase"
 
-    def __init__(self, machine, striped_file, **kwargs):
+    def __init__(self, machine, striped_file=None, **kwargs):
         super().__init__(machine, striped_file, **kwargs)
 
     # -- transfer orchestration ---------------------------------------------------------
-    def _start_transfer(self, pattern):
-        barrier = Barrier(self.env, self.config.n_cps, name="two-phase-barrier")
-        exchange = self._permutation_matrix(pattern)
+    def _start_transfer(self, session):
+        barrier = Barrier(self.env, self.config.n_cps,
+                          name=f"two-phase-barrier-{session.session_id}")
+        exchange = self._permutation_matrix(session.pattern, session.file)
         cp_processes = [
             self.env.process(
-                self._two_phase_cp_worker(cp_index, pattern, barrier, exchange))
+                self._two_phase_cp_worker(cp_index, session, barrier, exchange))
             for cp_index in range(self.config.n_cps)
         ]
-        return self.env.process(self._finish(cp_processes, pattern))
+        return self.env.process(self._finish(cp_processes, session))
 
     # -- the conforming distribution ------------------------------------------------------
-    def conforming_range(self, cp_index):
+    def conforming_range(self, cp_index, striped_file=None):
         """Byte range of the file CP *cp_index* touches during the I/O phase.
 
         The conforming distribution is BLOCK over file blocks: contiguous,
         block-aligned, evenly split — the distribution the designers of
         two-phase I/O identified as matching a row-major file layout.
         """
-        n_blocks = self.file.n_blocks
+        striped_file = striped_file if striped_file is not None else self.file
+        n_blocks = striped_file.n_blocks
         per_cp = -(-n_blocks // self.config.n_cps)  # ceil
         first_block = min(cp_index * per_cp, n_blocks)
         last_block = min(first_block + per_cp, n_blocks)
-        start = first_block * self.file.block_size
-        end = min(last_block * self.file.block_size, self.file.size_bytes)
+        start = first_block * striped_file.block_size
+        end = min(last_block * striped_file.block_size, striped_file.size_bytes)
         if start >= end:
             return (0, 0)
         return (start, end - start)
 
-    def _permutation_matrix(self, pattern):
+    def _permutation_matrix(self, pattern, striped_file=None):
         """bytes_to_send[i][j]: bytes CP *i* holds (conforming) that CP *j* owns."""
         n_cps = self.config.n_cps
         record_size = pattern.record_size
         matrix = np.zeros((n_cps, n_cps), dtype=np.int64)
         for holder in range(n_cps):
-            start, length = self.conforming_range(holder)
+            start, length = self.conforming_range(holder, striped_file)
             if length == 0:
                 continue
             first_record = start // record_size
@@ -81,50 +83,31 @@ class TwoPhaseFS(TraditionalCachingFS):
         return matrix
 
     # -- CP behaviour -------------------------------------------------------------------
-    def _two_phase_cp_worker(self, cp_index, pattern, barrier, exchange):
+    def _two_phase_cp_worker(self, cp_index, session, barrier, exchange):
         yield barrier.wait()
-        if pattern.is_read:
-            yield from self._io_phase(cp_index, pattern)
+        if session.pattern.is_read:
+            yield from self._io_phase(cp_index, session)
             yield barrier.wait()
-            yield from self._permute_phase(cp_index, exchange)
+            yield from self._permute_phase(cp_index, session, exchange)
             yield barrier.wait()
         else:
             # Writes permute first (gather data into the conforming holders),
             # then the holders write their contiguous ranges.
-            yield from self._permute_phase(cp_index, exchange.T)
+            yield from self._permute_phase(cp_index, session, exchange.T)
             yield barrier.wait()
-            yield from self._io_phase(cp_index, pattern)
+            yield from self._io_phase(cp_index, session)
             yield barrier.wait()
 
-    def _io_phase(self, cp_index, pattern):
+    def _io_phase(self, cp_index, session):
         """Read/write this CP's conforming range through the caching IOPs."""
-        start, length = self.conforming_range(cp_index)
+        start, length = self.conforming_range(cp_index, session.file)
         if length == 0:
             return
         cp_node = self.machine.cps[cp_index]
-        outstanding = {}
-        for block, offset_in_block, piece in self.file.block_pieces(start, length):
-            disk_index = self.file.disk_of_block(block)
-            waiting = outstanding.get(disk_index)
-            if waiting is not None and len(waiting) >= self.outstanding_per_disk:
-                yield waiting.pop(0)
-            from repro.core.traditional import _Request
-            request = _Request(
-                kind="write" if pattern.is_write else "read",
-                block=block,
-                offset_in_block=offset_in_block,
-                length=piece,
-                cp_index=cp_index,
-                disk_index=disk_index,
-            )
-            event = self.env.process(self._cp_issue_request(cp_node, request))
-            outstanding.setdefault(disk_index, []).append(event)
-            self.counters["cp_requests"].add(1)
-        remaining = [event for events in outstanding.values() for event in events]
-        if remaining:
-            yield AllOf(self.env, remaining)
+        yield from self._issue_byte_range(cp_node, cp_index, session,
+                                          start, length)
 
-    def _permute_phase(self, cp_index, exchange):
+    def _permute_phase(self, cp_index, session, exchange):
         """Send every other CP the bytes it owns out of my conforming range."""
         cp_node = self.machine.cps[cp_index]
         sends = []
@@ -133,13 +116,16 @@ class TwoPhaseFS(TraditionalCachingFS):
             if target == cp_index or n_bytes == 0:
                 continue
             sends.append(self.env.process(
-                self._permute_send(cp_node, target, n_bytes)))
+                self._permute_send(cp_node, session, target, n_bytes)))
         if sends:
             yield AllOf(self.env, sends)
 
-    def _permute_send(self, cp_node, target, n_bytes):
+    def _permute_send(self, cp_node, session, target, n_bytes):
         target_node = self.machine.cps[target]
         yield from self._charge_cpu(cp_node, self.costs.message_overhead)
         yield from self.machine.network.transfer(
             cp_node.node_id, target_node.node_id, n_bytes + 32)
-        self.counters["bytes_moved"].add(n_bytes)
+        # CP-to-CP redistribution is not file traffic: keep it out of
+        # bytes_moved so the conservation invariant (bytes_moved ==
+        # bytes_requested) holds for two-phase sessions too.
+        session.count("permute_bytes", n_bytes)

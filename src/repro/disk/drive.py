@@ -37,6 +37,10 @@ class DiskRequest:
     completion: Event = None
     submit_time: float = 0.0
     tag: object = None
+    #: optional event fired when a write's data reaches the media (for reads
+    #: it fires together with ``completion``); clients that must drain their
+    #: own write-behind without waiting on other clients' traffic use this.
+    media_completion: Event = None
 
     @property
     def n_bytes(self):
@@ -126,6 +130,20 @@ class Disk:
     def write(self, lbn, n_sectors, tag=None):
         """Submit a write; returns an event fired when the drive accepts the data."""
         return self.submit(DiskRequest(op=WRITE, lbn=lbn, n_sectors=n_sectors, tag=tag))
+
+    def write_tracked(self, lbn, n_sectors, tag=None):
+        """Submit a write; returns ``(accepted, on_media)`` events.
+
+        ``accepted`` fires when the drive takes the data (write-cache
+        semantics, same as :meth:`write`); ``on_media`` fires when *this*
+        write's destage finishes.  Unlike :meth:`flush`, waiting on
+        ``on_media`` does not couple the caller to other clients' pending
+        writes — which matters when several collectives share the drive.
+        """
+        request = DiskRequest(op=WRITE, lbn=lbn, n_sectors=n_sectors, tag=tag)
+        request.media_completion = Event(self.env)
+        accepted = self.submit(request)
+        return accepted, request.media_completion
 
     def submit(self, request):
         """Queue *request*; returns its completion event."""
@@ -230,6 +248,7 @@ class Disk:
         self.stats.reads += 1
         self.stats.bytes_read += request.n_bytes
         request.completion.succeed(request)
+        self._signal_media(request)
 
     # -- write path ---------------------------------------------------------------
     def _service_write(self, request):
@@ -255,6 +274,7 @@ class Disk:
             self.stats.writes += 1
             self.stats.bytes_written += request.n_bytes
             request.completion.succeed(request)
+            self._signal_media(request)
             self._maybe_release_flush_waiters()
 
     def _destage_loop(self):
@@ -268,6 +288,7 @@ class Disk:
                 self._write_buffer_waiters.pop(0).succeed()
             yield from self._write_to_media(request)
             self._writes_outstanding -= 1
+            self._signal_media(request)
             self._maybe_release_flush_waiters()
 
     def _write_to_media(self, request):
@@ -284,6 +305,11 @@ class Disk:
         # Writing invalidates any read-ahead state (conservative).
         self.readahead.invalidate()
         yield env.timeout(positioning + transfer)
+
+    def _signal_media(self, request):
+        if request.media_completion is not None \
+                and not request.media_completion.triggered:
+            request.media_completion.succeed(request)
 
     def _maybe_release_flush_waiters(self):
         if self._writes_outstanding == 0 and not self._has_pending_writes():

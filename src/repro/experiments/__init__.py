@@ -9,16 +9,25 @@
 * :mod:`repro.experiments.report` — plain-text tables and bar charts.
 * :mod:`repro.experiments.claims` — checks the paper's headline claims
   (e.g. "disk-directed I/O was up to 16 times faster") against measured data.
+* :mod:`repro.experiments.service` — beyond the paper: the service-style
+  experiment family (concurrent mixed collectives vs offered load).
 """
 
 from repro.experiments.config import ExperimentConfig, TrialSummary
 from repro.experiments.runner import (
     ResultCache,
+    register_experiment_family,
     run_experiment,
+    run_trial,
     run_trials,
     sweep,
     sweep_parallel,
     trial_cache_key,
+)
+from repro.experiments.service import (
+    ServiceExperimentConfig,
+    run_service_experiment,
+    service_figure,
 )
 from repro.experiments.figures import (
     FIGURES,
@@ -35,6 +44,7 @@ __all__ = [
     "ExperimentConfig",
     "FIGURES",
     "ResultCache",
+    "ServiceExperimentConfig",
     "TrialSummary",
     "figure3",
     "figure4",
@@ -42,8 +52,12 @@ __all__ = [
     "figure6",
     "figure7",
     "figure8",
+    "register_experiment_family",
     "run_experiment",
+    "run_service_experiment",
+    "run_trial",
     "run_trials",
+    "service_figure",
     "sweep",
     "sweep_parallel",
     "table1",

@@ -17,6 +17,7 @@ from repro.experiments.claims import check_headline_claims
 from repro.experiments.config import MEGABYTE, ExperimentConfig
 from repro.experiments.report import format_bar_chart, format_series_table, format_table
 from repro.experiments.runner import run_trials, sweep, sweep_parallel
+from repro.experiments.service import service_figure
 from repro.machine import MachineConfig
 from repro.patterns import READ_PATTERN_NAMES, WRITE_PATTERN_NAMES
 
@@ -213,7 +214,9 @@ def table1():
         rows, columns=["parameter", "value"])
 
 
-#: Registry used by the CLI and the benchmark harness.
+#: Registry used by the CLI and the benchmark harness.  ``service`` goes
+#: beyond the paper: concurrent mixed collectives vs offered load (see
+#: repro.experiments.service and docs/workloads.md).
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -222,6 +225,7 @@ FIGURES = {
     "figure6": figure6,
     "figure7": figure7,
     "figure8": figure8,
+    "service": service_figure,
 }
 
 
@@ -271,6 +275,11 @@ def main(argv=None):
         generator = FIGURES[name]
         if name == "table1":
             _rows, text = generator()
+        elif name == "service":
+            summaries, text = generator(
+                trials=args.trials, progress=progress,
+                workers=args.workers, cache=args.cache)
+            collected.extend(summaries)
         elif name in ("figure3", "figure4"):
             summaries, text = generator(
                 record_sizes=record_sizes, file_mb=args.file_mb,

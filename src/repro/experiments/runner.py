@@ -5,6 +5,12 @@ Besides the serial :func:`sweep`, this module provides :func:`sweep_parallel`
 seeds) and :class:`ResultCache`, an on-disk JSON cache of single-trial results
 keyed by a stable hash of the configuration, so regenerating figures is
 incremental: only data points whose configuration changed are re-simulated.
+
+The sweep machinery is generic over *experiment families*: a family is a
+frozen config dataclass plus a ``run(config, seed)`` function, registered via
+:func:`register_experiment_family`.  The paper's single-collective family
+(:class:`ExperimentConfig` -> :class:`TransferResult`) registers itself below;
+the service-style family lives in :mod:`repro.experiments.service`.
 """
 
 import hashlib
@@ -23,7 +29,43 @@ from repro.machine import Machine, MachineConfig
 from repro.patterns import make_pattern
 
 #: Bump to invalidate every cache entry when a model change alters results.
-CACHE_SCHEMA_VERSION = 1
+#: CI guards this: a change under the simulation model's source trees without
+#: a bump here fails the schema-guard job (tools/check_schema_bump.py).
+#:
+#: 2 — cache entries grew a self-describing envelope (schema + result type);
+#:     per-session counters replaced lifetime counters in TransferResult;
+#:     traditional-caching writes now account bytes_moved.
+CACHE_SCHEMA_VERSION = 2
+
+
+# -- experiment families --------------------------------------------------------
+
+#: config type -> run function (config, seed) -> result dataclass
+_TRIAL_RUNNERS = {}
+#: result type name -> result class, for cache reconstruction
+_RESULT_TYPES = {}
+
+
+def register_experiment_family(config_type, run_fn, result_type):
+    """Teach the sweep/cache machinery about a new experiment family.
+
+    *config_type* must be a (frozen) dataclass with ``seed`` and ``label``
+    fields; *run_fn(config, seed)* runs one trial; *result_type* is the
+    dataclass ``run_fn`` returns (reconstructed from cached JSON as
+    ``result_type(**fields)``).
+    """
+    _TRIAL_RUNNERS[config_type] = run_fn
+    _RESULT_TYPES[result_type.__name__] = result_type
+
+
+def run_trial(config, seed=None):
+    """Run one trial of *config*, dispatching on its experiment family."""
+    run_fn = _TRIAL_RUNNERS.get(type(config))
+    if run_fn is None:
+        raise TypeError(
+            f"{type(config).__name__} is not a registered experiment family "
+            f"(known: {sorted(cls.__name__ for cls in _TRIAL_RUNNERS)})")
+    return run_fn(config, seed)
 
 
 def build_machine_config(config):
@@ -56,61 +98,89 @@ def run_experiment(config, seed=None):
     return implementation.transfer(pattern)
 
 
+register_experiment_family(ExperimentConfig, run_experiment, TransferResult)
+
+
 # -- result caching ------------------------------------------------------------
 
 def trial_cache_key(config, seed):
     """Stable content hash identifying one (configuration, trial seed) result.
 
     The ``label`` field is cosmetic and the ``seed`` field is superseded by
-    the effective trial seed, so neither participates in the key.
+    the effective trial seed, so neither participates in the key.  The config
+    type participates, so two families whose configs happen to share field
+    values can never collide.
     """
     payload = asdict(config)
     payload.pop("label", None)
     payload.pop("seed", None)
+    payload["config_type"] = type(config).__name__
     payload["trial_seed"] = seed
     payload["schema"] = CACHE_SCHEMA_VERSION
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=list)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
 class ResultCache:
-    """On-disk cache of single-trial :class:`TransferResult` objects.
+    """On-disk cache of single-trial result objects.
 
-    One JSON file per trial, named by :func:`trial_cache_key`.  Writes go
-    through a temp file + atomic rename so concurrent sweeps sharing a cache
-    directory never observe torn entries.
+    One JSON file per trial, named by :func:`trial_cache_key`.  Entries are
+    self-describing: alongside the result's fields they carry a ``schema``
+    stamp and the ``result_type`` to reconstruct.  Writes go through a temp
+    file + atomic rename so concurrent sweeps sharing a cache directory never
+    observe torn entries.
     """
+
+    #: entry keys reserved for the envelope (never result dataclass fields)
+    _ENVELOPE_KEYS = ("schema", "result_type")
 
     def __init__(self, directory):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: entries rejected because their schema stamp is not current
+        self.stale = 0
 
     def _path(self, key):
         return self.directory / f"{key}.json"
 
     def get(self, key):
-        """The cached :class:`TransferResult` for *key*, or ``None``.
+        """The cached result object for *key*, or ``None``.
 
-        Unreadable, corrupt, or stale-schema entries (e.g. written before a
-        field was added to :class:`TransferResult`) degrade to a miss and are
-        re-simulated rather than crashing the sweep.
+        Unreadable or corrupt entries degrade to a miss.  Entries whose
+        ``schema`` stamp differs from :data:`CACHE_SCHEMA_VERSION` (including
+        pre-envelope entries with no stamp at all) are *rejected* — a model
+        change must never serve stale figures — and counted in ``stale``.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
-            result = TransferResult(**data)
-        except (FileNotFoundError, json.JSONDecodeError, TypeError):
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(data, dict) \
+                or data.get("schema") != CACHE_SCHEMA_VERSION:
+            self.stale += 1
+            self.misses += 1
+            return None
+        result_class = _RESULT_TYPES.get(data.get("result_type"))
+        fields = {name: value for name, value in data.items()
+                  if name not in self._ENVELOPE_KEYS}
+        try:
+            result = result_class(**fields)
+        except TypeError:
             self.misses += 1
             return None
         self.hits += 1
         return result
 
     def put(self, key, result):
-        """Persist *result* under *key*."""
+        """Persist *result* under *key* (with schema + type envelope)."""
         data = asdict(result)
+        data["schema"] = CACHE_SCHEMA_VERSION
+        data["result_type"] = type(result).__name__
         fd, tmp_path = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".json")
         try:
@@ -153,7 +223,7 @@ def run_trials(config, trials=5, base_seed=None, cache=None):
             key = trial_cache_key(config, seed)
             result = cache.get(key)
         if result is None:
-            result = run_experiment(config, seed=seed)
+            result = run_trial(config, seed=seed)
             if cache is not None:
                 cache.put(key, result)
         summary.results.append(result)
@@ -181,7 +251,7 @@ def sweep(configs, trials=1, base_seed=None, progress=None, cache=None):
 def _run_trial_job(job):
     """Top-level worker so :class:`ProcessPoolExecutor` can pickle it."""
     config, seed = job
-    return run_experiment(config, seed=seed)
+    return run_trial(config, seed=seed)
 
 
 def sweep_parallel(configs, trials=1, base_seed=None, workers=None,
@@ -190,8 +260,10 @@ def sweep_parallel(configs, trials=1, base_seed=None, workers=None,
 
     Produces exactly the same :class:`TrialSummary` list as the serial sweep:
     every trial's seed is a pure function of its configuration and position
-    (``base_seed + trial``, as in :func:`run_trials`), and the simulator is
-    deterministic given a seed, so the fan-out is unobservable in the results.
+    (``base_seed + trial``, as in :func:`run_trials`), every *request's*
+    randomness inside a service trial is a pure function of (trial seed,
+    request index), and the simulator is deterministic given a seed, so the
+    fan-out is unobservable in the results.
 
     *workers* ``None``/``0``/``1`` delegates to the serial :func:`sweep`
     (still using *cache*); otherwise a pool of that many processes serves the

@@ -1,0 +1,196 @@
+"""The ``service`` experiment family: concurrent collectives vs offered load.
+
+The paper's figures each time one collective in isolation.  This family
+drives the service-style workload of :mod:`repro.workload` — a stream of
+mixed read/write collectives over several open files, K admitted at a time —
+and plots sustained throughput and response-time percentiles against offered
+load, DDIO vs traditional caching.  It is the north-star scenario: a parallel
+file *server* under heavy concurrent traffic.
+
+The family plugs into the generic sweep machinery of
+:mod:`repro.experiments.runner` (serial/parallel sweeps, on-disk result
+cache), so ``ddio-figures service --workers 4 --cache DIR`` works exactly
+like the paper figures.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.config import MEGABYTE
+from repro.experiments.report import format_series_table, format_table
+from repro.experiments.runner import register_experiment_family
+from repro.machine import MachineConfig
+from repro.workload.driver import ServiceResult, ServiceWorkload, run_service
+
+KILOBYTE = 1024
+
+#: Offered loads (requests/second) swept by the default service figure.
+#: At the default scale (32 x 1 MB collectives, paper machine) the server
+#: saturates around 8-9 requests/second, so the sweep spans under-load,
+#: saturation and over-load.  The 16-file working set (16 MB) deliberately
+#: exceeds the traditional IOP caches (4 MB aggregate) — a server under heavy
+#: traffic from many jobs does not fit its working set in cache.
+DEFAULT_LOADS = (4.0, 8.0, 16.0)
+
+#: Methods compared by the default service figure.
+SERVICE_METHODS = ("disk-directed", "traditional")
+
+
+@dataclass(frozen=True)
+class ServiceExperimentConfig:
+    """One data point: a method driven by one service workload on one machine."""
+
+    method: str = "disk-directed"
+    arrival: str = "poisson"
+    arrival_rate: float = 8.0
+    think_time: float = 0.0
+    exponential_think: bool = False
+    concurrency: int = 4
+    n_requests: int = 32
+    n_files: int = 16
+    file_size: int = MEGABYTE
+    layout: str = "random"
+    read_fraction: float = 0.7
+    file_assignment: str = "round-robin"
+    pattern_specs: tuple = ("b", "c")
+    record_size: int = 8192
+    n_cps: int = 16
+    n_iops: int = 16
+    n_disks: int = 16
+    block_size: int = 8192
+    seed: int = 0
+    label: str = ""
+
+    @property
+    def pattern(self):
+        """Mixed-pattern summary (duck-compatible with ExperimentConfig rows)."""
+        specs = ",".join(self.pattern_specs)
+        return f"mix({specs})"
+
+    def workload(self):
+        """The :class:`ServiceWorkload` this config describes."""
+        return ServiceWorkload(
+            n_requests=self.n_requests,
+            arrival=self.arrival,
+            arrival_rate=self.arrival_rate,
+            think_time=self.think_time,
+            exponential_think=self.exponential_think,
+            concurrency=self.concurrency,
+            n_files=self.n_files,
+            file_size=self.file_size,
+            layout=self.layout,
+            read_fraction=self.read_fraction,
+            file_assignment=self.file_assignment,
+            pattern_specs=tuple(self.pattern_specs),
+            record_size=self.record_size,
+            seed=self.seed,
+        )
+
+    def machine_config(self):
+        return MachineConfig(
+            n_cps=self.n_cps,
+            n_iops=self.n_iops,
+            n_disks=self.n_disks,
+            block_size=self.block_size,
+        )
+
+    def describe(self):
+        return (f"{self.method} service {self.arrival}@{self.arrival_rate:g}/s "
+                f"K={self.concurrency} {self.n_requests} reqs x "
+                f"{self.file_size // KILOBYTE} KB files={self.n_files} "
+                f"cps={self.n_cps} iops={self.n_iops} disks={self.n_disks}")
+
+
+def run_service_experiment(config, seed=None):
+    """Run one service trial and return its :class:`ServiceResult`."""
+    if not isinstance(config, ServiceExperimentConfig):
+        raise TypeError(
+            f"expected ServiceExperimentConfig, got {type(config).__name__}")
+    trial_seed = config.seed if seed is None else seed
+    return run_service(
+        config.method,
+        config.workload(),
+        machine_config=config.machine_config(),
+        seed=trial_seed,
+    )
+
+
+register_experiment_family(ServiceExperimentConfig, run_service_experiment,
+                           ServiceResult)
+
+
+# -- the figure ------------------------------------------------------------------
+
+def service_configs(loads=DEFAULT_LOADS, methods=SERVICE_METHODS, **overrides):
+    """The config grid of the service figure: one point per (load, method)."""
+    configs = []
+    for load in loads:
+        for method in methods:
+            configs.append(ServiceExperimentConfig(
+                method=method,
+                arrival_rate=load,
+                label=f"{method}@{load:g}",
+                **overrides,
+            ))
+    return configs
+
+
+def service_figure(loads=DEFAULT_LOADS, methods=SERVICE_METHODS, trials=1,
+                   progress=None, workers=None, cache=None, **overrides):
+    """Throughput and response-time percentiles vs offered load, per method.
+
+    Returns ``(summaries, text)`` like every other figure generator.  Extra
+    keyword arguments override :class:`ServiceExperimentConfig` fields (e.g.
+    ``n_cps=4, file_size=128*1024`` for a laptop-scale run).
+    """
+    from repro.experiments.runner import sweep_parallel
+
+    configs = service_configs(loads=loads, methods=methods, **overrides)
+    summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                               workers=workers, cache=cache)
+    throughput_series = {}
+    p50_series = {}
+    p99_series = {}
+    rows = []
+    for summary in summaries:
+        config = summary.config
+        name = "DDIO" if config.method.startswith("disk-directed") else \
+            config.method.replace("traditional", "TC")
+        load = config.arrival_rate
+        mean_tp = summary.mean_throughput_mb
+        p50 = _mean(result.response_percentile(0.50) for result in summary.results)
+        p99 = _mean(result.response_percentile(0.99) for result in summary.results)
+        throughput_series.setdefault(name, []).append((load, mean_tp))
+        p50_series.setdefault(name, []).append((load, p50 * 1e3))
+        p99_series.setdefault(name, []).append((load, p99 * 1e3))
+        rows.append({
+            "method": config.method,
+            "load_req_s": load,
+            "throughput_mb": mean_tp,
+            "p50_ms": p50 * 1e3,
+            "p99_ms": p99 * 1e3,
+            "max_in_flight": max(result.max_in_flight
+                                 for result in summary.results),
+            "trials": len(summary.results),
+        })
+    sample = configs[0]
+    text = (
+        f"Service workload: {sample.n_requests} mixed collectives "
+        f"({sample.read_fraction:.0%} reads) over {sample.n_files} "
+        f"{sample.file_size // KILOBYTE} KB {sample.layout} files, "
+        f"K={sample.concurrency} admitted, {sample.arrival} arrivals\n\n"
+        + format_table(rows, columns=["method", "load_req_s", "throughput_mb",
+                                      "p50_ms", "p99_ms", "max_in_flight",
+                                      "trials"])
+        + "\n\nSustained throughput (Mbytes/s) vs offered load (req/s)\n"
+        + format_series_table(throughput_series, x_label="load")
+        + "\n\nMedian response time (ms) vs offered load (req/s)\n"
+        + format_series_table(p50_series, x_label="load")
+        + "\n\n99th-percentile response time (ms) vs offered load (req/s)\n"
+        + format_series_table(p99_series, x_label="load")
+    )
+    return summaries, text
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

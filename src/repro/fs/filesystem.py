@@ -1,5 +1,9 @@
 """A small metadata manager tying files, layouts and the machine together."""
 
+import math
+
+import numpy as np
+
 from repro.fs.file import StripedFile
 from repro.fs.layout import make_layout
 
@@ -10,20 +14,52 @@ class FileSystem:
     This object owns no simulation state; it exists so that examples and the
     experiment harness can say "give me a 10 MB file on a random-blocks
     layout" without repeating the plumbing.
+
+    Several files may be open concurrently, each with an independent layout:
+
+    * contiguous files are placed in disjoint physical extents (the manager
+      keeps a per-disk allocation cursor, so a second file starts where the
+      first one's extent ends);
+    * random-blocks files each get their own placement seed, derived
+      deterministically from the file-system seed and the file's creation
+      index, so two files never share a permutation (and results stay
+      reproducible).
     """
 
     def __init__(self, config, layout_seed=0):
         self.config = config
         self.layout_seed = layout_seed
         self.files = {}
+        #: creation counter; drives per-file seed derivation
+        self._files_created = 0
+        #: per-disk allocation cursor (in blocks) for contiguous extents
+        self._next_start_block = 0
+
+    def _derived_seed(self, file_index):
+        """Layout seed for the *file_index*-th file.
+
+        The first file uses the file-system seed unchanged (identical to the
+        original single-file behaviour, which every paper experiment pins);
+        later files derive an independent seed from (seed, index).
+        """
+        if file_index == 0:
+            return self.layout_seed
+        return int(np.random.SeedSequence(
+            [self.layout_seed, file_index]).generate_state(1)[0])
 
     def create_file(self, name, size_bytes, layout="contiguous", layout_seed=None):
         """Create (the metadata of) a striped file and remember it by name."""
         if name in self.files:
             raise ValueError(f"file {name!r} already exists")
-        seed = self.layout_seed if layout_seed is None else layout_seed
+        if layout_seed is None:
+            seed = self._derived_seed(self._files_created)
+        else:
+            seed = layout_seed
+        blocks_per_disk = math.ceil(
+            math.ceil(size_bytes / self.config.block_size) / self.config.n_disks)
         physical = make_layout(layout, self.config.disk_spec,
-                               self.config.block_size, seed=seed)
+                               self.config.block_size, seed=seed,
+                               start_block=self._next_start_block)
         striped = StripedFile(
             name=name,
             size_bytes=size_bytes,
@@ -32,6 +68,10 @@ class FileSystem:
             layout=physical,
         )
         self.files[name] = striped
+        self._files_created += 1
+        if physical.name == "contiguous":
+            # Reserve the extent so the next contiguous file starts after it.
+            self._next_start_block += blocks_per_disk
         return striped
 
     def open(self, name):
@@ -41,8 +81,17 @@ class FileSystem:
         except KeyError:
             raise FileNotFoundError(f"no such simulated file: {name!r}")
 
+    def open_files(self):
+        """All currently-open files, in creation order."""
+        return list(self.files.values())
+
     def remove(self, name):
-        """Forget a file's metadata."""
+        """Forget a file's metadata.
+
+        Contiguous extents are not compacted: the allocation cursor only ever
+        moves forward.  A simulated disk is large relative to the files the
+        experiments create, so fragmentation is not a concern.
+        """
         if name not in self.files:
             raise FileNotFoundError(f"no such simulated file: {name!r}")
         del self.files[name]

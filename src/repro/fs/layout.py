@@ -56,6 +56,13 @@ class ContiguousLayout(PhysicalLayout):
                 f"falls off the end of the disk")
         return physical_block * self.sectors_per_block
 
+    def check_capacity(self, blocks_needed):
+        """Raise if the extent starting at ``start_block`` cannot hold the file."""
+        if self.start_block + blocks_needed > self.blocks_per_disk:
+            raise ValueError(
+                f"file needs {blocks_needed} blocks per disk at extent base "
+                f"{self.start_block} but the disk only has {self.blocks_per_disk}")
+
 
 class _PartialPermutation:
     """Lazily materialised prefix of a uniform random permutation of ``range(n)``.
@@ -157,12 +164,18 @@ _LAYOUTS = {
 }
 
 
-def make_layout(name, spec, block_size, seed=0):
-    """Construct a layout by name (``contiguous`` or ``random``/``random-blocks``)."""
+def make_layout(name, spec, block_size, seed=0, start_block=0):
+    """Construct a layout by name (``contiguous`` or ``random``/``random-blocks``).
+
+    ``start_block`` positions a contiguous layout's extent base, which is how
+    the :class:`~repro.fs.filesystem.FileSystem` gives several concurrently
+    open files disjoint physical extents; random layouts ignore it (their
+    placement is scattered over the whole disk and disambiguated by seed).
+    """
     try:
         cls = _LAYOUTS[name]
     except KeyError:
         raise ValueError(f"unknown layout {name!r}; choose from {sorted(set(_LAYOUTS))}")
     if cls is RandomBlocksLayout:
         return cls(spec, block_size, seed=seed)
-    return cls(spec, block_size)
+    return cls(spec, block_size, start_block=start_block)

@@ -92,3 +92,12 @@ class Mailbox:
         if tag not in self._queues:
             return 0
         return len(self._queues[tag])
+
+    def discard(self, tag):
+        """Drop the sub-queue for *tag* (no-op if absent).
+
+        Protocols that mint per-session tags (e.g. disk-directed completion
+        notifications) call this once the tag is drained, so a long request
+        stream does not accumulate one dead queue per collective.
+        """
+        self._queues.pop(tag, None)

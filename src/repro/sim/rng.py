@@ -5,6 +5,8 @@ layout, initial rotational positions, network jitter) draws from its own
 child stream so adding a new component never perturbs existing ones.
 """
 
+import zlib
+
 import numpy as np
 
 
@@ -38,10 +40,12 @@ class RandomStreams:
     def stream(self, name):
         """Return the generator for *name* (creating an ad-hoc one if unknown)."""
         if name not in self._streams:
-            # Derive deterministically from the seed and the name so ad-hoc
-            # streams are still reproducible.
-            derived = np.random.SeedSequence(
-                [self.seed, abs(hash(name)) % (2 ** 31)])
+            # Derive deterministically from the seed and the name.  The hash
+            # must be stable across *processes* (``hash()`` is salted by
+            # PYTHONHASHSEED), or a parallel sweep's workers would disagree
+            # with a serial run about any ad-hoc stream.
+            digest = zlib.crc32(name.encode("utf-8"))
+            derived = np.random.SeedSequence([self.seed, digest])
             self._streams[name] = np.random.default_rng(derived)
         return self._streams[name]
 

@@ -1,0 +1,40 @@
+"""Service-style workloads: streams of concurrent collective requests.
+
+* :mod:`repro.workload.arrival` — closed-loop and Poisson open-loop arrival
+  processes with per-(seed, request) deterministic randomness.
+* :mod:`repro.workload.driver` — the :class:`ServiceDriver`: multiple open
+  files, a K-slot admission scheduler, per-request response-time accounting.
+
+See ``docs/workloads.md`` for how this maps onto (and extends) the paper's
+single-collective experiments.
+"""
+
+from repro.workload.arrival import (
+    ArrivalProcess,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    make_arrival,
+    request_rng,
+)
+from repro.workload.driver import (
+    ServiceDriver,
+    ServiceResult,
+    ServiceWorkload,
+    build_service_machine,
+    percentile,
+    run_service,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosedLoopArrivals",
+    "PoissonArrivals",
+    "ServiceDriver",
+    "ServiceResult",
+    "ServiceWorkload",
+    "build_service_machine",
+    "make_arrival",
+    "percentile",
+    "request_rng",
+    "run_service",
+]

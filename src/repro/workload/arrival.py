@@ -1,0 +1,135 @@
+"""Arrival processes for the service-style workload driver.
+
+Two families, matching the two standard ways of loading a server:
+
+* **closed loop** — a fixed population of clients, each issuing its next
+  collective as soon as the previous one completes (plus an optional think
+  time).  Offered load adapts to service capacity; this is the model behind
+  the paper's single-collective experiments (population 1, no think time).
+* **open loop (Poisson)** — requests arrive at fixed stochastic times drawn
+  from an exponential interarrival distribution, regardless of how the server
+  keeps up.  This is the request-stream model of trace-driven disk studies
+  and lets throughput/latency be plotted against *offered* load.
+
+Determinism: every random draw for request *i* of a trial comes from
+:func:`request_rng`, a generator derived purely from ``(trial_seed, i)``.
+Nothing depends on the order requests are planned, admitted or completed, so
+serial and parallel sweeps (and any interleaving of concurrent collectives)
+see bit-identical workloads.
+"""
+
+import numpy as np
+
+#: Domain separator so workload streams never collide with the machine's
+#: layout/rotation streams even when they share a trial seed.
+REQUEST_STREAM_TAG = 359_245
+
+#: Purpose tags: each consumer of a request's randomness gets its own
+#: independent stream, so adding or reordering draws in one consumer can
+#: never silently change another's values.
+PURPOSE_ARRIVAL = 1
+PURPOSE_PLAN = 2
+
+_EXPONENTIAL_FLOOR = 1e-12
+
+
+def request_rng(trial_seed, request_index, purpose=PURPOSE_PLAN):
+    """A generator that is a pure function of ``(trial_seed, request_index, purpose)``.
+
+    Used for everything stochastic about one request: its interarrival gap
+    (``PURPOSE_ARRIVAL``) and its target file / read-write coin / pattern
+    choice (``PURPOSE_PLAN``), each from an independent stream.  Deriving per
+    request (rather than drawing from one sequential stream) is what keeps
+    parallel sweeps bit-identical to serial ones: no draw can be perturbed by
+    the order in which other requests are processed.
+    """
+    return np.random.default_rng(np.random.SeedSequence(
+        [REQUEST_STREAM_TAG, trial_seed, request_index, purpose]))
+
+
+class ArrivalProcess:
+    """Base class: when does request *i* enter the system?"""
+
+    name = "abstract"
+
+    #: True when arrivals are completion-driven (closed loop) rather than
+    #: scheduled at absolute times (open loop).
+    closed_loop = False
+
+    def describe(self):
+        return self.name
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop arrivals: exponential interarrival gaps at *rate* req/s."""
+
+    name = "poisson"
+    closed_loop = False
+
+    def __init__(self, rate):
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+
+    def interarrival(self, trial_seed, request_index):
+        """Gap between request *request_index - 1* and *request_index*."""
+        rng = request_rng(trial_seed, request_index, purpose=PURPOSE_ARRIVAL)
+        draw = rng.exponential(1.0 / self.rate)
+        return max(float(draw), _EXPONENTIAL_FLOOR)
+
+    def arrival_times(self, n_requests, trial_seed):
+        """Absolute arrival time of every request (cumulative gaps)."""
+        times = []
+        clock = 0.0
+        for index in range(n_requests):
+            clock += self.interarrival(trial_seed, index)
+            times.append(clock)
+        return times
+
+    def describe(self):
+        return f"poisson({self.rate:g}/s)"
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """Closed-loop arrivals: each client reissues after completion + think time.
+
+    ``think_time`` is the mean pause between a client's completion and its
+    next request; with ``exponential_think=True`` the pause is drawn per
+    request from an exponential distribution (via :func:`request_rng`),
+    otherwise it is constant.
+    """
+
+    name = "closed"
+    closed_loop = True
+
+    def __init__(self, think_time=0.0, exponential_think=False):
+        if think_time < 0:
+            raise ValueError(f"think time must be >= 0, got {think_time}")
+        self.think_time = think_time
+        self.exponential_think = exponential_think
+
+    def think_time_for(self, trial_seed, request_index):
+        """Pause before request *request_index* is issued by its client."""
+        if self.think_time == 0.0:
+            return 0.0
+        if not self.exponential_think:
+            return self.think_time
+        rng = request_rng(trial_seed, request_index, purpose=PURPOSE_ARRIVAL)
+        draw = rng.exponential(self.think_time)
+        return max(float(draw), _EXPONENTIAL_FLOOR)
+
+    def describe(self):
+        kind = "exp" if self.exponential_think else "fixed"
+        return f"closed(think={self.think_time:g}s {kind})"
+
+
+def make_arrival(spec, arrival_rate=50.0, think_time=0.0, exponential_think=False):
+    """Factory: ``"closed"`` or ``"poisson"`` (alias ``"open"``)."""
+    key = spec.lower()
+    if key in ("closed", "closed-loop"):
+        return ClosedLoopArrivals(think_time=think_time,
+                                  exponential_think=exponential_think)
+    if key in ("poisson", "open", "open-loop"):
+        return PoissonArrivals(rate=arrival_rate)
+    raise ValueError(f"unknown arrival process {spec!r}; "
+                     f"choose 'closed' or 'poisson'")

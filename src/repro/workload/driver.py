@@ -1,0 +1,363 @@
+"""Service-style workload driver: a stream of concurrent collective requests.
+
+The paper evaluates one collective transfer at a time; its claim — IOPs that
+schedule the disk from global knowledge beat caching at the compute nodes —
+matters most when *many* collectives contend for the same disks, as in
+server-attached parallel file systems.  This driver models that scenario:
+
+* several striped files are open concurrently (independent layouts);
+* requests arrive via a closed loop or a Poisson open loop
+  (:mod:`repro.workload.arrival`);
+* a job scheduler admits at most ``concurrency`` collectives at a time;
+* each admitted request runs as a re-entrant
+  :class:`~repro.core.base.CollectiveSession` on a single shared
+  file-system implementation (DDIO, traditional caching or two-phase).
+
+The result records per-request response times and byte conservation, plus
+whole-run throughput — the inputs for the ``service`` experiment family.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import make_filesystem
+from repro.fs import FileSystem
+from repro.machine import Machine, MachineConfig
+from repro.patterns import make_pattern
+from repro.sim.events import AllOf
+from repro.sim.resources import Resource
+from repro.workload.arrival import make_arrival, request_rng
+
+MEGABYTE = float(2 ** 20)
+
+
+@dataclass(frozen=True)
+class ServiceWorkload:
+    """Description of one service-style request stream (machine shape excluded)."""
+
+    #: total collective requests in the stream
+    n_requests: int = 16
+    #: "closed" (fixed client population) or "poisson" (open loop)
+    arrival: str = "closed"
+    #: offered load for poisson arrivals, requests/second
+    arrival_rate: float = 50.0
+    #: mean pause between a closed-loop client's completion and next request
+    think_time: float = 0.0
+    #: draw closed-loop think times from an exponential distribution
+    exponential_think: bool = False
+    #: K: collectives admitted concurrently (also the closed-loop population)
+    concurrency: int = 2
+    #: number of concurrently-open striped files requests are spread over
+    n_files: int = 2
+    #: size of each file, bytes
+    file_size: int = 256 * 1024
+    #: physical layout of every file ("contiguous" or "random")
+    layout: str = "contiguous"
+    #: how requests map to files: "random" (uniform choice; concurrent
+    #: collectives may overlap on a file, which favours caching reuse) or
+    #: "round-robin" (request i targets file i mod n_files — the
+    #: independent-jobs scenario with disjoint working sets)
+    file_assignment: str = "random"
+    #: probability that a request is a read (writes otherwise)
+    read_fraction: float = 0.5
+    #: distribution specs (pattern names minus the r/w prefix) to draw from
+    pattern_specs: tuple = ("b",)
+    #: record size of every request's pattern
+    record_size: int = 8192
+    #: default trial seed (overridable per run)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_requests < 1:
+            raise ValueError(f"need at least one request, got {self.n_requests}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.n_files < 1:
+            raise ValueError(f"need at least one file, got {self.n_files}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read fraction must be in [0, 1], got {self.read_fraction}")
+        if not self.pattern_specs:
+            raise ValueError("need at least one pattern spec")
+        if self.file_assignment not in ("random", "round-robin"):
+            raise ValueError(
+                f"file assignment must be 'random' or 'round-robin', "
+                f"got {self.file_assignment!r}")
+
+    def make_arrival_process(self):
+        return make_arrival(self.arrival, arrival_rate=self.arrival_rate,
+                            think_time=self.think_time,
+                            exponential_think=self.exponential_think)
+
+
+def percentile(values, fraction):
+    """Linear-interpolation percentile (``fraction`` in [0, 1]) of *values*."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not values:
+        return 0.0
+    return float(np.percentile(values, fraction * 100.0))
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one service-driver run.
+
+    ``requests`` holds one plain dictionary per request (JSON-friendly, so
+    results cache and round-trip losslessly): index, file, pattern, arrival /
+    admitted / completed times, bytes requested and bytes actually moved.
+    """
+
+    method: str
+    arrival: str
+    n_requests: int
+    concurrency: int
+    n_cps: int
+    n_iops: int
+    n_disks: int
+    seed: int
+    start_time: float
+    end_time: float
+    total_bytes: int
+    max_in_flight: int
+    requests: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    # -- whole-run metrics -------------------------------------------------------
+    @property
+    def elapsed(self):
+        """Makespan: simulated seconds from first arrival to last completion."""
+        return self.end_time - self.start_time
+
+    @property
+    def throughput(self):
+        """Bytes served per second over the makespan."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.total_bytes / self.elapsed
+
+    @property
+    def throughput_mb(self):
+        """Throughput in the paper's Mbytes/s."""
+        return self.throughput / MEGABYTE
+
+    # -- per-request metrics -----------------------------------------------------
+    @property
+    def response_times(self):
+        """Arrival-to-completion time of every request, in request order."""
+        return [record["completed_time"] - record["arrival_time"]
+                for record in self.requests]
+
+    @property
+    def service_times(self):
+        """Admission-to-completion time of every request, in request order."""
+        return [record["completed_time"] - record["admitted_time"]
+                for record in self.requests]
+
+    def response_percentile(self, fraction):
+        """Response-time percentile, e.g. ``response_percentile(0.99)``."""
+        return percentile(self.response_times, fraction)
+
+    @property
+    def mean_response_time(self):
+        times = self.response_times
+        return sum(times) / len(times) if times else 0.0
+
+    def conserves_bytes(self):
+        """True when every collective moved exactly the bytes it requested."""
+        return all(record["bytes_moved"] == record["bytes_requested"]
+                   for record in self.requests)
+
+    def summary(self):
+        return (f"{self.method:12s} {self.arrival:8s} K={self.concurrency} "
+                f"{self.n_requests:3d} reqs {self.throughput_mb:6.2f} MB/s "
+                f"p50={self.response_percentile(0.5) * 1e3:7.2f} ms "
+                f"p99={self.response_percentile(0.99) * 1e3:7.2f} ms")
+
+
+class ServiceDriver:
+    """Streams a :class:`ServiceWorkload` through one machine.
+
+    ``implementation`` is a re-entrant :class:`CollectiveFileSystem` bound to
+    the machine; ``files`` are the concurrently-open striped files requests
+    are spread over.  The driver owns the admission scheduler: a counting
+    semaphore of ``workload.concurrency`` slots, acquired before
+    ``begin_transfer`` and released at completion.
+    """
+
+    def __init__(self, machine, implementation, files, workload):
+        self.machine = machine
+        self.env = machine.env
+        self.implementation = implementation
+        self.files = list(files)
+        self.workload = workload
+        self.admission = Resource(machine.env, capacity=workload.concurrency,
+                                  name="service-admission")
+        self._in_flight = 0
+        self.max_in_flight = 0
+        self._records = []
+
+    # -- request planning --------------------------------------------------------
+    def plan_request(self, trial_seed, index):
+        """The (deterministic) shape of request *index*: file, pattern, mode.
+
+        Every draw comes from ``request_rng(trial_seed, index)``, so the plan
+        is a pure function of (seed, index) — independent of arrival order,
+        admission order and completion order.
+        """
+        rng = request_rng(trial_seed, index)
+        if self.workload.file_assignment == "round-robin":
+            file_choice = index % len(self.files)
+            rng.integers(len(self.files))  # keep the draw count identical
+        else:
+            file_choice = int(rng.integers(len(self.files)))
+        striped_file = self.files[file_choice]
+        spec = self.workload.pattern_specs[
+            int(rng.integers(len(self.workload.pattern_specs)))]
+        is_read = bool(rng.random() < self.workload.read_fraction)
+        if spec == "a":
+            is_read = True  # the ALL pattern only exists for reads
+        pattern_name = ("r" if is_read else "w") + spec
+        pattern = make_pattern(pattern_name, striped_file.size_bytes,
+                               self.workload.record_size,
+                               self.machine.config.n_cps)
+        return striped_file, pattern
+
+    # -- the run -----------------------------------------------------------------
+    def run(self, trial_seed=None):
+        """Run the whole stream to completion; returns a :class:`ServiceResult`."""
+        workload = self.workload
+        seed = workload.seed if trial_seed is None else trial_seed
+        arrival = workload.make_arrival_process()
+        self._records = [None] * workload.n_requests
+        self._in_flight = 0
+        self.max_in_flight = 0
+        run_start = self.env.now
+
+        if arrival.closed_loop:
+            streams = [
+                self.env.process(self._closed_loop_client(seed, arrival, client))
+                for client in range(min(workload.concurrency, workload.n_requests))
+            ]
+            done = AllOf(self.env, streams)
+        else:
+            handlers_done = self.env.event()
+            self.env.process(self._open_loop_generator(seed, arrival, handlers_done))
+            done = handlers_done
+        self.env.run(done)
+
+        total_bytes = sum(record["bytes_moved"] for record in self._records)
+        end_time = max((record["completed_time"] for record in self._records),
+                       default=run_start)
+        # The makespan runs from the *first arrival* to the last completion:
+        # an open-loop run's idle lead-in (the first interarrival gap) is not
+        # service time and must not deflate throughput.
+        first_arrival = min((record["arrival_time"] for record in self._records),
+                            default=run_start)
+        return ServiceResult(
+            method=self.implementation.method_name,
+            arrival=arrival.describe(),
+            n_requests=workload.n_requests,
+            concurrency=workload.concurrency,
+            n_cps=self.machine.config.n_cps,
+            n_iops=self.machine.config.n_iops,
+            n_disks=self.machine.config.n_disks,
+            seed=seed,
+            start_time=first_arrival,
+            end_time=end_time,
+            total_bytes=total_bytes,
+            max_in_flight=self.max_in_flight,
+            requests=list(self._records),
+            counters={name: counter.value
+                      for name, counter in self.implementation.counters.items()},
+        )
+
+    def _closed_loop_client(self, trial_seed, arrival, client_index):
+        """One closed-loop client: its share of the stream, one at a time.
+
+        Request indices are dealt round-robin over the client population, so
+        request *i*'s plan stays a pure function of (seed, i) no matter how
+        many clients run.
+        """
+        workload = self.workload
+        first = True
+        for index in range(client_index, workload.n_requests,
+                           workload.concurrency):
+            if not first:
+                # Think time separates a completion from the client's *next*
+                # request; the first request of each client is issued at once.
+                think = arrival.think_time_for(trial_seed, index)
+                if think > 0:
+                    yield self.env.timeout(think)
+            first = False
+            yield from self._handle_request(trial_seed, index)
+
+    def _open_loop_generator(self, trial_seed, arrival, handlers_done):
+        """Spawn a handler for every request at its scheduled arrival time."""
+        workload = self.workload
+        handlers = []
+        clock = self.env.now
+        for index in range(workload.n_requests):
+            arrival_time = clock + arrival.interarrival(trial_seed, index)
+            delay = arrival_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            clock = arrival_time
+            handlers.append(self.env.process(
+                self._handle_request(trial_seed, index)))
+        yield AllOf(self.env, handlers)
+        handlers_done.succeed()
+
+    def _handle_request(self, trial_seed, index):
+        """Admit, run and account one collective request."""
+        striped_file, pattern = self.plan_request(trial_seed, index)
+        arrival_time = self.env.now
+        slot = self.admission.request()
+        yield slot
+        admitted_time = self.env.now
+        self._in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        session = self.implementation.begin_transfer(pattern, striped_file)
+        yield session.done
+        self._in_flight -= 1
+        self.admission.release(slot)
+        self._records[index] = {
+            "index": index,
+            "file": striped_file.name,
+            "pattern": pattern.name,
+            "mode": pattern.mode,
+            "arrival_time": arrival_time,
+            "admitted_time": admitted_time,
+            "completed_time": self.env.now,
+            "bytes_requested": session.bytes_requested,
+            "bytes_moved": session.bytes_moved,
+        }
+
+
+def build_service_machine(workload, machine_config=None, seed=None,
+                          method="disk-directed"):
+    """Construct (machine, implementation, files) ready for a :class:`ServiceDriver`.
+
+    The trial seed controls disk layout seeds and rotational positions, just
+    as in the single-collective experiments.
+    """
+    config = machine_config if machine_config is not None else MachineConfig()
+    trial_seed = workload.seed if seed is None else seed
+    machine = Machine(config, seed=trial_seed)
+    filesystem = FileSystem(config, layout_seed=trial_seed)
+    files = [
+        filesystem.create_file(f"svc-{index}", workload.file_size,
+                               layout=workload.layout)
+        for index in range(workload.n_files)
+    ]
+    implementation = make_filesystem(method, machine)
+    return machine, implementation, files
+
+
+def run_service(method, workload, machine_config=None, seed=None):
+    """Build a machine, drive *workload* through it, return the :class:`ServiceResult`."""
+    machine, implementation, files = build_service_machine(
+        workload, machine_config=machine_config, seed=seed, method=method)
+    driver = ServiceDriver(machine, implementation, files, workload)
+    return driver.run(trial_seed=workload.seed if seed is None else seed)

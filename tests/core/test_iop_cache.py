@@ -182,6 +182,47 @@ class TestWritePath:
         # happened because of eviction before the final flush.
         assert disk.stats.writes == 10
 
+    def test_pinned_victim_survives_its_own_writeback(self, setup):
+        # A writer can pin a dirty victim *while its eviction writeback is in
+        # flight*; the post-writeback guard must then keep the entry resident
+        # (evicting it would drop the bytes the writer is about to record).
+        env, disk, cache = setup
+
+        def writer(env):
+            yield cache.acquire_for_write(2)
+            cache.record_write(2, 100, BLOCK)  # dirty, never full
+
+        def evictor(env):
+            # Fill the rest of the cache, then demand one more buffer so the
+            # allocation must evict block 2 (the only unpinned victim left
+            # is dirty, forcing a writeback first).
+            for block in range(3, 3 + 7):
+                yield cache.acquire_for_write(block)
+                cache.record_write(block, BLOCK, BLOCK)
+                yield cache.flush_block(block)
+            yield cache.acquire_for_read(20)
+
+        def pinner(env):
+            # Pin block 2 exactly while its eviction writeback is in flight
+            # (poll until the entry is marked flushing, then pin).
+            key = cache._key(2, cache.file)
+            while True:
+                entry = cache._entries.get(key)
+                if entry is not None and entry.flushing:
+                    break
+                yield env.timeout(1e-4)
+            assert cache.pin(2) is True
+
+        env.process(writer(env))
+        env.process(evictor(env))
+        pin_proc = env.process(pinner(env))
+        env.run(pin_proc)
+        env.run(env.timeout(0.5))
+        # Still pinned => still resident, not evicted out from under the pin.
+        assert 2 in cache
+        cache.unpin(2)
+        env.run()
+
     def test_capacity_validation(self, setup):
         env, disk, _cache = setup
         from repro.fs import ContiguousLayout, StripedFile

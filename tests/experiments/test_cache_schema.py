@@ -1,0 +1,86 @@
+"""Regression tests: the result cache must reject stale-schema entries.
+
+The cache key already embeds :data:`CACHE_SCHEMA_VERSION`, but entries are
+*also* stamped in their envelope and checked on read — so even a key
+collision, a hand-copied cache directory, or a downgrade can never serve a
+result produced under a different model.  CI enforces the other half of the
+contract: model-relevant source changes without a version bump fail the
+schema-guard job (tools/check_schema_bump.py).
+"""
+
+import dataclasses
+import json
+
+from repro.experiments import ExperimentConfig, ResultCache, trial_cache_key
+from repro.experiments.runner import CACHE_SCHEMA_VERSION, run_trials
+
+KILOBYTE = 1024
+
+
+def tiny_config(**overrides):
+    base = dict(method="disk-directed", pattern="rb", record_size=8192,
+                layout="contiguous", file_size=128 * KILOBYTE,
+                n_cps=2, n_iops=1, n_disks=1)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def _entry_path(cache, config):
+    return cache.directory / f"{trial_cache_key(config, config.seed)}.json"
+
+
+class TestSchemaStamp:
+    def test_entries_carry_the_current_stamp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        run_trials(config, trials=1, cache=cache)
+        data = json.loads(_entry_path(cache, config).read_text())
+        assert data["schema"] == CACHE_SCHEMA_VERSION
+        assert data["result_type"] == "TransferResult"
+
+    def test_stale_schema_version_is_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        summary = run_trials(config, trials=1, cache=cache)
+        path = _entry_path(cache, config)
+        data = json.loads(path.read_text())
+        data["schema"] = CACHE_SCHEMA_VERSION - 1   # model changed since
+        path.write_text(json.dumps(data))
+        stale_before = cache.stale
+        assert cache.get(trial_cache_key(config, config.seed)) is None
+        assert cache.stale == stale_before + 1
+        # And the sweep re-simulates rather than serving the stale entry.
+        fresh = run_trials(config, trials=1, cache=cache)
+        assert dataclasses.asdict(fresh.results[0]) == \
+            dataclasses.asdict(summary.results[0])
+
+    def test_pre_envelope_entry_is_rejected(self, tmp_path):
+        # Entries written before the envelope existed (schema 1) were the
+        # bare result fields with no stamp at all.
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        run_trials(config, trials=1, cache=cache)
+        path = _entry_path(cache, config)
+        data = json.loads(path.read_text())
+        del data["schema"]
+        del data["result_type"]
+        path.write_text(json.dumps(data))
+        assert cache.get(trial_cache_key(config, config.seed)) is None
+        assert cache.stale >= 1
+
+    def test_unknown_result_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = tiny_config()
+        run_trials(config, trials=1, cache=cache)
+        path = _entry_path(cache, config)
+        data = json.loads(path.read_text())
+        data["result_type"] = "ResultFromTheFuture"
+        path.write_text(json.dumps(data))
+        assert cache.get(trial_cache_key(config, config.seed)) is None
+
+    def test_version_participates_in_the_key(self, monkeypatch):
+        config = tiny_config()
+        key_now = trial_cache_key(config, 0)
+        monkeypatch.setattr("repro.experiments.runner.CACHE_SCHEMA_VERSION",
+                            CACHE_SCHEMA_VERSION + 1)
+        assert trial_cache_key(config, 0) != key_now

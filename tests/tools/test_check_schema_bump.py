@@ -1,0 +1,58 @@
+"""Unit tests for the CI schema-bump guard (pure-logic parts)."""
+
+from tools.check_schema_bump import (
+    extract_version,
+    model_files_changed,
+    needs_bump,
+)
+
+
+class TestExtractVersion:
+    def test_reads_the_declaration(self):
+        assert extract_version("x = 1\nCACHE_SCHEMA_VERSION = 7\n") == 7
+
+    def test_ignores_indented_or_commented_lines(self):
+        source = "# CACHE_SCHEMA_VERSION = 3\n    CACHE_SCHEMA_VERSION = 4\n"
+        assert extract_version(source) is None
+
+    def test_missing_is_none(self):
+        assert extract_version("") is None
+        assert extract_version(None) is None
+
+
+class TestModelFilter:
+    def test_model_trees_match(self):
+        changed = [
+            "src/repro/core/ddio.py",
+            "src/repro/workload/driver.py",
+            "docs/workloads.md",
+            "tests/core/test_ddio.py",
+            "src/repro/experiments/figures.py",
+        ]
+        assert model_files_changed(changed) == [
+            "src/repro/core/ddio.py",
+            "src/repro/workload/driver.py",
+        ]
+
+
+class TestNeedsBump:
+    def test_no_model_change_never_needs_bump(self):
+        assert not needs_bump(["docs/workloads.md"], 2, 2)
+
+    def test_model_change_with_same_version_fails(self):
+        assert needs_bump(["src/repro/disk/drive.py"], 2, 2)
+
+    def test_model_change_with_bump_passes(self):
+        assert not needs_bump(["src/repro/disk/drive.py"], 2, 3)
+
+    def test_decrement_fails(self):
+        assert needs_bump(["src/repro/disk/drive.py"], 3, 2)
+
+    def test_missing_or_unparseable_head_version_fails_safe(self):
+        # A refactor that removes (or rewrites beyond the regex) the
+        # declaration must fail, not silently pass as "bumped".
+        assert needs_bump(["src/repro/sim/engine.py"], 2, None)
+        assert needs_bump(["src/repro/sim/engine.py"], None, None)
+
+    def test_first_introduction_counts_as_bump(self):
+        assert not needs_bump(["src/repro/sim/engine.py"], None, 1)

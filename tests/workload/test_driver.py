@@ -1,0 +1,222 @@
+"""Tests for the service driver: admission invariants, conservation, determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.workload import (
+    ServiceDriver,
+    ServiceWorkload,
+    build_service_machine,
+    percentile,
+    run_service,
+)
+
+KILOBYTE = 1024
+
+
+def small_workload(**overrides):
+    base = dict(n_requests=6, arrival="poisson", arrival_rate=100.0,
+                concurrency=2, n_files=2, file_size=64 * KILOBYTE,
+                layout="contiguous", read_fraction=0.5,
+                pattern_specs=("b", "c"), seed=11)
+    base.update(overrides)
+    return ServiceWorkload(**base)
+
+
+def small_machine():
+    return MachineConfig(n_cps=2, n_iops=1, n_disks=1)
+
+
+class TestWorkloadValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(n_requests=0),
+        dict(concurrency=0),
+        dict(n_files=0),
+        dict(read_fraction=1.5),
+        dict(pattern_specs=()),
+        dict(file_assignment="sticky"),
+        dict(arrival="bursty"),
+    ])
+    def test_bad_field_rejected(self, bad):
+        workload = None
+        with pytest.raises(ValueError):
+            workload = small_workload(**bad)
+            # the arrival spec is only resolved when the process is built
+            workload.make_arrival_process()
+
+
+class TestAdmission:
+    @pytest.mark.parametrize("concurrency", [1, 2, 3])
+    def test_in_flight_never_exceeds_k(self, concurrency):
+        # Saturating open-loop arrivals: all requests arrive almost at once,
+        # so without the admission scheduler far more than K would overlap.
+        workload = small_workload(n_requests=7, arrival_rate=100000.0,
+                                  concurrency=concurrency)
+        result = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        assert result.max_in_flight <= concurrency
+        assert result.concurrency == concurrency
+
+    def test_saturating_load_reaches_k(self):
+        workload = small_workload(n_requests=7, arrival_rate=100000.0,
+                                  concurrency=3)
+        result = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        assert result.max_in_flight == 3
+
+    def test_think_time_not_charged_before_first_request(self):
+        # Think time separates a completion from the client's next request;
+        # each client's first request is issued immediately at t=0.
+        workload = small_workload(arrival="closed", concurrency=2,
+                                  think_time=0.5)
+        result = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        first_wave = [record for record in result.requests
+                      if record["index"] < 2]
+        assert all(record["arrival_time"] == 0.0 for record in first_wave)
+        later = [record for record in result.requests if record["index"] >= 2]
+        assert all(record["arrival_time"] >= 0.5 for record in later)
+
+    def test_closed_loop_population_is_k(self):
+        workload = small_workload(arrival="closed", concurrency=2)
+        result = run_service("traditional", workload,
+                             machine_config=small_machine())
+        assert result.max_in_flight <= 2
+        assert len(result.requests) == workload.n_requests
+
+
+class TestConservation:
+    @pytest.mark.parametrize("method",
+                             ["disk-directed", "traditional", "two-phase"])
+    @pytest.mark.parametrize("read_fraction", [0.0, 0.5, 1.0])
+    def test_bytes_requested_equals_bytes_moved(self, method, read_fraction):
+        workload = small_workload(read_fraction=read_fraction)
+        result = run_service(method, workload, machine_config=small_machine())
+        assert result.conserves_bytes()
+        for record in result.requests:
+            assert record["bytes_moved"] == record["bytes_requested"] > 0
+        assert result.total_bytes == sum(
+            record["bytes_requested"] for record in result.requests)
+
+    def test_every_request_is_recorded_once(self):
+        workload = small_workload(n_requests=9, concurrency=3)
+        result = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        assert sorted(record["index"] for record in result.requests) == \
+            list(range(9))
+
+
+class TestClockAndTimes:
+    def test_request_times_are_ordered(self):
+        workload = small_workload()
+        result = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        for record in result.requests:
+            assert record["arrival_time"] <= record["admitted_time"] \
+                <= record["completed_time"]
+        assert result.end_time >= result.start_time
+        assert result.elapsed > 0
+        assert result.throughput_mb > 0
+
+    def test_response_time_metrics(self):
+        workload = small_workload()
+        result = run_service("traditional", workload,
+                             machine_config=small_machine())
+        times = result.response_times
+        assert len(times) == workload.n_requests
+        assert all(time > 0 for time in times)
+        assert result.response_percentile(0.0) == pytest.approx(min(times))
+        assert result.response_percentile(1.0) == pytest.approx(max(times))
+        assert min(times) <= result.mean_response_time <= max(times)
+        assert result.response_percentile(0.5) <= result.response_percentile(0.99)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_identical(self):
+        workload = small_workload()
+        first = run_service("disk-directed", workload,
+                            machine_config=small_machine())
+        second = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+    def test_seed_changes_the_stream(self):
+        base = run_service("disk-directed", small_workload(),
+                           machine_config=small_machine())
+        other = run_service("disk-directed", small_workload(seed=12),
+                            machine_config=small_machine())
+        assert dataclasses.asdict(base) != dataclasses.asdict(other)
+
+    def test_plan_is_independent_of_concurrency(self):
+        # Request i's file/pattern must depend only on (seed, i) — not on how
+        # many collectives run at once.
+        config = small_machine()
+        plans = []
+        for concurrency in (1, 3):
+            workload = small_workload(concurrency=concurrency)
+            machine, implementation, files = build_service_machine(
+                workload, machine_config=config, method="disk-directed")
+            driver = ServiceDriver(machine, implementation, files, workload)
+            plans.append([
+                (file.name, pattern.name)
+                for file, pattern in (driver.plan_request(workload.seed, index)
+                                      for index in range(workload.n_requests))
+            ])
+        assert plans[0] == plans[1]
+
+
+class TestFileAssignment:
+    def test_round_robin_covers_files_in_order(self):
+        workload = small_workload(n_files=2, n_requests=6,
+                                  file_assignment="round-robin")
+        result = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        names = [record["file"] for record in result.requests]
+        assert names == ["svc-0", "svc-1"] * 3
+
+    def test_random_assignment_uses_request_rng(self):
+        workload = small_workload(n_files=2, n_requests=12,
+                                  file_assignment="random")
+        first = run_service("disk-directed", workload,
+                            machine_config=small_machine())
+        second = run_service("disk-directed", workload,
+                             machine_config=small_machine())
+        assert [record["file"] for record in first.requests] == \
+            [record["file"] for record in second.requests]
+
+
+class TestSharedImplementation:
+    def test_one_implementation_serves_the_whole_stream(self):
+        # The drivers' point: a single re-entrant file system instance, not
+        # one per request.
+        workload = small_workload()
+        machine, implementation, files = build_service_machine(
+            workload, machine_config=small_machine(), method="disk-directed")
+        driver = ServiceDriver(machine, implementation, files, workload)
+        result = driver.run(workload.seed)
+        assert result.counters["bytes_moved"] == result.total_bytes
+        assert not implementation.active_sessions  # all sessions retired
+        # Per-session completion tags must not accumulate: a long stream
+        # would otherwise leak one dead mailbox queue per collective.
+        for cp_node in machine.cps:
+            dead_tags = [tag for tag in cp_node.mailbox._queues
+                         if isinstance(tag, tuple) and tag[0] == "ddio-done"]
+            assert dead_tags == []
+
+
+class TestPercentileHelper:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([4.0], 0.99) == 4.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 1.0], 0.5) == pytest.approx(0.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.25) == pytest.approx(1.75)
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)

@@ -1,0 +1,140 @@
+"""Property tests: concurrent collectives behave like serial ones.
+
+The core invariant behind the service driver: running 2-3 collectives
+*concurrently* on one machine moves exactly the same bytes per collective as
+running them *serially*, and the simulated clock only moves forward.  The
+interleaving changes timing (that is the point of the experiment), never
+accounting.
+
+Uses hypothesis when installed; otherwise falls back to a spread of
+randomized-but-fixed seeds, so the property still gets a varied diet in
+minimal CI environments.
+"""
+
+import random
+
+import pytest
+
+from repro.core import make_filesystem
+from repro.fs import FileSystem
+from repro.machine import Machine, MachineConfig
+from repro.patterns import make_pattern
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised in minimal CI images
+    HAVE_HYPOTHESIS = False
+
+KILOBYTE = 1024
+
+#: (method, pattern name) choices the property draws from.
+METHODS = ("disk-directed", "traditional")
+PATTERNS = ("rb", "rc", "wb", "wc")
+
+
+def _build(seed, n_files):
+    config = MachineConfig(n_cps=2, n_iops=1, n_disks=1)
+    machine = Machine(config, seed=seed)
+    filesystem = FileSystem(config, layout_seed=seed)
+    files = [filesystem.create_file(f"prop-{index}", 64 * KILOBYTE)
+             for index in range(n_files)]
+    return config, machine, files
+
+
+def run_collectives(seed, method, jobs, concurrent):
+    """Run (pattern_name, file_index) jobs; returns per-job accounting.
+
+    ``concurrent=True`` starts every collective before advancing the clock;
+    ``concurrent=False`` runs them one at a time on the same machine.
+    """
+    n_files = max(file_index for _pattern, file_index in jobs) + 1
+    config, machine, files = _build(seed, n_files)
+    implementation = make_filesystem(method, machine)
+    patterns = [
+        make_pattern(pattern_name, files[file_index].size_bytes, 8192,
+                     config.n_cps)
+        for pattern_name, file_index in jobs
+    ]
+    accounting = []
+    if concurrent:
+        sessions = [
+            implementation.begin_transfer(pattern, files[file_index])
+            for pattern, (_name, file_index) in zip(patterns, jobs)
+        ]
+        machine.env.run()
+        for session in sessions:
+            accounting.append((session.bytes_moved, session.start_time,
+                               session.end_time))
+    else:
+        for pattern, (_name, file_index) in zip(patterns, jobs):
+            result = implementation.transfer(pattern, files[file_index])
+            accounting.append((result.counters["bytes_moved"],
+                               result.start_time, result.end_time))
+    return accounting, machine
+
+
+def check_interleaving(seed, method, jobs):
+    concurrent, machine_c = run_collectives(seed, method, jobs, concurrent=True)
+    serial, machine_s = run_collectives(seed, method, jobs, concurrent=False)
+
+    # Same per-collective byte totals, in job order.
+    assert [bytes_moved for bytes_moved, _s, _e in concurrent] == \
+        [bytes_moved for bytes_moved, _s, _e in serial]
+    # And each equals what the pattern asked for (conservation).
+    for (bytes_moved, _s, _e), (pattern_name, file_index) in \
+            zip(concurrent, jobs):
+        pattern = make_pattern(pattern_name, 64 * KILOBYTE, 8192, 2)
+        assert bytes_moved == pattern.total_transfer_bytes()
+
+    # Monotone simulated clock: sessions only run forward, and the machine
+    # clock ends at/after the last completion in both schedules.
+    for bytes_moved, start, end in concurrent + serial:
+        assert end >= start >= 0.0
+    assert machine_c.now >= max(end for _b, _s, end in concurrent)
+    assert machine_s.now >= max(end for _b, _s, end in serial)
+
+
+def _jobs_from_rng(rng):
+    n_jobs = rng.randint(2, 3)
+    return [(rng.choice(PATTERNS), rng.randint(0, n_jobs - 1))
+            for _ in range(n_jobs)]
+
+
+if HAVE_HYPOTHESIS:
+    job_strategy = st.lists(
+        st.tuples(st.sampled_from(PATTERNS), st.integers(0, 2)),
+        min_size=2, max_size=3)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 2 ** 16), method=st.sampled_from(METHODS),
+           jobs=job_strategy)
+    def test_interleaving_preserves_bytes_and_clock(seed, method, jobs):
+        check_interleaving(seed, method, jobs)
+
+else:  # pragma: no cover - minimal CI images without hypothesis
+    @pytest.mark.parametrize("case", range(12))
+    def test_interleaving_preserves_bytes_and_clock(case):
+        rng = random.Random(0xD15C + case)
+        check_interleaving(rng.randint(0, 2 ** 16), rng.choice(METHODS),
+                           _jobs_from_rng(rng))
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_concurrent_sessions_genuinely_overlap(method):
+    """Sanity that begin_transfer interleaves sessions rather than queueing
+    them end to end: in the concurrent schedule every session's interval
+    overlaps another's, while the serial schedule keeps them disjoint."""
+    jobs = [("rb", 0), ("rb", 1), ("rb", 2)]
+    concurrent, _machine_c = run_collectives(21, method, jobs, concurrent=True)
+    serial, _machine_s = run_collectives(21, method, jobs, concurrent=False)
+    starts = [start for _b, start, _e in concurrent]
+    ends = [end for _b, _s, end in concurrent]
+    assert max(starts) < min(ends)  # all three in flight at once
+    for (_b1, _s1, end), (_b2, start, _e2) in zip(serial, serial[1:]):
+        assert start >= end  # serial runs back to back
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_mixed_read_write_interleaving(method):
+    check_interleaving(5, method, [("rb", 0), ("wb", 1), ("wc", 0)])

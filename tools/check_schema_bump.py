@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fail when model-relevant sources changed without a cache-schema bump.
+
+The on-disk :class:`~repro.experiments.runner.ResultCache` is keyed (and its
+entries stamped) with ``CACHE_SCHEMA_VERSION``.  Any change under the
+simulation model's source trees can alter simulated results, and without a
+version bump a cached figure would silently keep serving numbers from the old
+model.  CI runs this script on every pull request::
+
+    python tools/check_schema_bump.py --base origin/main
+
+Exit status 0 when no model file changed, or when the version was bumped;
+1 when model files changed and the version did not.  A missing/unresolvable
+base ref degrades to a skip (exit 0 with a notice) so the script is safe to
+run in shallow clones and fresh repositories.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+#: Source trees whose changes can alter simulated results.  Documentation,
+#: tests, benchmarks and the experiment harness itself (figure plumbing,
+#: report formatting) are deliberately excluded.
+MODEL_PATHS = (
+    "src/repro/core/",
+    "src/repro/disk/",
+    "src/repro/fs/",
+    "src/repro/machine/",
+    "src/repro/network/",
+    "src/repro/patterns/",
+    "src/repro/sim/",
+    "src/repro/workload/",
+)
+
+#: The file that declares the version.
+RUNNER_PATH = "src/repro/experiments/runner.py"
+
+_VERSION_RE = re.compile(r"^CACHE_SCHEMA_VERSION\s*=\s*(\d+)\s*$", re.MULTILINE)
+
+
+def extract_version(source):
+    """The declared CACHE_SCHEMA_VERSION in *source*, or None."""
+    match = _VERSION_RE.search(source or "")
+    return int(match.group(1)) if match else None
+
+
+def model_files_changed(changed_files):
+    """The subset of *changed_files* that lives under a model source tree."""
+    return [name for name in changed_files
+            if any(name.startswith(prefix) for prefix in MODEL_PATHS)]
+
+
+def needs_bump(changed_files, base_version, head_version):
+    """True when the change set requires a bump that did not happen."""
+    if not model_files_changed(changed_files):
+        return False
+    if head_version is None:
+        # The declaration is missing or no longer parseable at HEAD — fail
+        # safe: a guard that cannot see the version cannot certify the bump.
+        return True
+    if base_version is None:
+        return False  # first introduction of the marker counts as a bump
+    # The version must strictly increase; equality or a decrement could both
+    # serve entries produced under a different model.
+    return head_version <= base_version
+
+
+def _git(*args):
+    return subprocess.run(["git", *args], capture_output=True, text=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", default="origin/main",
+                        help="ref to diff against (default: origin/main)")
+    args = parser.parse_args(argv)
+
+    merge_base = _git("merge-base", args.base, "HEAD")
+    if merge_base.returncode != 0:
+        print(f"schema-guard: cannot resolve {args.base!r}; skipping "
+              f"({merge_base.stderr.strip()})")
+        return 0
+    base = merge_base.stdout.strip()
+
+    diff = _git("diff", "--name-only", base, "HEAD")
+    if diff.returncode != 0:
+        print(f"schema-guard: git diff failed; skipping ({diff.stderr.strip()})")
+        return 0
+    changed = [line for line in diff.stdout.splitlines() if line]
+
+    model_changed = model_files_changed(changed)
+    if not model_changed:
+        print("schema-guard: no model-relevant files changed")
+        return 0
+
+    base_runner = _git("show", f"{base}:{RUNNER_PATH}")
+    base_version = extract_version(
+        base_runner.stdout if base_runner.returncode == 0 else "")
+    try:
+        with open(RUNNER_PATH, "r", encoding="utf-8") as handle:
+            head_version = extract_version(handle.read())
+    except OSError:
+        head_version = None
+
+    if needs_bump(changed, base_version, head_version):
+        print("schema-guard: FAIL — model-relevant files changed without a "
+              "CACHE_SCHEMA_VERSION bump:")
+        for name in model_changed:
+            print(f"  {name}")
+        print(f"\nBump CACHE_SCHEMA_VERSION in {RUNNER_PATH} "
+              f"(currently {head_version}) so cached results from the old "
+              f"model can never be served for the new one.")
+        return 1
+
+    print(f"schema-guard: ok — {len(model_changed)} model file(s) changed, "
+          f"version {base_version} -> {head_version}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
