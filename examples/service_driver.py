@@ -41,6 +41,12 @@ def main():
     parser.add_argument("--layout", default="random",
                         choices=["contiguous", "random"],
                         help="physical layout of every file")
+    parser.add_argument("--scheduler", default="fcfs",
+                        choices=["fcfs", "sstf", "cscan", "shared-fcfs",
+                                 "shared-sstf", "shared-cscan"],
+                        help="machine-wide disk scheduling: a drive-queue "
+                             "policy, or shared-* for the cross-collective "
+                             "IOP elevator (docs/scheduling.md)")
     parser.add_argument("--seed", type=int, default=3, help="trial seed")
     args = parser.parse_args()
 
@@ -51,7 +57,8 @@ def main():
           f"{config.n_disks} disks")
     print(f"Stream: {args.requests} mixed collectives "
           f"({args.read_fraction:.0%} reads) over {args.files} x "
-          f"{args.file_mb:g} MB {args.layout} files, {args.arrival} arrivals")
+          f"{args.file_mb:g} MB {args.layout} files, {args.arrival} arrivals, "
+          f"disk scheduler {args.scheduler}")
     print()
 
     for concurrency in concurrency_levels:
@@ -70,7 +77,8 @@ def main():
                 file_assignment="round-robin",
                 seed=args.seed,
             )
-            result = run_service(method, workload, machine_config=config)
+            result = run_service(method, workload, machine_config=config,
+                                 disk_scheduler=args.scheduler)
             conserved = "ok" if result.conserves_bytes() else "VIOLATED"
             print(f"  {result.summary()}  conservation={conserved}")
         print()

@@ -170,6 +170,10 @@ class CollectiveFileSystem:
             counters=self._snapshot_counters(session),
         )
         del self.active_sessions[session.session_id]
+        # The per-session disk/bus tallies are folded into the result above;
+        # drop them so a long request stream does not accumulate one
+        # accounting entry per collective on every drive and bus.
+        self.machine.release_session(session.session_id)
         session.done.succeed(session.result)
 
     # -- to be provided by subclasses ------------------------------------------------
@@ -188,16 +192,24 @@ class CollectiveFileSystem:
                 f"{self.config.n_cps}")
 
     def _snapshot_counters(self, session):
-        # cp_requests / iop_messages / bytes_moved / permute_bytes are scoped
-        # to this session; the disk stats and bus busy fraction merged below
-        # are MACHINE-CUMULATIVE at completion time (they include any other
-        # sessions that ran before or alongside this one — per-session disk
-        # attribution is a ROADMAP follow-up).
+        # Every key is scoped to THIS session: the protocol counters come
+        # from the session object, and the disk stats / bus share come from
+        # request tagging (session ids threaded through Disk, SharedDiskQueue
+        # and the SCSI bus ports).  ``bus_busy_fraction`` is the busiest
+        # single bus's occupancy on this session's transfers divided by the
+        # session's elapsed time.  Concurrent collectives therefore no
+        # longer bleed into each other's results; reads coalesced by the
+        # traditional-caching block cache are attributed to the session
+        # whose miss issued the fetch.
         snapshot = {name: counter.value
                     for name, counter in session.counters.items()}
-        snapshot.update(self.machine.total_disk_stats())
-        snapshot["bus_busy_fraction"] = max(
-            (iop.bus.busy_fraction() for iop in self.machine.iops), default=0.0)
+        snapshot.update(self.machine.session_disk_stats(session.session_id))
+        snapshot["message_wire_bytes"] = \
+            self.machine.network.session_message_wire_bytes(session.session_id)
+        elapsed = session.elapsed
+        busy = self.machine.session_bus_busy_seconds(session.session_id)
+        snapshot["bus_busy_fraction"] = \
+            min(1.0, busy / elapsed) if elapsed else 0.0
         return snapshot
 
     # -- common cost fragments --------------------------------------------------------

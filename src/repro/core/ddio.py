@@ -16,6 +16,17 @@ session id, each with its own per-disk buffer pool) can be in flight at one
 IOP at a time.  They contend for the IOP CPU, the SCSI bus and the disk
 queues — exactly the contention a service-style workload is about.
 
+Cross-collective scheduling: when the machine is built with
+``disk_scheduler="shared-cscan"`` (or another ``shared-`` policy), the IOP
+does not run per-session buffer threads over per-session presorted lists.
+Instead it submits every block of every active collective into the drive's
+:class:`~repro.disk.shared_queue.SharedDiskQueue`, whose worker pool services
+the merged queue in elevator order.  With one collective the behaviour
+matches the presorted list; with several, the IOP keeps the single-sweep
+order the paper's presort buys at K=1 — per-session sorted streams would
+otherwise interleave at the drive and thrash the arm (see
+``docs/scheduling.md``).
+
 Fidelity note: every Memput/Memget between an IOP and one CP for one block is
 simulated as a single event charged ``setup + n_pieces * per_piece`` CPU time
 plus the wire time of the actual bytes.  This matches the cost of the paper's
@@ -24,6 +35,7 @@ per-piece messages without creating one simulation event per 8-byte record
 """
 
 from repro.core.base import CollectiveFileSystem
+from repro.disk.drive import READ, WRITE
 from repro.network.message import HEADER_BYTES, Message, MessageKind
 from repro.sim.events import AllOf
 from repro.sim.sync import Barrier
@@ -45,6 +57,12 @@ class DiskDirectedFS(CollectiveFileSystem):
             raise ValueError("need at least one buffer per disk")
         self.presort = presort
         self.buffers_per_disk = buffers_per_disk
+        #: cross-collective IOP scheduling: block lists are merged into each
+        #: drive's SharedDiskQueue instead of running per-session buffer
+        #: threads.  The queue's worker pool plays the buffer-thread role
+        #: for every collective, so ``buffers_per_disk`` does not apply —
+        #: size the pool with ``Machine(shared_queue_workers=...)``.
+        self.use_shared_queues = machine.iop_scheduling is not None
         self.method_name = "disk-directed" if presort else "disk-directed-nosort"
         #: Requests for this instance only; lets several file-system
         #: instances coexist on one machine without stealing each other's mail.
@@ -92,6 +110,7 @@ class DiskDirectedFS(CollectiveFileSystem):
                 dst=iop.node_id,
                 data_bytes=0,
                 payload=session,
+                session_id=session.session_id,
             )
             yield from self.machine.network.send(
                 message, iop.mailbox, tag=self.request_tag)
@@ -126,38 +145,60 @@ class DiskDirectedFS(CollectiveFileSystem):
 
     def _serve_collective(self, iop, message):
         session = message.payload
-        pattern = session.pattern
         striped_file = session.file
         requesting_cp = self.machine.node(message.src)
 
         # Determine the local block list of each local disk, with physical
         # addresses, and charge the (small) per-block computation cost.
+        # Under cross-collective IOP scheduling the per-session list sort is
+        # pointless (the shared queue orders dispatch), but the ordering
+        # WORK does not vanish — it moves into the elevator's per-dispatch
+        # selection — so the per-block sorting cost is charged either way,
+        # keeping the fcfs-vs-shared comparison CPU-fair.
+        sort_lists = self.presort and not self.use_shared_queues
         disk_work = []
         total_blocks = 0
-        for local_position, disk in enumerate(iop.disks):
+        for local_position, handle in enumerate(iop.disk_handles):
             global_index = iop.disk_indices[local_position]
             blocks = striped_file.blocks_on_disk(global_index)
             entries = [(block, striped_file.location(block).lbn) for block in blocks]
-            if self.presort:
+            if sort_lists:
                 entries.sort(key=lambda entry: entry[1])
-            disk_work.append((disk, entries))
+            disk_work.append((handle, entries))
             total_blocks += len(entries)
         setup_cost = total_blocks * self.costs.ddio_block_overhead
         if self.presort:
             setup_cost += total_blocks * self.costs.presort_per_block_overhead
         yield from self._charge_cpu(iop, setup_cost)
 
-        # A buffer pool per collective: two buffer threads per disk stream
-        # blocks between disk and CPs for this session only.
-        threads = []
         write_behind = []   # media-completion events of this collective's writes
-        for disk, entries in disk_work:
-            shared = {"entries": entries, "next": 0}
-            for _buffer in range(self.buffers_per_disk):
-                threads.append(self.env.process(
-                    self._buffer_thread(iop, disk, shared, session, write_behind)))
-        if threads:
-            yield AllOf(self.env, threads)
+        if self.use_shared_queues:
+            # Merge this collective's whole block list into each drive's
+            # shared queue; its worker pool is the buffer-thread pool for
+            # every active collective, so the elevator sees all sessions.
+            block_jobs = []
+            for queue, entries in disk_work:
+                for block, lbn in entries:
+                    block_jobs.append(queue.submit(
+                        lbn,
+                        self._shared_block_job(
+                            iop, queue.disk, block, lbn, session, write_behind),
+                        session_id=session.session_id,
+                        op=READ if session.pattern.is_read else WRITE,
+                    ))
+            if block_jobs:
+                yield AllOf(self.env, block_jobs)
+        else:
+            # A buffer pool per collective: two buffer threads per disk
+            # stream blocks between disk and CPs for this session only.
+            threads = []
+            for disk, entries in disk_work:
+                shared = {"entries": entries, "next": 0}
+                for _buffer in range(self.buffers_per_disk):
+                    threads.append(self.env.process(self._buffer_thread(
+                        iop, disk, shared, session, write_behind)))
+            if threads:
+                yield AllOf(self.env, threads)
         if write_behind:
             # Drain this collective's write-behind only.  Waiting on a whole-
             # disk flush here would couple concurrent collectives: a session
@@ -171,31 +212,51 @@ class DiskDirectedFS(CollectiveFileSystem):
             src=iop.node_id,
             dst=requesting_cp.node_id,
             data_bytes=0,
+            session_id=session.session_id,
         )
         yield from self.machine.network.send(
             done, requesting_cp.mailbox, tag=self._done_tag(session))
 
+    def _shared_block_job(self, iop, disk, block, lbn, session, write_behind):
+        """Job moving one block, run by the shared queue's worker pool.
+
+        The returned generator function executes at the block's turn in the
+        merged elevator order; the disk request goes straight to the drive
+        (the worker slot *is* the scheduling grant — re-queueing it would
+        deadlock).
+        """
+        def job():
+            yield from self._move_block(
+                iop, disk, block, lbn, session, write_behind)
+        return job
+
     def _buffer_thread(self, iop, disk, shared, session, write_behind):
         """One of the (two) per-disk buffer threads: move blocks until none remain."""
-        pattern = session.pattern
-        sectors_per_block = self.config.sectors_per_block
-        block_size = session.file.block_size
         while True:
             position = shared["next"]
             if position >= len(shared["entries"]):
                 return
             shared["next"] = position + 1
             block, lbn = shared["entries"][position]
-            pieces = pattern.pieces_in_block(block, block_size)
-            if pattern.is_read:
-                yield disk.read(lbn, sectors_per_block, tag=block)
-                yield from self._deliver_to_cps(iop, pieces, session)
-            else:
-                yield from self._gather_from_cps(iop, pieces, session)
-                accepted, on_media = disk.write_tracked(
-                    lbn, sectors_per_block, tag=block)
-                write_behind.append(on_media)
-                yield accepted
+            yield from self._move_block(
+                iop, disk, block, lbn, session, write_behind)
+
+    def _move_block(self, iop, disk, block, lbn, session, write_behind):
+        """Move one block between *disk* and the CPs for *session*."""
+        pattern = session.pattern
+        sectors_per_block = self.config.sectors_per_block
+        pieces = pattern.pieces_in_block(block, session.file.block_size)
+        if pattern.is_read:
+            yield disk.read(lbn, sectors_per_block, tag=block,
+                            session_id=session.session_id)
+            yield from self._deliver_to_cps(iop, pieces, session)
+        else:
+            yield from self._gather_from_cps(iop, pieces, session)
+            accepted, on_media = disk.write_tracked(
+                lbn, sectors_per_block, tag=block,
+                session_id=session.session_id)
+            write_behind.append(on_media)
+            yield accepted
 
     # -- remote-memory operations ----------------------------------------------------------
     def _deliver_to_cps(self, iop, pieces, session):

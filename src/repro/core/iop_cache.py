@@ -12,12 +12,20 @@ several concurrently-open files — block 5 of one file and block 5 of another
 are distinct buffers.  Every public method takes an optional ``file``
 argument; omitting it uses the file bound at construction, preserving the
 original single-file interface.
+
+Per-session accounting: reads, prefetches and writes carry an optional
+``session_id``.  Disk fetches are attributed to the session whose miss
+issued them (later sessions coalescing onto the same fetch ride free), and
+each buffer remembers *which* sessions' bytes it holds
+(``dirty_by_session``), so :meth:`IOPCache.flush_session` can drain exactly
+one collective's write-behind — to the media, via tracked writes — without
+waiting on any other session's dirty volume.
 """
 
 from dataclasses import dataclass, field
 from itertools import count
 
-from repro.sim.events import Event
+from repro.sim.events import Event, chain
 
 
 #: entry states
@@ -61,6 +69,10 @@ class _CacheEntry:
     was_prefetch: bool = False
     touched_after_prefetch: bool = False
     pins: int = 0
+    #: session id -> bytes of this buffer's dirty data that session wrote;
+    #: cleared when a write-back is registered (the sessions then wait on
+    #: the write-back's media event instead).
+    dirty_by_session: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
 
@@ -89,6 +101,9 @@ class IOPCache:
         #: finished yet, registered synchronously so concurrent requests for
         #: the same block coalesce onto one disk read.
         self._inflight = {}
+        #: session id -> media-completion events of write-backs carrying that
+        #: session's bytes; consumed (and dropped) by :meth:`flush_session`.
+        self._session_media = {}
         self._use_clock = count()
         self._space_waiters = []
 
@@ -122,14 +137,19 @@ class IOPCache:
                 if entry.dirty_bytes > 0]
 
     def _dirty_entries(self):
-        return [entry for entry in self._entries.values() if entry.dirty_bytes > 0]
+        # A write-back in flight zeroed dirty_bytes at registration but the
+        # data is not on disk yet; flush_all must still wait for it.
+        return [entry for entry in self._entries.values()
+                if entry.dirty_bytes > 0 or entry.flushing]
 
     # -- read path --------------------------------------------------------------------
-    def acquire_for_read(self, block, prefetch=False, file=None):
+    def acquire_for_read(self, block, prefetch=False, file=None, session_id=None):
         """Event that fires when *block*'s data is in the cache.
 
         A miss allocates a buffer (evicting if needed) and issues the disk
-        read.  ``prefetch=True`` marks the fetch as speculative for the
+        read, attributed to *session_id* (the session whose request missed;
+        sessions that later coalesce onto the same fetch are not charged).
+        ``prefetch=True`` marks the fetch as speculative for the
         prefetch-accuracy statistics.
         """
         striped_file = self._file_of(file)
@@ -153,7 +173,9 @@ class IOPCache:
         self.stats.misses += 1
         ready = Event(self.env)
         self._inflight[key] = ready
-        self.env.process(self._fetch(block, striped_file, ready, prefetch))
+        self.env.process(
+            self._fetch(block, striped_file, ready, prefetch,
+                        session_id=session_id))
         return ready
 
     def try_prefetch(self, block, file=None):
@@ -161,7 +183,11 @@ class IOPCache:
 
         The paper's cache prefetches one block ahead after every read request;
         we skip the prefetch rather than evict for it, which is both safer
-        (no deadlock on a full cache) and kind to the workload.
+        (no deadlock on a full cache) and kind to the workload.  The
+        speculative read is deliberately *not* attributed to any session:
+        like write-buffer destage it is the IOP's own background work, and
+        an attributed prefetch could land at the drive after its triggering
+        session completed and its accounting was released.
         """
         striped_file = self._file_of(file)
         if block < 0 or block >= striped_file.n_blocks:
@@ -174,17 +200,20 @@ class IOPCache:
         self.stats.prefetches_issued += 1
         ready = Event(self.env)
         self._inflight[key] = ready
-        self.env.process(self._fetch(block, striped_file, ready, was_prefetch=True))
+        self.env.process(self._fetch(block, striped_file, ready,
+                                     was_prefetch=True))
         return True
 
-    def _fetch(self, block, striped_file, ready, was_prefetch=False):
+    def _fetch(self, block, striped_file, ready, was_prefetch=False,
+               session_id=None):
         entry = yield from self._allocate(block, striped_file)
         entry.state = FETCHING
         entry.ready = ready
         entry.was_prefetch = was_prefetch
         location = striped_file.location(block)
         disk = self.disk_lookup(location.disk_index)
-        yield disk.read(location.lbn, self.sectors_per_block)
+        yield disk.read(location.lbn, self.sectors_per_block,
+                        session_id=session_id)
         entry.state = VALID
         self._inflight.pop(self._key(block, striped_file), None)
         if not ready.triggered:
@@ -247,12 +276,15 @@ class IOPCache:
             # An allocation may be waiting for an evictable victim.
             self._notify_space()
 
-    def record_write(self, block, n_bytes, block_size, file=None):
+    def record_write(self, block, n_bytes, block_size, file=None, session_id=None):
         """Account *n_bytes* written into *block*'s buffer; True when it is full.
 
-        If the buffer was evicted (written back) between allocation and this
-        call — possible under extreme cache pressure — the bytes are simply
-        treated as already flushed and False is returned.
+        *session_id* marks whose bytes now sit in the buffer, so
+        :meth:`flush_session` can later drain exactly that session's
+        write-behind.  If the buffer was evicted (written back) between
+        allocation and this call — possible under extreme cache pressure —
+        the bytes are simply treated as already flushed and False is
+        returned.
         """
         entry = self._entries.get(self._key(block, self._file_of(file)))
         if entry is None:
@@ -260,6 +292,9 @@ class IOPCache:
             return False
         entry.dirty_bytes = min(block_size, entry.dirty_bytes + n_bytes)
         entry.written_bytes += n_bytes
+        if session_id is not None:
+            entry.dirty_by_session[session_id] = \
+                entry.dirty_by_session.get(session_id, 0) + n_bytes
         self._touch(entry)
         return entry.written_bytes >= block_size
 
@@ -268,24 +303,56 @@ class IOPCache:
         entry = self._entries.get(self._key(block, self._file_of(file)))
         return self._flush_entry(entry)
 
-    def _flush_entry(self, entry):
+    def _register_writeback(self, entry):
+        """Synchronously book a write-back for *entry*; returns its events.
+
+        Creates the (accepted, media) placeholder pair, files the media
+        event under every session whose bytes the buffer holds (so
+        :meth:`flush_session` finds it even though the disk request is
+        issued later, inside the write-back process), and returns
+        ``(done, media, owner)`` where *owner* is the session the disk
+        write is attributed to (the buffer's first writer — an
+        approximation when several sessions share one block).
+
+        The write-back *owns* the buffer's dirty bytes from this moment:
+        ``dirty_bytes`` and ``dirty_by_session`` are reset here, so bytes
+        recorded while the disk write is in flight accumulate from zero and
+        stay dirty for a follow-up write-back instead of being wiped when
+        this one lands.
+        """
         done = Event(self.env)
+        media = Event(self.env)
+        owner = next(iter(entry.dirty_by_session), None)
+        for session_id in entry.dirty_by_session:
+            self._session_media.setdefault(session_id, []).append(media)
+        entry.dirty_by_session = {}
+        entry.dirty_bytes = 0
+        return done, media, owner
+
+    def _flush_entry(self, entry):
         if entry is not None and entry.flushing and entry.flush_event is not None:
             # A write-back is already under way; wait for that one.
             return entry.flush_event
         if entry is None or entry.dirty_bytes == 0:
+            done = Event(self.env)
             done.succeed()
             return done
         # Mark the write-back as in flight *before* the process gets a chance
         # to run, so a concurrent flush_all() waits for it instead of issuing
         # a duplicate disk write.
+        done, media, owner = self._register_writeback(entry)
         entry.flushing = True
         entry.flush_event = done
-        self.env.process(self._writeback(entry, done))
+        self.env.process(self._writeback(entry, done, media, owner))
         return done
 
     def flush_all(self):
-        """Event firing when every dirty block (of every file) is written back."""
+        """Event firing when every dirty block (of every file) is written back.
+
+        "Written back" means accepted by the drive (write-cache semantics);
+        pair with ``Disk.flush`` to wait for the media, or use
+        :meth:`flush_session` for a per-collective media-level drain.
+        """
         events = [self._flush_entry(entry) for entry in self._dirty_entries()]
         done = Event(self.env)
         if not events:
@@ -299,14 +366,50 @@ class IOPCache:
         gate.callbacks.append(_finish)
         return done
 
-    def _writeback(self, entry, done):
+    def flush_session(self, session_id):
+        """Event firing when every byte *session_id* wrote has reached the media.
+
+        Triggers write-backs for the buffers still holding this session's
+        dirty bytes and waits for the media completion of every write-back
+        that ever carried them (including full-buffer flushes issued
+        mid-run).  Repeats until clean: bytes this session recorded while
+        one of its buffers was already being written back stay dirty and
+        are picked up by a follow-up write-back on the next pass.  Other
+        sessions' dirty volume is *not* waited on — one collective's
+        completion is decoupled from its neighbours' write-behind.
+        """
+        done = Event(self.env)
+        self.env.process(self._flush_session_process(session_id, done))
+        return done
+
+    def _flush_session_process(self, session_id, done):
+        while True:
+            flushes = [self._flush_entry(entry)
+                       for entry in list(self._entries.values())
+                       if session_id in entry.dirty_by_session]
+            media = self._session_media.pop(session_id, [])
+            if not flushes and not media:
+                break
+            for event in flushes + media:
+                yield event
+            # Re-check: an in-flight write-back we waited on may have left
+            # this session's late-arriving bytes dirty.
+        if not done.triggered:
+            done.succeed()
+
+    def _writeback(self, entry, done, media, owner=None):
         entry.flushing = True
         entry.flush_event = done
         self.stats.writebacks += 1
         location = entry.file.location(entry.block)
         disk = self.disk_lookup(location.disk_index)
-        yield disk.write(location.lbn, self.sectors_per_block)
-        entry.dirty_bytes = 0
+        accepted, on_media = disk.write_tracked(
+            location.lbn, self.sectors_per_block, session_id=owner)
+        chain(on_media, media)
+        yield accepted
+        # dirty_bytes is NOT reset here: _register_writeback took ownership
+        # of the bytes this write covers, so whatever is dirty now arrived
+        # while the write was in flight and waits for the next write-back.
         entry.flushing = False
         entry.flush_event = None
         if not done.triggered:
@@ -334,8 +437,8 @@ class IOPCache:
                 yield waiter
                 continue
             if victim.dirty_bytes > 0:
-                done = Event(self.env)
-                yield from self._writeback(victim, done)
+                done, media, owner = self._register_writeback(victim)
+                yield from self._writeback(victim, done, media, owner)
             victim_key = self._key(victim.block, victim.file)
             # Re-check pins too: a writer may have pinned the victim while
             # its writeback was in flight, and evicting it now would drop the

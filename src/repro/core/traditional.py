@@ -68,7 +68,11 @@ class TraditionalCachingFS(CollectiveFileSystem):
                 env=self.env,
                 iop=iop,
                 striped_file=striped_file,
-                disk_lookup=iop.local_disk,
+                # Route fetches and write-backs through the machine's disk
+                # handles: the raw drive normally, or its SharedDiskQueue
+                # when cross-collective IOP scheduling is configured —
+                # replacing TC's FIFO pass-through to the drive queue.
+                disk_lookup=iop.local_disk_handle,
                 capacity_blocks=capacity,
                 sectors_per_block=machine.config.sectors_per_block,
             )
@@ -89,11 +93,15 @@ class TraditionalCachingFS(CollectiveFileSystem):
         if cp_processes:
             yield AllOf(self.env, cp_processes)
         if session.pattern.is_write:
-            # Write-behind: wait for IOP caches to drain and disks to destage,
-            # so the reported time includes all outstanding writes (as in the
-            # paper's methodology).
-            yield AllOf(self.env, [cache.flush_all() for cache in self.caches])
-            yield AllOf(self.env, [disk.flush() for disk in self.machine.disks])
+            # Write-behind: drain THIS session's dirty buffers to the media
+            # (per-session dirty tracking in the IOP caches), so the reported
+            # time includes all of its outstanding writes — as in the paper's
+            # methodology — without coupling the collective to other
+            # sessions' traffic.  A machine-wide cache + disk flush here
+            # would make one collective's completion wait on every
+            # concurrent collective's dirty volume.
+            yield AllOf(self.env, [cache.flush_session(session.session_id)
+                                   for cache in self.caches])
 
     # -- compute-processor side -----------------------------------------------------------
     def _cp_worker(self, cp_index, session):
@@ -156,6 +164,7 @@ class TraditionalCachingFS(CollectiveFileSystem):
             dst=iop.node_id,
             data_bytes=data_bytes,
             payload=request,
+            session_id=request.session.session_id,
         )
         yield from self.machine.network.send(
             message, iop.mailbox, tag=self.request_tag)
@@ -182,9 +191,14 @@ class TraditionalCachingFS(CollectiveFileSystem):
     def _handle_read(self, iop, cache, request):
         costs = self.costs
         striped_file = request.file
+        session_id = request.session.session_id
         yield from self._charge_cpu(iop, costs.cache_lookup_overhead)
-        yield cache.acquire_for_read(request.block, file=striped_file)
+        yield cache.acquire_for_read(request.block, file=striped_file,
+                                     session_id=session_id)
         # One-block-ahead prefetch: the next block of this file on this disk.
+        # Prefetches are the IOP's speculation, not the session's work: they
+        # stay untagged so one can land at the drive after its trigger
+        # session completed without resurrecting released accounting.
         if self.prefetch_blocks > 0:
             for ahead in range(1, self.prefetch_blocks + 1):
                 next_block = request.block + ahead * striped_file.n_disks
@@ -216,7 +230,8 @@ class TraditionalCachingFS(CollectiveFileSystem):
         # where the IOP has accepted it into the cache.
         request.session.count("bytes_moved", request.length)
         full = cache.record_write(request.block, request.length,
-                                  striped_file.block_size, file=striped_file)
+                                  striped_file.block_size, file=striped_file,
+                                  session_id=request.session.session_id)
         if full:
             cache.flush_block(request.block, file=striped_file)
         cache.unpin(request.block, file=striped_file)

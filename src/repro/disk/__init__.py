@@ -11,12 +11,15 @@ The paper's results depend on a validated model of the HP 97560 SCSI drive
   what rewards sequential (contiguous-layout) access,
 * :mod:`repro.disk.scheduler` — request-queue scheduling policies (FCFS,
   SSTF, CSCAN, and the externally-directed order used by disk-directed I/O),
+* :mod:`repro.disk.shared_queue` — the cross-collective IOP scheduler: one
+  shared sorted queue per drive, merging requests from all active
+  collective sessions (``Machine(disk_scheduler="shared-cscan")``),
 * :mod:`repro.disk.drive` — the :class:`~repro.disk.drive.Disk` device process
   that services block requests under a shared SCSI bus.
 """
 
 from repro.disk.cache import ReadAheadCache
-from repro.disk.drive import Disk, DiskRequest, DiskStats
+from repro.disk.drive import Disk, DiskRequest, DiskStats, SessionDiskStats
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import SeekModel
 from repro.disk.scheduler import (
@@ -25,6 +28,7 @@ from repro.disk.scheduler import (
     SstfScheduler,
     make_scheduler,
 )
+from repro.disk.shared_queue import SharedDiskQueue
 from repro.disk.specs import HP97560_SPEC, DiskSpec
 
 __all__ = [
@@ -38,6 +42,8 @@ __all__ = [
     "HP97560_SPEC",
     "ReadAheadCache",
     "SeekModel",
+    "SessionDiskStats",
+    "SharedDiskQueue",
     "SstfScheduler",
     "make_scheduler",
 ]

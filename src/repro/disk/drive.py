@@ -37,6 +37,10 @@ class DiskRequest:
     completion: Event = None
     submit_time: float = 0.0
     tag: object = None
+    #: id of the :class:`~repro.core.base.CollectiveSession` this request
+    #: belongs to (None for untagged traffic); the drive attributes its
+    #: service time, byte counts and bus occupancy to this session.
+    session_id: object = None
     #: optional event fired when a write's data reaches the media (for reads
     #: it fires together with ``completion``); clients that must drain their
     #: own write-behind without waiting on other clients' traffic use this.
@@ -66,6 +70,27 @@ class DiskStats:
     extra: Counter = field(default_factory=lambda: Counter("extra"))
 
 
+@dataclass
+class SessionDiskStats:
+    """One session's share of a drive's work.
+
+    ``service_time`` is drive busy time spent on this session's requests
+    (controller, positioning, media and bus transfer).  Background destage of
+    buffered writes is *not* attributed — it belongs to the drive, not to any
+    one session — so write-heavy sessions see the bus-and-accept cost here
+    and the destage cost only through queueing delays.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    service_time: float = 0.0
+    queue_wait_time: float = 0.0
+
+
 class BusPort:
     """The drive's attachment to a shared SCSI bus.
 
@@ -83,8 +108,12 @@ class BusPort:
         """Bus occupancy for a transfer of *n_bytes*."""
         return self.overhead + n_bytes / self.bandwidth
 
-    def transfer(self, env, n_bytes):
-        """Process fragment: hold the bus for the duration of the transfer."""
+    def transfer(self, env, n_bytes, session_id=None):
+        """Process fragment: hold the bus for the duration of the transfer.
+
+        *session_id* attributes the occupancy to one collective session
+        (ports that track per-session bus share override this).
+        """
         yield from self.resource.acquire(self.transfer_time(n_bytes))
 
 
@@ -104,6 +133,10 @@ class Disk:
         self.scheduler = make_scheduler(scheduler) if isinstance(scheduler, str) \
             else scheduler
         self.stats = DiskStats()
+        #: per-session attribution (session id -> :class:`SessionDiskStats`);
+        #: entries are created lazily for tagged requests and dropped by
+        #: :meth:`release_session` once a collective's result is snapshotted.
+        self.session_stats = {}
 
         if write_buffer_blocks is None:
             write_buffer_blocks = max(1, spec.cache_size // 8192)
@@ -123,15 +156,17 @@ class Disk:
             self._destage_process = None
 
     # -- public API -------------------------------------------------------------
-    def read(self, lbn, n_sectors, tag=None):
+    def read(self, lbn, n_sectors, tag=None, session_id=None):
         """Submit a read; returns an event fired when data is at the IOP."""
-        return self.submit(DiskRequest(op=READ, lbn=lbn, n_sectors=n_sectors, tag=tag))
+        return self.submit(DiskRequest(op=READ, lbn=lbn, n_sectors=n_sectors,
+                                       tag=tag, session_id=session_id))
 
-    def write(self, lbn, n_sectors, tag=None):
+    def write(self, lbn, n_sectors, tag=None, session_id=None):
         """Submit a write; returns an event fired when the drive accepts the data."""
-        return self.submit(DiskRequest(op=WRITE, lbn=lbn, n_sectors=n_sectors, tag=tag))
+        return self.submit(DiskRequest(op=WRITE, lbn=lbn, n_sectors=n_sectors,
+                                       tag=tag, session_id=session_id))
 
-    def write_tracked(self, lbn, n_sectors, tag=None):
+    def write_tracked(self, lbn, n_sectors, tag=None, session_id=None):
         """Submit a write; returns ``(accepted, on_media)`` events.
 
         ``accepted`` fires when the drive takes the data (write-cache
@@ -140,7 +175,8 @@ class Disk:
         ``on_media`` does not couple the caller to other clients' pending
         writes — which matters when several collectives share the drive.
         """
-        request = DiskRequest(op=WRITE, lbn=lbn, n_sectors=n_sectors, tag=tag)
+        request = DiskRequest(op=WRITE, lbn=lbn, n_sectors=n_sectors, tag=tag,
+                              session_id=session_id)
         request.media_completion = Event(self.env)
         accepted = self.submit(request)
         return accepted, request.media_completion
@@ -178,6 +214,22 @@ class Disk:
         """Cylinder the heads are currently positioned over."""
         return self.mechanics.current_cylinder
 
+    @property
+    def head_lbn_estimate(self):
+        """Approximate head position as an LBN, for scheduling policies."""
+        return self._current_lbn_estimate()
+
+    def session(self, session_id):
+        """This drive's :class:`SessionDiskStats` for *session_id* (lazily created)."""
+        stats = self.session_stats.get(session_id)
+        if stats is None:
+            stats = self.session_stats[session_id] = SessionDiskStats()
+        return stats
+
+    def release_session(self, session_id):
+        """Drop per-session accounting once the session's result is final."""
+        self.session_stats.pop(session_id, None)
+
     # -- service loop ---------------------------------------------------------------
     def _kick(self):
         if self._work_available is not None and not self._work_available.triggered:
@@ -199,13 +251,19 @@ class Disk:
                 yield self._work_available
             index = self.scheduler.select(self._queue, self._current_lbn_estimate())
             request = self._queue.pop(index)
-            self.stats.queue_wait_time += self.env.now - request.submit_time
+            wait = self.env.now - request.submit_time
+            self.stats.queue_wait_time += wait
             start = self.env.now
             if request.op == READ:
                 yield from self._service_read(request)
             else:
                 yield from self._service_write(request)
-            self.stats.busy_time += self.env.now - start
+            busy = self.env.now - start
+            self.stats.busy_time += busy
+            if request.session_id is not None:
+                session = self.session(request.session_id)
+                session.queue_wait_time += wait
+                session.service_time += busy
 
     def _current_lbn_estimate(self):
         # Approximate the head position by the first sector of the current cylinder;
@@ -219,9 +277,13 @@ class Disk:
         spec = self.spec
         yield env.timeout(spec.controller_overhead)
 
+        session = self.session(request.session_id) \
+            if request.session_id is not None else None
         hit, ready_time = self.readahead.lookup(env.now, request.lbn, request.n_sectors)
         if hit:
             self.stats.cache_hits += 1
+            if session is not None:
+                session.cache_hits += 1
             if ready_time > env.now:
                 yield env.timeout(ready_time - env.now)
             end_lbn = request.lbn + request.n_sectors
@@ -231,6 +293,8 @@ class Disk:
                 min(end_lbn, self.geometry.total_sectors - 1))
         else:
             self.stats.cache_misses += 1
+            if session is not None:
+                session.cache_misses += 1
             self.readahead.invalidate()
             positioning = self.mechanics.positioning_time(env.now, request.lbn)
             transfer = self.mechanics.media.transfer_time(request.lbn, request.n_sectors)
@@ -244,9 +308,13 @@ class Disk:
             self.readahead.start_readahead(env.now, end_lbn, self.geometry.total_sectors)
 
         # Ship the data across the SCSI bus to the IOP.
-        yield from self.bus_port.transfer(env, request.n_bytes)
+        yield from self.bus_port.transfer(env, request.n_bytes,
+                                          session_id=request.session_id)
         self.stats.reads += 1
         self.stats.bytes_read += request.n_bytes
+        if session is not None:
+            session.reads += 1
+            session.bytes_read += request.n_bytes
         request.completion.succeed(request)
         self._signal_media(request)
 
@@ -255,7 +323,8 @@ class Disk:
         env = self.env
         yield env.timeout(self.spec.controller_overhead)
         # Data moves from IOP memory across the bus into the drive first.
-        yield from self.bus_port.transfer(env, request.n_bytes)
+        yield from self.bus_port.transfer(env, request.n_bytes,
+                                          session_id=request.session_id)
 
         if self.spec.write_cache_enabled:
             # Wait for buffer space, then complete; destage happens in background.
@@ -266,16 +335,22 @@ class Disk:
             self._write_buffer.append(request)
             self._writes_outstanding += 1
             self._kick_destage()
-            self.stats.writes += 1
-            self.stats.bytes_written += request.n_bytes
+            self._account_write(request)
             request.completion.succeed(request)
         else:
             yield from self._write_to_media(request)
-            self.stats.writes += 1
-            self.stats.bytes_written += request.n_bytes
+            self._account_write(request)
             request.completion.succeed(request)
             self._signal_media(request)
             self._maybe_release_flush_waiters()
+
+    def _account_write(self, request):
+        self.stats.writes += 1
+        self.stats.bytes_written += request.n_bytes
+        if request.session_id is not None:
+            session = self.session(request.session_id)
+            session.writes += 1
+            session.bytes_written += request.n_bytes
 
     def _destage_loop(self):
         env = self.env

@@ -4,6 +4,36 @@ Traditional caching leaves scheduling to the drive/IOP queue (FCFS or CSCAN
 over whatever happens to be outstanding); disk-directed I/O instead presents
 requests in an order it chose itself (optionally presorted by physical
 location), so its queue depth stays tiny and FCFS at the device is enough.
+
+A policy is a stateless object with one method::
+
+    select(queue, current_lbn) -> index
+
+where *queue* is a non-empty sequence of pending requests and *current_lbn*
+approximates the head position.  Invariants every policy (and every caller)
+relies on:
+
+* **Duck-typed queue items.**  ``select`` reads only ``item.lbn``; the same
+  policy objects therefore schedule both the drive's internal
+  :class:`~repro.disk.drive.DiskRequest` queue and the IOP-level job queue
+  of :class:`~repro.disk.shared_queue.SharedDiskQueue`.
+* **Selection, not mutation.**  ``select`` never reorders or consumes the
+  queue — the caller pops the returned index.  A policy may be re-invoked
+  against the same queue with a different head position and must stand by
+  its answer for that position.
+* **Statelessness.**  All state lives in the queue and the head-position
+  argument, so one policy instance can be shared and re-selection after new
+  arrivals (late merging) is always safe.
+* **No starvation for CSCAN.**  The ascending-order wrap-around guarantees
+  every pending request is served within one full sweep, however the queue
+  keeps growing behind the head.  SSTF offers no such guarantee (a greedy
+  nearest-block choice can starve distant requests under sustained load) —
+  which is why the cross-collective default is ``cscan``.
+
+``fcfs`` with the drive's tiny queue reproduces the paper's device
+behaviour; ``shared-cscan`` (see :mod:`repro.disk.shared_queue`) moves the
+same CSCAN decision up to the IOP, where requests from *all* active
+collectives are visible.
 """
 
 

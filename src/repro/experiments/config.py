@@ -27,6 +27,10 @@ class ExperimentConfig:
     n_iops: int = 16
     n_disks: int = 16
     block_size: int = 8192
+    #: machine-wide scheduling knob: a drive-queue policy (``fcfs`` /
+    #: ``sstf`` / ``cscan``) or a cross-collective IOP policy
+    #: (``shared-cscan`` etc.) — see :class:`repro.machine.Machine`.
+    disk_scheduler: str = "fcfs"
     seed: int = 0
     label: str = ""
 

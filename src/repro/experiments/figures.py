@@ -17,7 +17,7 @@ from repro.experiments.claims import check_headline_claims
 from repro.experiments.config import MEGABYTE, ExperimentConfig
 from repro.experiments.report import format_bar_chart, format_series_table, format_table
 from repro.experiments.runner import run_trials, sweep, sweep_parallel
-from repro.experiments.service import service_figure
+from repro.experiments.service import service_figure, service_scheduler_figure
 from repro.machine import MachineConfig
 from repro.patterns import READ_PATTERN_NAMES, WRITE_PATTERN_NAMES
 
@@ -216,7 +216,9 @@ def table1():
 
 #: Registry used by the CLI and the benchmark harness.  ``service`` goes
 #: beyond the paper: concurrent mixed collectives vs offered load (see
-#: repro.experiments.service and docs/workloads.md).
+#: repro.experiments.service and docs/workloads.md).  ``service-sched``
+#: compares per-collective presort with the shared-CSCAN IOP elevator at
+#: K in {1, 2, 4, 8} (docs/scheduling.md).
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -226,6 +228,7 @@ FIGURES = {
     "figure7": figure7,
     "figure8": figure8,
     "service": service_figure,
+    "service-sched": service_scheduler_figure,
 }
 
 
@@ -275,7 +278,7 @@ def main(argv=None):
         generator = FIGURES[name]
         if name == "table1":
             _rows, text = generator()
-        elif name == "service":
+        elif name in ("service", "service-sched"):
             summaries, text = generator(
                 trials=args.trials, progress=progress,
                 workers=args.workers, cache=args.cache)

@@ -52,13 +52,14 @@ def format_series_table(series, x_label="x", value_format="{:6.2f}"):
     xs = sorted({x for points in series.values() for x, _y in points})
     names = list(series.keys())
     lookup = {name: dict(points) for name, points in series.items()}
-    header = [x_label.ljust(8)] + [name.rjust(max(8, len(name))) for name in names]
+    header = [x_label.ljust(8)] \
+        + [name.rjust(max(8, len(name)) + 2) for name in names]
     lines = ["".join(header)]
     for x in xs:
         cells = [str(x).ljust(8)]
         for name in names:
             value = lookup[name].get(x)
             cell = value_format.format(value) if value is not None else "   --"
-            cells.append(cell.rjust(max(8, len(name))))
+            cells.append(cell.rjust(max(8, len(name)) + 2))
         lines.append("".join(cells))
     return "\n".join(lines)

@@ -35,7 +35,12 @@ from repro.patterns import make_pattern
 #: 2 — cache entries grew a self-describing envelope (schema + result type);
 #:     per-session counters replaced lifetime counters in TransferResult;
 #:     traditional-caching writes now account bytes_moved.
-CACHE_SCHEMA_VERSION = 2
+#: 3 — cross-collective IOP scheduling (``disk_scheduler`` joined both
+#:     config families and the cache key); TransferResult.counters became
+#:     per-session (tagged disk service time / bus share replaced
+#:     machine-cumulative stats); traditional caching drains per-session
+#:     write-behind to the media instead of a machine-wide cache+disk flush.
+CACHE_SCHEMA_VERSION = 3
 
 
 # -- experiment families --------------------------------------------------------
@@ -88,7 +93,8 @@ def run_experiment(config, seed=None):
         raise TypeError(f"expected ExperimentConfig, got {type(config).__name__}")
     trial_seed = config.seed if seed is None else seed
     machine_config = build_machine_config(config)
-    machine = Machine(machine_config, seed=trial_seed)
+    machine = Machine(machine_config, seed=trial_seed,
+                      disk_scheduler=config.disk_scheduler)
     filesystem = FileSystem(machine_config, layout_seed=trial_seed)
     striped_file = filesystem.create_file(
         "experiment-file", config.file_size, layout=config.layout)

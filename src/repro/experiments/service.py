@@ -57,6 +57,10 @@ class ServiceExperimentConfig:
     n_iops: int = 16
     n_disks: int = 16
     block_size: int = 8192
+    #: machine-wide scheduling: ``fcfs`` is the paper's drive queue (each
+    #: DDIO collective presorts for itself); ``shared-cscan`` merges all
+    #: active collectives into one elevator per disk at the IOP.
+    disk_scheduler: str = "fcfs"
     seed: int = 0
     label: str = ""
 
@@ -97,7 +101,8 @@ class ServiceExperimentConfig:
         return (f"{self.method} service {self.arrival}@{self.arrival_rate:g}/s "
                 f"K={self.concurrency} {self.n_requests} reqs x "
                 f"{self.file_size // KILOBYTE} KB files={self.n_files} "
-                f"cps={self.n_cps} iops={self.n_iops} disks={self.n_disks}")
+                f"cps={self.n_cps} iops={self.n_iops} disks={self.n_disks} "
+                f"sched={self.disk_scheduler}")
 
 
 def run_service_experiment(config, seed=None):
@@ -111,6 +116,7 @@ def run_service_experiment(config, seed=None):
         config.workload(),
         machine_config=config.machine_config(),
         seed=trial_seed,
+        disk_scheduler=config.disk_scheduler,
     )
 
 
@@ -194,3 +200,100 @@ def service_figure(loads=DEFAULT_LOADS, methods=SERVICE_METHODS, trials=1,
 def _mean(values):
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+# -- the scheduler-comparison figure ---------------------------------------------
+
+#: Concurrency levels swept by the scheduler figure: the K>1 points are where
+#: per-collective presorted streams interleave at the drive.
+SCHEDULER_CONCURRENCIES = (1, 2, 4, 8)
+
+#: The two scheduling regimes compared: each DDIO collective presorting for
+#: itself over a FCFS drive queue (the paper's single-collective design,
+#: unchanged under concurrency) vs one shared CSCAN elevator per disk at the
+#: IOP merging all active collectives.
+SCHEDULER_CHOICES = ("fcfs", "shared-cscan")
+
+#: Offered loads for the scheduler figure (requests/second).
+SCHEDULER_LOADS = (8.0, 16.0)
+
+
+def service_scheduler_configs(loads=SCHEDULER_LOADS,
+                              concurrencies=SCHEDULER_CONCURRENCIES,
+                              schedulers=SCHEDULER_CHOICES, **overrides):
+    """The config grid: one point per (K, scheduler, load), DDIO only."""
+    configs = []
+    for concurrency in concurrencies:
+        for scheduler in schedulers:
+            for load in loads:
+                configs.append(ServiceExperimentConfig(
+                    method="disk-directed",
+                    arrival_rate=load,
+                    concurrency=concurrency,
+                    disk_scheduler=scheduler,
+                    label=f"K={concurrency} {scheduler}@{load:g}",
+                    **overrides,
+                ))
+    return configs
+
+
+def service_scheduler_figure(loads=SCHEDULER_LOADS,
+                             concurrencies=SCHEDULER_CONCURRENCIES,
+                             schedulers=SCHEDULER_CHOICES, trials=1,
+                             progress=None, workers=None, cache=None,
+                             **overrides):
+    """Cross-collective IOP scheduling vs per-collective presort, K∈{1,2,4,8}.
+
+    The K>1 pathology: every DDIO session presorts its own block list, so at
+    concurrency K the drive sees K interleaved sorted streams — forfeiting
+    the single-collective sort benefit the paper demonstrates.  The shared
+    per-disk CSCAN queue at the IOP merges the streams back into one sweep.
+    This figure plots sustained throughput and p99 response time against
+    offered load for both regimes at each K; the two should coincide at K=1
+    and diverge in shared-CSCAN's favour as K grows.
+
+    Returns ``(summaries, text)`` like every other figure generator; extra
+    keyword arguments override :class:`ServiceExperimentConfig` fields.
+    """
+    from repro.experiments.runner import sweep_parallel
+
+    configs = service_scheduler_configs(loads=loads,
+                                        concurrencies=concurrencies,
+                                        schedulers=schedulers, **overrides)
+    summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                               workers=workers, cache=cache)
+    throughput_series = {}
+    p99_series = {}
+    rows = []
+    for summary in summaries:
+        config = summary.config
+        name = f"K={config.concurrency} {config.disk_scheduler}"
+        load = config.arrival_rate
+        mean_tp = summary.mean_throughput_mb
+        p99 = _mean(result.response_percentile(0.99) for result in summary.results)
+        throughput_series.setdefault(name, []).append((load, mean_tp))
+        p99_series.setdefault(name, []).append((load, p99 * 1e3))
+        rows.append({
+            "K": config.concurrency,
+            "scheduler": config.disk_scheduler,
+            "load_req_s": load,
+            "throughput_mb": mean_tp,
+            "p99_ms": p99 * 1e3,
+            "trials": len(summary.results),
+        })
+    sample = configs[0]
+    text = (
+        f"Cross-collective IOP scheduling (disk-directed I/O): "
+        f"per-collective sort (fcfs drive queue) vs shared-CSCAN elevator\n"
+        f"{sample.n_requests} mixed collectives "
+        f"({sample.read_fraction:.0%} reads) over {sample.n_files} "
+        f"{sample.file_size // KILOBYTE} KB {sample.layout} files, "
+        f"{sample.arrival} arrivals\n\n"
+        + format_table(rows, columns=["K", "scheduler", "load_req_s",
+                                      "throughput_mb", "p99_ms", "trials"])
+        + "\n\nSustained throughput (Mbytes/s) vs offered load (req/s)\n"
+        + format_series_table(throughput_series, x_label="load")
+        + "\n\n99th-percentile response time (ms) vs offered load (req/s)\n"
+        + format_series_table(p99_series, x_label="load")
+    )
+    return summaries, text

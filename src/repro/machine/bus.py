@@ -20,6 +20,9 @@ class ScsiBus:
         self.name = name
         self.resource = Resource(env, capacity=1, name=name)
         self.bytes_transferred = Counter(f"{name}.bytes")
+        #: seconds of bus occupancy attributed to each collective session
+        #: (session id -> seconds); dropped by :meth:`release_session`.
+        self.session_busy = {}
 
     def port(self):
         """Create a :class:`~repro.disk.drive.BusPort` for attaching one drive."""
@@ -29,14 +32,26 @@ class ScsiBus:
         """Fraction of simulated time the bus has been occupied."""
         return self.resource.utilization.busy_fraction()
 
+    def session_busy_seconds(self, session_id):
+        """Seconds this bus spent moving *session_id*'s data."""
+        return self.session_busy.get(session_id, 0.0)
+
+    def release_session(self, session_id):
+        """Drop per-session accounting once the session's result is final."""
+        self.session_busy.pop(session_id, None)
+
 
 class _CountingBusPort(BusPort):
-    """BusPort that also records byte counts on the owning bus."""
+    """BusPort that also records byte counts and per-session occupancy."""
 
     def __init__(self, bus):
         super().__init__(bus.resource, bus.bandwidth, bus.transfer_overhead)
         self._bus = bus
 
-    def transfer(self, env, n_bytes):
+    def transfer(self, env, n_bytes, session_id=None):
         yield from super().transfer(env, n_bytes)
         self._bus.bytes_transferred.add(n_bytes)
+        if session_id is not None:
+            busy = self._bus.session_busy
+            busy[session_id] = busy.get(session_id, 0.0) \
+                + self.transfer_time(n_bytes)

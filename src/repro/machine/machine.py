@@ -1,11 +1,18 @@
 """Builds the whole simulated machine from a :class:`MachineConfig`."""
 
 from repro.disk.drive import Disk
+from repro.disk.shared_queue import SharedDiskQueue
 from repro.machine.bus import ScsiBus
 from repro.machine.node import ComputeNode, IONode
 from repro.network.network import Network
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
+
+#: ``disk_scheduler=`` prefix selecting cross-collective IOP scheduling:
+#: ``shared-cscan`` (or ``shared-sstf`` / ``shared-fcfs``) builds one
+#: :class:`~repro.disk.shared_queue.SharedDiskQueue` per drive, ordered by
+#: the named policy, and leaves the drive's own queue FCFS.
+SHARED_PREFIX = "shared-"
 
 
 class Machine:
@@ -14,11 +21,35 @@ class Machine:
     Construction wires together the environment, the interconnect, the CP and
     IOP nodes, one SCSI bus per IOP, and the drives (dealt round-robin across
     IOPs, as the paper's block-by-block declustering assumes).
+
+    ``disk_scheduler`` is the machine-wide scheduling knob.  A bare policy
+    name (``fcfs``, ``sstf``, ``cscan``) — or a policy object, which is
+    handed to the drives unchanged — configures each *drive's* internal
+    queue, as in the paper's sensitivity runs.  A ``shared-``-prefixed name
+    instead schedules at the *IOP*: every drive gets a
+    :class:`~repro.disk.shared_queue.SharedDiskQueue` that merges requests
+    from all active collective sessions into one sorted stream (the drive
+    itself stays FCFS).  ``shared_queue_workers`` sizes each shared queue's
+    worker pool — the machine-wide buffer budget per drive (the paper's
+    double-buffering: 2); under shared scheduling this pool replaces DDIO's
+    per-collective ``buffers_per_disk`` threads.  File-system
+    implementations reach whichever is configured through
+    :meth:`disk_handle` / ``IONode.local_disk_handle``.
     """
 
-    def __init__(self, config, seed=0, env=None, disk_scheduler="fcfs"):
+    def __init__(self, config, seed=0, env=None, disk_scheduler="fcfs",
+                 shared_queue_workers=2):
         self.config = config
         self.seed = seed
+        self.disk_scheduler = disk_scheduler
+        self.shared_queue_workers = shared_queue_workers
+        if isinstance(disk_scheduler, str) \
+                and disk_scheduler.startswith(SHARED_PREFIX):
+            self.iop_scheduling = disk_scheduler[len(SHARED_PREFIX):]
+            drive_scheduler = "fcfs"
+        else:
+            self.iop_scheduling = None
+            drive_scheduler = disk_scheduler
         self.env = env if env is not None else Environment()
         self.random = RandomStreams(seed)
         self.network = Network(
@@ -37,6 +68,8 @@ class Machine:
 
         rotation_rng = self.random.stream("rotation")
         self.disks = []
+        self.shared_queues = []   # SharedDiskQueue per disk, or None
+        self.disk_handles = []    # what protocols talk to: queue or raw disk
         for iop in self.iops:
             bus = ScsiBus(
                 self.env,
@@ -52,11 +85,21 @@ class Machine:
                 spec=config.disk_spec,
                 bus_port=iop.bus.port(),
                 name=f"disk{disk_index}",
-                scheduler=disk_scheduler,
+                scheduler=drive_scheduler,
                 initial_angle_fraction=float(rotation_rng.random()),
             )
-            iop.attach_disk(disk, disk_index)
+            if self.iop_scheduling is not None:
+                queue = SharedDiskQueue(self.env, disk,
+                                        policy=self.iop_scheduling,
+                                        workers=shared_queue_workers)
+                handle = queue
+            else:
+                queue = None
+                handle = disk
+            iop.attach_disk(disk, disk_index, handle=handle)
             self.disks.append(disk)
+            self.shared_queues.append(queue)
+            self.disk_handles.append(handle)
 
     # -- lookups -----------------------------------------------------------------
     def node(self, node_id):
@@ -72,6 +115,16 @@ class Machine:
     def iop_for_disk(self, disk_index):
         """The IOP node serving global disk *disk_index*."""
         return self.iops[self.config.iop_of_disk(disk_index)]
+
+    def disk_handle(self, disk_index):
+        """What IOP software should submit requests to for *disk_index*.
+
+        The drive's :class:`~repro.disk.shared_queue.SharedDiskQueue` when
+        cross-collective IOP scheduling is configured, the raw
+        :class:`~repro.disk.drive.Disk` otherwise; both expose the same
+        ``read`` / ``write`` / ``write_tracked`` / ``flush`` interface.
+        """
+        return self.disk_handles[disk_index]
 
     # -- convenience ----------------------------------------------------------------
     def run(self, until=None):
@@ -101,3 +154,62 @@ class Machine:
             totals["cache_hits"] += disk.stats.cache_hits
             totals["cache_misses"] += disk.stats.cache_misses
         return totals
+
+    def session_disk_stats(self, session_id):
+        """One session's disk work, aggregated across all drives.
+
+        Same count keys as :meth:`total_disk_stats` plus
+        ``disk_service_time`` (drive busy seconds spent on this session's
+        requests), ``disk_queue_wait`` (seconds its requests waited in
+        drive queues) and ``iop_queue_wait`` (seconds its jobs waited in
+        the shared per-disk IOP queues; 0.0 when cross-collective
+        scheduling is off) — scoped to *session_id*'s tagged requests only.
+        Under shared scheduling the drive queues stay shallow, so compare
+        queueing across regimes with ``disk_queue_wait + iop_queue_wait``,
+        keeping in mind that DDIO submits whole block lists up front in
+        shared mode (its IOP-queue wait starts at plan time, not at
+        buffer-availability time as per-collective buffer threads do).
+        """
+        totals = {
+            "reads": 0,
+            "writes": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "disk_service_time": 0.0,
+            "disk_queue_wait": 0.0,
+            "iop_queue_wait": 0.0,
+        }
+        for queue in self.shared_queues:
+            if queue is not None:
+                totals["iop_queue_wait"] += queue.session_wait_seconds(session_id)
+        for disk in self.disks:
+            stats = disk.session_stats.get(session_id)
+            if stats is None:
+                continue
+            totals["reads"] += stats.reads
+            totals["writes"] += stats.writes
+            totals["bytes_read"] += stats.bytes_read
+            totals["bytes_written"] += stats.bytes_written
+            totals["cache_hits"] += stats.cache_hits
+            totals["cache_misses"] += stats.cache_misses
+            totals["disk_service_time"] += stats.service_time
+            totals["disk_queue_wait"] += stats.queue_wait_time
+        return totals
+
+    def session_bus_busy_seconds(self, session_id):
+        """Busiest single bus's occupancy on behalf of *session_id*."""
+        return max((iop.bus.session_busy_seconds(session_id)
+                    for iop in self.iops), default=0.0)
+
+    def release_session(self, session_id):
+        """Drop all per-session accounting for a completed collective."""
+        for disk in self.disks:
+            disk.release_session(session_id)
+        for iop in self.iops:
+            iop.bus.release_session(session_id)
+        for queue in self.shared_queues:
+            if queue is not None:
+                queue.release_session(session_id)
+        self.network.release_session(session_id)

@@ -44,22 +44,38 @@ class IONode(Node):
         self.bus = None
         self.disks = []          # local Disk objects
         self.disk_indices = []   # their global indices
+        #: what IOP software submits requests to, parallel to ``disks``: the
+        #: drive's SharedDiskQueue when cross-collective scheduling is on,
+        #: the Disk itself otherwise (same request interface either way).
+        self.disk_handles = []
 
     def attach_bus(self, bus):
         """Associate this IOP's SCSI bus."""
         self.bus = bus
 
-    def attach_disk(self, disk, global_index):
-        """Attach a drive (already wired to this IOP's bus)."""
+    def attach_disk(self, disk, global_index, handle=None):
+        """Attach a drive (already wired to this IOP's bus).
+
+        *handle* is what protocol code should submit requests through — a
+        :class:`~repro.disk.shared_queue.SharedDiskQueue` under
+        cross-collective IOP scheduling; defaults to the drive itself.
+        """
         self.disks.append(disk)
         self.disk_indices.append(global_index)
+        self.disk_handles.append(disk if handle is None else handle)
 
-    def local_disk(self, global_index):
-        """The local :class:`Disk` object for a global disk index."""
+    def _local_position(self, global_index):
         try:
-            position = self.disk_indices.index(global_index)
+            return self.disk_indices.index(global_index)
         except ValueError:
             raise KeyError(
                 f"disk {global_index} is not attached to {self.name} "
                 f"(has {self.disk_indices})")
-        return self.disks[position]
+
+    def local_disk(self, global_index):
+        """The local :class:`Disk` object for a global disk index."""
+        return self.disks[self._local_position(global_index)]
+
+    def local_disk_handle(self, global_index):
+        """The request handle (shared queue or drive) for a global disk index."""
+        return self.disk_handles[self._local_position(global_index)]

@@ -46,6 +46,11 @@ class Message:
     ``data_bytes`` is the amount of bulk data carried (0 for control
     messages); the wire size adds a fixed header.  ``payload`` carries
     model-level metadata (request descriptors etc.), never simulated data.
+    ``session_id`` tags protocol traffic with the collective session it
+    belongs to; the network tallies per-session message wire bytes from it
+    (``TransferResult.counters["message_wire_bytes"]``) without digging
+    through protocol-specific payloads.  The disk layer receives the same
+    id through ``DiskRequest.session_id``.
     """
 
     kind: MessageKind
@@ -53,6 +58,7 @@ class Message:
     dst: int
     data_bytes: int = 0
     payload: object = None
+    session_id: object = None
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
     @property

@@ -40,6 +40,11 @@ class Network:
                            for node in range(n_nodes)]
         self.messages_sent = Counter("network.messages")
         self.bytes_sent = Counter("network.bytes")
+        #: wire bytes of protocol messages per collective session
+        #: (session id -> bytes), fed by Message.session_id tags; dropped
+        #: by :meth:`release_session`.  Raw transfers (Memput/Memget data,
+        #: DMA replies) are not messages and are not counted here.
+        self.session_message_bytes = {}
 
     # -- raw transfers ------------------------------------------------------------
     def wire_latency(self, src, dst):
@@ -82,5 +87,17 @@ class Network:
         The caller is responsible for charging any software send/receive
         overhead to the appropriate CPU; this method models only wire time.
         """
+        if message.session_id is not None:
+            sessions = self.session_message_bytes
+            sessions[message.session_id] = \
+                sessions.get(message.session_id, 0) + message.wire_bytes
         yield from self.transfer(message.src, message.dst, message.wire_bytes)
         yield mailbox.deliver(message, tag)
+
+    def session_message_wire_bytes(self, session_id):
+        """Protocol-message wire bytes sent on behalf of *session_id*."""
+        return self.session_message_bytes.get(session_id, 0)
+
+    def release_session(self, session_id):
+        """Drop per-session accounting once the session's result is final."""
+        self.session_message_bytes.pop(session_id, None)

@@ -129,6 +129,25 @@ class Timeout(Event):
         return self._delay
 
 
+def chain(source, target):
+    """Succeed the placeholder *target* with *source*'s value when it fires.
+
+    Used where an event must be handed out *before* the event it stands for
+    exists (e.g. a shared disk queue returns a media-completion placeholder
+    at submit time and chains it to the drive's real event at dispatch
+    time).  Failure of *source* is not propagated — placeholders are only
+    used for success-path completions in this codebase.
+    """
+    def _propagate(event):
+        if event._ok and not target.triggered:
+            target.succeed(event._value)
+    if source.callbacks is None:  # already processed
+        if source._ok and not target.triggered:
+            target.succeed(source._value)
+    else:
+        source.callbacks.append(_propagate)
+
+
 class ConditionValue(dict):
     """Mapping of event -> value returned by :class:`AllOf` / :class:`AnyOf`."""
 

@@ -15,6 +15,31 @@ server-attached parallel file systems.  This driver models that scenario:
 
 The result records per-request response times and byte conservation, plus
 whole-run throughput — the inputs for the ``service`` experiment family.
+
+Invariants the driver guarantees (tests pin each one):
+
+* **Plan determinism.**  The shape of request *i* — target file, pattern,
+  read/write mode, interarrival gap, think time — is a pure function of
+  ``(trial_seed, i)`` via :func:`~repro.workload.arrival.request_rng`.  It
+  does not depend on arrival order, admission order, completion order, the
+  client population, or which process pool ran the trial; serial and
+  parallel sweeps are therefore bit-identical.
+* **Admission bound.**  At most ``concurrency`` sessions are ever in
+  flight; ``max_in_flight`` reports the high-water mark actually reached.
+* **Byte conservation.**  Every admitted collective moves exactly the bytes
+  its pattern requests (``bytes_moved == bytes_requested`` per record),
+  whatever the interleaving with its neighbours.
+* **Makespan convention.**  Throughput divides total bytes by (last
+  completion − *first arrival*): an open-loop run's idle lead-in is not
+  service time and must not deflate throughput.
+* **Record slots.**  ``requests[i]`` always describes planned request *i*
+  (records are slotted by index, not completion order), so percentile and
+  per-request analyses line up across methods and schedulers.
+
+Per-request ``counters`` inside each session's ``TransferResult`` are
+per-session throughout (disk service time, bus share — see
+``CollectiveFileSystem._snapshot_counters``), so concurrent requests do not
+bleed into each other's metrics.
 """
 
 from dataclasses import dataclass, field
@@ -336,15 +361,18 @@ class ServiceDriver:
 
 
 def build_service_machine(workload, machine_config=None, seed=None,
-                          method="disk-directed"):
+                          method="disk-directed", disk_scheduler="fcfs"):
     """Construct (machine, implementation, files) ready for a :class:`ServiceDriver`.
 
     The trial seed controls disk layout seeds and rotational positions, just
-    as in the single-collective experiments.
+    as in the single-collective experiments.  ``disk_scheduler`` is the
+    machine-wide scheduling knob (``fcfs`` | ``sstf`` | ``cscan`` for the
+    drive queue, ``shared-cscan`` etc. for cross-collective IOP scheduling —
+    see :class:`repro.machine.Machine`).
     """
     config = machine_config if machine_config is not None else MachineConfig()
     trial_seed = workload.seed if seed is None else seed
-    machine = Machine(config, seed=trial_seed)
+    machine = Machine(config, seed=trial_seed, disk_scheduler=disk_scheduler)
     filesystem = FileSystem(config, layout_seed=trial_seed)
     files = [
         filesystem.create_file(f"svc-{index}", workload.file_size,
@@ -355,9 +383,11 @@ def build_service_machine(workload, machine_config=None, seed=None,
     return machine, implementation, files
 
 
-def run_service(method, workload, machine_config=None, seed=None):
+def run_service(method, workload, machine_config=None, seed=None,
+                disk_scheduler="fcfs"):
     """Build a machine, drive *workload* through it, return the :class:`ServiceResult`."""
     machine, implementation, files = build_service_machine(
-        workload, machine_config=machine_config, seed=seed, method=method)
+        workload, machine_config=machine_config, seed=seed, method=method,
+        disk_scheduler=disk_scheduler)
     driver = ServiceDriver(machine, implementation, files, workload)
     return driver.run(trial_seed=workload.seed if seed is None else seed)

@@ -75,3 +75,31 @@ class TestBaseBehaviour:
         assert result.layout_name == "contiguous"
         assert result.n_cps == machine.config.n_cps
         assert result.record_size == 8
+
+
+class TestPerSessionCounters:
+    def test_message_wire_bytes_scoped_per_session(self, machine_and_file):
+        machine, striped = machine_and_file
+        fs = make_filesystem("ddio", machine, striped)
+        pattern = make_pattern("rb", striped.size_bytes, 8192, machine.config.n_cps)
+        first = fs.transfer(pattern)
+        second = fs.transfer(pattern)
+        # Identical collectives see identical per-session message traffic —
+        # the count does not accumulate across sessions.
+        assert first.counters["message_wire_bytes"] > 0
+        assert second.counters["message_wire_bytes"] == \
+            first.counters["message_wire_bytes"]
+        # Accounting is released at completion.
+        assert machine.network.session_message_bytes == {}
+
+    def test_disk_and_bus_stats_scoped_per_session(self, machine_and_file):
+        machine, striped = machine_and_file
+        fs = make_filesystem("ddio", machine, striped)
+        pattern = make_pattern("rb", striped.size_bytes, 8192, machine.config.n_cps)
+        first = fs.transfer(pattern)
+        second = fs.transfer(pattern)
+        # Machine-cumulative stats doubled; per-session counters did not.
+        assert machine.total_disk_stats()["reads"] == 2 * first.counters["reads"]
+        assert second.counters["reads"] == first.counters["reads"]
+        for disk in machine.disks:
+            assert disk.session_stats == {}

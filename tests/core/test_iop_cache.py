@@ -231,3 +231,119 @@ class TestWritePath:
         with pytest.raises(ValueError):
             IOPCache(env, None, striped, lambda index: disk,
                      capacity_blocks=0, sectors_per_block=SECTORS)
+
+
+class TestPerSessionDirtyTracking:
+    def test_record_write_tracks_sessions(self, setup):
+        env, _disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_write(0)
+            cache.record_write(0, BLOCK // 2, BLOCK, session_id="a")
+            cache.record_write(0, BLOCK // 2, BLOCK, session_id="b")
+
+        run(env, client(env))
+        entry = cache._entries[cache._key(0, cache.file)]
+        assert entry.dirty_by_session == {"a": BLOCK // 2, "b": BLOCK // 2}
+
+    def test_flush_session_drains_own_blocks_only(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            # Session "a" dirties blocks 0-1; session "b" dirties blocks 2-5.
+            for block in (0, 1):
+                yield cache.acquire_for_write(block)
+                cache.record_write(block, BLOCK // 2, BLOCK, session_id="a")
+            for block in (2, 3, 4, 5):
+                yield cache.acquire_for_write(block)
+                cache.record_write(block, BLOCK // 2, BLOCK, session_id="b")
+            yield cache.flush_session("a")
+
+        run(env, client(env))
+        # Only a's two buffers were written back; b's four are still dirty.
+        assert disk.stats.writes == 2
+        assert len(cache.dirty_blocks) == 4
+
+    def test_flush_session_reaches_the_media(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_write(0)
+            cache.record_write(0, BLOCK, BLOCK, session_id="s")
+            yield cache.flush_session("s")
+
+        run(env, client(env))
+        # Media-level drain: nothing left in the drive's write buffer.
+        assert disk._writes_outstanding == 0
+        assert disk.stats.bytes_written == BLOCK
+
+    def test_flush_session_covers_full_buffer_flushes_issued_earlier(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            # The block fills mid-run and is flushed immediately (write-behind);
+            # the later flush_session must still wait for that write's media.
+            yield cache.acquire_for_write(7)
+            full = cache.record_write(7, BLOCK, BLOCK, session_id="s")
+            assert full
+            cache.flush_block(7)
+            yield cache.flush_session("s")
+
+        run(env, client(env))
+        assert disk._writes_outstanding == 0
+        assert disk.stats.writes == 1
+
+    def test_flush_session_with_no_writes_completes_immediately(self, setup):
+        env, _disk, cache = setup
+
+        def client(env):
+            start = env.now
+            yield cache.flush_session("nobody")
+            return env.now - start
+
+        assert run(env, client(env)) == 0
+
+    def test_shared_block_flush_credits_both_sessions(self, setup):
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_write(0)
+            cache.record_write(0, BLOCK // 2, BLOCK, session_id="a")
+            cache.record_write(0, BLOCK // 2, BLOCK, session_id="b")
+            t0 = env.now
+            yield cache.flush_session("a")
+            a_done = env.now
+            yield cache.flush_session("b")
+            return t0, a_done, env.now
+
+        t0, a_done, b_done = run(env, client(env))
+        # One write-back serves both sessions; b's flush found it already done.
+        assert disk.stats.writes == 1
+        assert a_done > t0
+        assert b_done == a_done
+
+    def test_bytes_recorded_during_writeback_survive_and_drain(self, setup):
+        # Session A's full buffer starts a write-back; while it is in
+        # flight, session B records more bytes into the same buffer.  B's
+        # bytes must stay dirty (not be wiped when the write-back lands),
+        # and B's flush_session must drain them with a second disk write.
+        env, disk, cache = setup
+
+        def client(env):
+            yield cache.acquire_for_write(0)
+            cache.record_write(0, BLOCK, BLOCK, session_id="a")
+            cache.flush_block(0)                  # write-back now in flight
+            yield env.timeout(1e-4)               # mid-flight (writes take ms)
+            entry = cache._entries[cache._key(0, cache.file)]
+            assert entry.flushing
+            cache.record_write(0, BLOCK // 2, BLOCK, session_id="b")
+            yield cache.flush_session("b")
+            assert "b" not in cache._session_media  # b fully drained
+            yield cache.flush_session("a")
+
+        run(env, client(env))
+        assert disk.stats.writes == 2             # A's write-back + B's
+        entry = cache._entries[cache._key(0, cache.file)]
+        assert entry.dirty_bytes == 0
+        assert entry.dirty_by_session == {}
+        assert cache._session_media == {}         # nothing leaked

@@ -110,3 +110,64 @@ class TestConfigurationKnobs:
         pattern = make_pattern("rb", 128 * KILOBYTE, 8192, small_config.n_cps)
         fs.transfer(pattern)
         assert sum(cache.stats.prefetches_issued for cache in fs.caches) == 0
+
+
+class TestPerSessionFlushIndependence:
+    """A collective's completion drains only its OWN write-behind.
+
+    Before per-session dirty tracking, a write collective's completion
+    waited on a machine-wide cache + disk flush, coupling it to every
+    concurrent collective's dirty volume.
+    """
+
+    @staticmethod
+    def _run_pair(big_kb):
+        from repro import FileSystem, Machine, MachineConfig, make_filesystem
+        from repro.sim.events import AllOf
+        from tests.conftest import KILOBYTE
+
+        config = MachineConfig(n_cps=4, n_iops=2, n_disks=2)
+        machine = Machine(config, seed=1)
+        filesystem = FileSystem(config, layout_seed=1)
+        small = filesystem.create_file("small", 64 * KILOBYTE)
+        big = filesystem.create_file("big", big_kb * KILOBYTE)
+        fs = make_filesystem("traditional", machine)
+        from repro import make_pattern
+        big_session = fs.begin_transfer(
+            make_pattern("wb", big.size_bytes, 8192, 4), big)
+        small_session = fs.begin_transfer(
+            make_pattern("wb", small.size_bytes, 8192, 4), small)
+        machine.env.run(AllOf(machine.env, [big_session.done,
+                                            small_session.done]))
+        return small_session, big_session
+
+    def test_small_collective_unaffected_by_neighbours_dirty_volume(self):
+        small_vs_128, big_128 = self._run_pair(128)
+        small_vs_2048, big_2048 = self._run_pair(2048)
+        # The big session's drain grows with its volume...
+        assert big_2048.elapsed > 3 * big_128.elapsed
+        # ...but the small session's completion does not: it drains its own
+        # write-behind only, so a 16x larger neighbour moves it by < 2%.
+        assert small_vs_2048.elapsed == pytest.approx(
+            small_vs_128.elapsed, rel=0.02)
+
+    def test_small_collective_finishes_long_before_the_big_one(self):
+        small, big = self._run_pair(2048)
+        assert small.end_time < 0.5 * big.end_time
+        # Both moved exactly their requested bytes despite the interleaving.
+        assert small.bytes_moved == small.bytes_requested
+        assert big.bytes_moved == big.bytes_requested
+
+
+class TestPrefetchAttribution:
+    def test_prefetch_reads_stay_untagged(self):
+        # Speculative prefetches are the IOP's own work: no per-session
+        # drive accounting may survive (or be recreated) after completion.
+        _result, machine, fs = run_transfer("traditional", "rn",
+                                            file_size=256 * KILOBYTE)
+        assert sum(cache.stats.prefetches_issued for cache in fs.caches) > 0
+        machine.env.run()  # let any straggler prefetch reach the drive
+        for disk in machine.disks:
+            assert disk.session_stats == {}
+        for iop in machine.iops:
+            assert iop.bus.session_busy == {}

@@ -184,3 +184,67 @@ class TestBusContention:
         assert disk.queue_depth >= 1
         env.run()
         assert disk.queue_depth == 0
+
+
+class TestPerSessionAttribution:
+    def test_tagged_requests_split_stats_by_session(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def client(env):
+            yield disk.read(0, SECTORS_PER_BLOCK, session_id="a")
+            yield disk.read(1000, SECTORS_PER_BLOCK, session_id="a")
+            yield disk.read(2000, SECTORS_PER_BLOCK, session_id="b")
+            yield disk.write(3000, SECTORS_PER_BLOCK, session_id="b")
+            yield disk.flush()
+
+        env.run(env.process(client(env)))
+        a, b = disk.session_stats["a"], disk.session_stats["b"]
+        assert (a.reads, a.writes) == (2, 0)
+        assert (b.reads, b.writes) == (1, 1)
+        assert a.bytes_read == 2 * BLOCK
+        assert b.bytes_written == BLOCK
+        # Per-session service time partitions the drive's request-service
+        # busy time (destage of buffered writes is background, unattributed).
+        assert a.service_time > 0 and b.service_time > 0
+        assert a.service_time + b.service_time <= disk.stats.busy_time + 1e-12
+        # Whole-drive stats are unchanged by tagging.
+        assert disk.stats.reads == 3 and disk.stats.writes == 1
+
+    def test_untagged_requests_leave_no_session_entries(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def client(env):
+            yield disk.read(0, SECTORS_PER_BLOCK)
+
+        env.run(env.process(client(env)))
+        assert disk.session_stats == {}
+
+    def test_release_session_drops_accounting(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def client(env):
+            yield disk.read(0, SECTORS_PER_BLOCK, session_id=5)
+
+        env.run(env.process(client(env)))
+        assert 5 in disk.session_stats
+        disk.release_session(5)
+        assert disk.session_stats == {}
+        disk.release_session(5)  # idempotent
+
+    def test_readahead_hits_attributed_per_session(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def client(env):
+            # Sequential reads: the second request hits the read-ahead cache.
+            yield disk.read(0, SECTORS_PER_BLOCK, session_id="s")
+            yield disk.read(SECTORS_PER_BLOCK, SECTORS_PER_BLOCK, session_id="s")
+
+        env.run(env.process(client(env)))
+        stats = disk.session_stats["s"]
+        assert stats.cache_misses >= 1
+        assert stats.cache_hits >= 1
+        assert stats.cache_hits + stats.cache_misses == 2

@@ -1,0 +1,188 @@
+"""Tests for the cross-collective IOP disk queue (SharedDiskQueue)."""
+
+import pytest
+
+from repro.disk import Disk, HP97560_SPEC, SharedDiskQueue
+from repro.disk.drive import BusPort
+from repro.sim import Environment, Resource
+from repro.sim.events import AllOf, Event
+
+SECTORS_PER_BLOCK = 16
+
+
+def make_disk(env, **kwargs):
+    bus = Resource(env, capacity=1)
+    port = BusPort(bus, bandwidth=10e6, overhead=0.1e-3)
+    return Disk(env, HP97560_SPEC, port, **kwargs)
+
+
+def make_queue(env, policy="cscan", workers=1, **disk_kwargs):
+    disk = make_disk(env, **disk_kwargs)
+    return disk, SharedDiskQueue(env, disk, policy=policy, workers=workers)
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        env = Environment()
+        disk = make_disk(env)
+        with pytest.raises(ValueError):
+            SharedDiskQueue(env, disk, workers=0)
+
+    def test_rejects_unknown_policy(self):
+        env = Environment()
+        disk = make_disk(env)
+        with pytest.raises(ValueError):
+            SharedDiskQueue(env, disk, policy="elevator-to-nowhere")
+
+
+class TestMergedOrdering:
+    def _service_order(self, env, queue, submissions, policy_kick=None):
+        """Submit everything at t=0, return the order jobs were serviced."""
+        order = []
+
+        def job(label, lbn):
+            def run():
+                yield queue.disk.read(lbn, SECTORS_PER_BLOCK)
+                order.append(label)
+            return run
+
+        events = [queue.submit(lbn, job(label, lbn), session_id=session)
+                  for label, session, lbn in submissions]
+        env.run(AllOf(env, events))
+        return order
+
+    def test_cscan_merges_two_sessions_into_one_sweep(self):
+        # Session A holds even thousands, session B odd thousands; submitted
+        # interleaved A,B,A,B by arrival.  A single-worker CSCAN queue must
+        # service the union in ascending-LBN order, not per-session streams.
+        env = Environment()
+        _disk, queue = make_queue(env, policy="cscan", workers=1)
+        submissions = [
+            ("a0", "A", 8000), ("b0", "B", 1000),
+            ("a1", "A", 4000), ("b1", "B", 9000),
+            ("a2", "A", 2000), ("b2", "B", 5000),
+        ]
+        order = self._service_order(env, queue, submissions)
+        # All six jobs are pending when the worker first wakes (head at 0),
+        # so the whole batch is serviced in one ascending sweep across both
+        # sessions — not as two per-session streams in arrival order.
+        assert order == ["b0", "a2", "a1", "b2", "a0", "b1"]
+
+    def test_fcfs_policy_preserves_arrival_order(self):
+        env = Environment()
+        _disk, queue = make_queue(env, policy="fcfs", workers=1)
+        submissions = [("x", "A", 9000), ("y", "B", 100), ("z", "A", 5000)]
+        order = self._service_order(env, queue, submissions)
+        assert order == ["x", "y", "z"]
+
+    def test_worker_pool_bounds_jobs_in_service(self):
+        env = Environment()
+        _disk, queue = make_queue(env, policy="cscan", workers=2)
+        peak = []
+
+        def job(lbn):
+            def run():
+                peak.append(queue.in_service)
+                yield queue.disk.read(lbn, SECTORS_PER_BLOCK)
+            return run
+
+        events = [queue.submit(1000 * i, job(1000 * i)) for i in range(6)]
+        env.run(AllOf(env, events))
+        assert max(peak) <= 2
+        assert queue.dispatched == 6
+        assert queue.queue_depth == 0
+
+
+class TestDiskCompatibleInterface:
+    def test_read_returns_value_and_tags_session(self):
+        env = Environment()
+        disk, queue = make_queue(env)
+        done = queue.read(100, SECTORS_PER_BLOCK, session_id=7)
+        env.run(done)
+        assert disk.session_stats[7].reads == 1
+        assert disk.session_stats[7].bytes_read == SECTORS_PER_BLOCK * 512
+        assert disk.session_stats[7].service_time > 0
+
+    def test_write_tracked_media_placeholder_fires(self):
+        env = Environment()
+        disk, queue = make_queue(env)
+        accepted, on_media = queue.write_tracked(
+            100, SECTORS_PER_BLOCK, session_id=3)
+        env.run(accepted)
+        accepted_at = env.now
+        env.run(on_media)
+        assert env.now >= accepted_at  # destage happens at or after accept
+        assert disk.session_stats[3].writes == 1
+
+    def test_flush_waits_for_queued_and_buffered_writes(self):
+        env = Environment()
+        disk, queue = make_queue(env, workers=1)
+        for i in range(4):
+            queue.write(1000 * i, SECTORS_PER_BLOCK)
+        flushed = queue.flush()
+        env.run(flushed)
+        assert disk.stats.writes == 4
+        assert disk.stats.bytes_written == 4 * SECTORS_PER_BLOCK * 512
+
+    def test_flush_with_no_writes_completes(self):
+        env = Environment()
+        _disk, queue = make_queue(env)
+        flushed = queue.flush()
+        env.run(flushed)
+        assert flushed.triggered
+
+
+class TestLateMerging:
+    def test_late_arrival_joins_the_sweep(self):
+        # A second session submitting while the queue is draining is merged
+        # by the policy rather than appended after everything pending.
+        env = Environment()
+        _disk, queue = make_queue(env, policy="cscan", workers=1)
+        order = []
+
+        def job(label, lbn):
+            def run():
+                yield queue.disk.read(lbn, SECTORS_PER_BLOCK)
+                order.append(label)
+            return run
+
+        first = [queue.submit(lbn, job(f"a{lbn}", lbn))
+                 for lbn in (2000, 40000, 80000)]
+
+        def late_submitter():
+            yield env.timeout(0.005)  # while the queue still has work
+            yield queue.submit(41000, job("late", 41000))
+
+        late = env.process(late_submitter())
+        env.run(AllOf(env, first + [late]))
+        # The late 41000 must ride the sweep right after 40000, before 80000.
+        assert order.index("late") < order.index("a80000")
+
+
+class TestQueueWaitAccounting:
+    def test_pending_wait_attributed_per_session(self):
+        env = Environment()
+        _disk, queue = make_queue(env, policy="cscan", workers=1)
+        events = [queue.read(1000 * i, SECTORS_PER_BLOCK, session_id="s")
+                  for i in range(4)]
+        env.run(AllOf(env, events))
+        # Jobs 2-4 waited for the single worker; their wait is recorded.
+        assert queue.session_wait_seconds("s") > 0
+        assert queue.session_wait_seconds("other") == 0.0
+        queue.release_session("s")
+        assert queue.session_wait_seconds("s") == 0.0
+
+    def test_iop_queue_wait_reaches_session_counters(self):
+        from repro import FileSystem, Machine, MachineConfig, make_filesystem, \
+            make_pattern
+
+        config = MachineConfig(n_cps=2, n_iops=1, n_disks=1)
+        machine = Machine(config, seed=1, disk_scheduler="shared-cscan")
+        striped = FileSystem(config, layout_seed=1).create_file("f", 64 * 1024)
+        fs = make_filesystem("ddio", machine, striped)
+        result = fs.transfer(make_pattern("rb", striped.size_bytes, 8192, 2))
+        # One disk, 8 blocks, 2 workers: most jobs waited in the IOP queue.
+        assert result.counters["iop_queue_wait"] > 0
+        # Default machines report the key as 0.0 (no shared queues).
+        plain = Machine(config, seed=1)
+        assert plain.session_disk_stats(12345)["iop_queue_wait"] == 0.0

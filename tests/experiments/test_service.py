@@ -155,3 +155,52 @@ class TestHeadlineUnderConcurrentLoad:
             tiny_service_config(method="traditional", **kwargs))
         assert ddio.conserves_bytes() and caching.conserves_bytes()
         assert ddio.throughput_mb > caching.throughput_mb
+
+
+class TestSchedulerComparison:
+    """Cross-collective IOP scheduling plugged into the service family."""
+
+    def test_disk_scheduler_participates_in_cache_key(self):
+        base = tiny_service_config()
+        shared = tiny_service_config(disk_scheduler="shared-cscan")
+        assert trial_cache_key(base, 7) != trial_cache_key(shared, 7)
+
+    def test_shared_cscan_trial_conserves_bytes(self):
+        result = run_service_experiment(
+            tiny_service_config(disk_scheduler="shared-cscan"))
+        assert result.conserves_bytes()
+
+    def test_serial_parallel_determinism_with_shared_queues(self):
+        configs = [tiny_service_config(disk_scheduler=scheduler)
+                   for scheduler in ("fcfs", "shared-cscan")]
+        serial = sweep(configs, trials=2)
+        parallel = sweep_parallel(configs, trials=2, workers=2)
+        for serial_summary, parallel_summary in zip(serial, parallel):
+            assert results_as_dicts(serial_summary) == \
+                results_as_dicts(parallel_summary)
+
+    def test_shared_cscan_beats_per_collective_sort_under_concurrency(self):
+        # The K>1 pathology and its fix, at test scale: 8 concurrent DDIO
+        # collectives over random-layout files on a small machine.  The
+        # shared elevator must improve BOTH throughput and p99 response
+        # time over per-collective presorted lists on a FCFS drive queue.
+        overrides = dict(n_cps=8, n_iops=4, n_disks=4, n_requests=24,
+                         n_files=12, file_size=1024 * KILOBYTE,
+                         layout="random", concurrency=8,
+                         arrival_rate=8.0, seed=0)
+        fcfs = run_service_experiment(tiny_service_config(**overrides))
+        cscan = run_service_experiment(
+            tiny_service_config(disk_scheduler="shared-cscan", **overrides))
+        assert cscan.throughput_mb > fcfs.throughput_mb
+        assert cscan.response_percentile(0.99) < fcfs.response_percentile(0.99)
+
+    def test_scheduler_figure_smoke(self):
+        from repro.experiments.service import service_scheduler_figure
+
+        summaries, text = service_scheduler_figure(
+            loads=(100.0,), concurrencies=(1, 2), trials=1,
+            n_cps=2, n_iops=1, n_disks=1, n_requests=4, n_files=2,
+            file_size=64 * KILOBYTE, layout="contiguous", seed=7)
+        assert len(summaries) == 4  # 2 K x 2 schedulers x 1 load
+        assert "shared-cscan" in text
+        assert "99th-percentile" in text

@@ -118,3 +118,64 @@ class TestNodes:
         machine = Machine(small_config, seed=0)
         assert machine.cps[0].name == "cp0"
         assert machine.iops[3].name == "iop3"
+
+
+class TestSharedSchedulerWiring:
+    def test_default_machine_has_no_shared_queues(self, small_config):
+        machine = Machine(small_config, seed=0)
+        assert machine.iop_scheduling is None
+        assert machine.shared_queues == [None] * small_config.n_disks
+        assert machine.disk_handle(0) is machine.disks[0]
+
+    def test_shared_cscan_builds_one_queue_per_disk(self, small_config):
+        from repro.disk import SharedDiskQueue
+
+        machine = Machine(small_config, seed=0, disk_scheduler="shared-cscan")
+        assert machine.iop_scheduling == "cscan"
+        for index, queue in enumerate(machine.shared_queues):
+            assert isinstance(queue, SharedDiskQueue)
+            assert queue.disk is machine.disks[index]
+            assert machine.disk_handle(index) is queue
+            # The drive under a shared queue stays FCFS.
+            assert machine.disks[index].scheduler.name == "fcfs"
+        # IOPs hand out the queue as the local disk handle.
+        iop = machine.iops[0]
+        global_index = iop.disk_indices[0]
+        assert iop.local_disk_handle(global_index) \
+            is machine.disk_handle(global_index)
+        assert iop.local_disk(global_index) is machine.disks[global_index]
+
+    def test_plain_policy_configures_the_drive_queue(self, small_config):
+        machine = Machine(small_config, seed=0, disk_scheduler="cscan")
+        assert machine.iop_scheduling is None
+        assert all(disk.scheduler.name == "cscan" for disk in machine.disks)
+
+    def test_unknown_shared_policy_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            Machine(small_config, seed=0, disk_scheduler="shared-zigzag")
+
+    def test_session_stats_roundtrip(self, small_config):
+        machine = Machine(small_config, seed=0)
+        disk = machine.disks[0]
+        disk.session(9).reads = 3
+        disk.session(9).service_time = 0.5
+        stats = machine.session_disk_stats(9)
+        assert stats["reads"] == 3
+        assert stats["disk_service_time"] == 0.5
+        machine.release_session(9)
+        assert machine.session_disk_stats(9)["reads"] == 0
+
+    def test_policy_object_accepted_for_drive_queue(self, small_config):
+        from repro.disk import SstfScheduler
+
+        policy = SstfScheduler()
+        machine = Machine(small_config, seed=0, disk_scheduler=policy)
+        assert machine.iop_scheduling is None
+        assert all(disk.scheduler is policy for disk in machine.disks)
+
+    def test_shared_queue_workers_sizes_the_pool(self, small_config):
+        machine = Machine(small_config, seed=0, disk_scheduler="shared-cscan",
+                          shared_queue_workers=4)
+        assert all(queue.workers == 4 for queue in machine.shared_queues)
+        default = Machine(small_config, seed=0, disk_scheduler="shared-cscan")
+        assert all(queue.workers == 2 for queue in default.shared_queues)

@@ -273,3 +273,37 @@ class TestConditions:
         env.process(coordinator(env))
         env.run()
         assert collected == [["a", "b"]]
+
+
+class TestChain:
+    def test_chain_propagates_success_value(self):
+        from repro.sim.events import chain
+
+        env = Environment()
+        source, target = Event(env), Event(env)
+        chain(source, target)
+        source.succeed("payload")
+        env.run()
+        assert target.triggered and target.value == "payload"
+
+    def test_chain_from_already_processed_event(self):
+        from repro.sim.events import chain
+
+        env = Environment()
+        source = Event(env)
+        source.succeed(42)
+        env.run()
+        target = Event(env)
+        chain(source, target)
+        assert target.triggered and target.value == 42
+
+    def test_chain_does_not_propagate_failure_as_success(self):
+        from repro.sim.events import chain
+
+        env = Environment()
+        source, target = Event(env), Event(env)
+        chain(source, target)
+        source.fail(RuntimeError("disk on fire"))
+        source.defuse()
+        env.run()
+        assert not target.triggered

@@ -1,0 +1,72 @@
+"""Tests for the docs dead-link checker CI guard."""
+
+from tools.check_doc_links import dead_links, default_files, is_checkable, main
+
+
+def write(path, text):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestCheckable:
+    def test_external_and_anchor_links_skipped(self):
+        assert not is_checkable("https://example.org/paper.pdf")
+        assert not is_checkable("http://example.org")
+        assert not is_checkable("mailto:kotz@example.edu")
+        assert not is_checkable("#determinism")
+        assert not is_checkable("/absolute/site/path")
+
+    def test_relative_paths_checked(self):
+        assert is_checkable("scheduling.md")
+        assert is_checkable("../README.md")
+        assert is_checkable("architecture.md#the-layers")
+
+
+class TestDeadLinks:
+    def test_resolving_links_pass(self, tmp_path):
+        write(tmp_path / "docs" / "other.md", "# other")
+        doc = write(tmp_path / "docs" / "index.md",
+                    "See [other](other.md) and [up](../README.md) "
+                    "and [anchored](other.md#top) and [web](https://x.org).")
+        write(tmp_path / "README.md", "# readme")
+        assert dead_links(doc) == []
+
+    def test_dead_link_reported_with_line_number(self, tmp_path):
+        doc = write(tmp_path / "docs" / "index.md",
+                    "fine line\nsee [gone](missing.md) here\n")
+        assert dead_links(doc) == [(2, "missing.md")]
+
+    def test_dead_anchored_link_reported(self, tmp_path):
+        doc = write(tmp_path / "a.md", "[x](gone.md#section)")
+        assert dead_links(doc) == [(1, "gone.md#section")]
+
+    def test_image_links_checked_too(self, tmp_path):
+        doc = write(tmp_path / "a.md", "![fig](figures/missing.png)")
+        assert dead_links(doc) == [(1, "figures/missing.png")]
+
+
+class TestMain:
+    def test_default_file_set(self, tmp_path):
+        write(tmp_path / "README.md", "[d](docs/a.md)")
+        write(tmp_path / "docs" / "a.md", "# a")
+        files = default_files(tmp_path)
+        assert [f.name for f in files] == ["README.md", "a.md"]
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        doc = write(tmp_path / "doc.md", "[ok](other.md)")
+        write(tmp_path / "other.md", "x")
+        assert main([str(doc)]) == 0
+        assert "all relative links resolve" in capsys.readouterr().out
+
+    def test_exit_one_on_dead_link(self, tmp_path, capsys):
+        doc = write(tmp_path / "doc.md", "[bad](nope.md)")
+        assert main([str(doc)]) == 1
+        assert "nope.md" in capsys.readouterr().out
+
+    def test_repo_docs_are_clean(self):
+        # The real README + docs tree must stay link-clean (what CI enforces).
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        assert main(["--root", str(repo_root)]) == 0

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Fail when documentation contains dead relative links.
+
+Scans Markdown files (by default ``README.md`` and ``docs/*.md``) for inline
+links and image references, and checks that every *relative* target exists
+on disk, resolved against the file containing the link.  External links
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
+(``#section``) are not checked — this is a repository-consistency guard,
+not a crawler.  Anchored file links (``architecture.md#the-layers``) are
+checked for file existence only.
+
+CI runs this on every pull request::
+
+    python tools/check_doc_links.py
+
+Exit status 0 when every relative link resolves, 1 otherwise (each dead
+link is reported as ``file:line: target``).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links/images: [text](target) / ![alt](target).
+#: Reference-style definitions ([name]: target) are rare here and skipped.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text):
+    """Yield ``(line_number, target)`` for every inline link in *text*."""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            yield line_number, match.group(1)
+
+
+def is_checkable(target):
+    """Whether *target* is a relative path this guard should verify."""
+    if target.startswith(_EXTERNAL):
+        return False
+    if target.startswith("#"):
+        return False  # in-page anchor
+    if target.startswith("/"):
+        return False  # site-absolute: nothing sensible to resolve against
+    return True
+
+
+def dead_links(markdown_path, repo_root=None):
+    """The list of ``(line, target)`` links in *markdown_path* that do not resolve."""
+    markdown_path = Path(markdown_path)
+    del repo_root  # relative links resolve against the containing file only
+    missing = []
+    text = markdown_path.read_text(encoding="utf-8")
+    for line_number, target in iter_links(text):
+        if not is_checkable(target):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown_path.parent / path_part)
+        if not resolved.exists():
+            missing.append((line_number, target))
+    return missing
+
+
+def default_files(root):
+    """README.md plus every Markdown file under docs/."""
+    root = Path(root)
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Check Markdown files for dead relative links.")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="Markdown files to check "
+                             "(default: README.md and docs/*.md)")
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repository root for the default file set")
+    args = parser.parse_args(argv)
+
+    files = args.files or default_files(args.root)
+    failures = 0
+    for markdown in files:
+        for line_number, target in dead_links(markdown):
+            print(f"{markdown}:{line_number}: dead link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} dead link(s).", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve.")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
