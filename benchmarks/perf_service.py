@@ -34,6 +34,7 @@ from repro.experiments.service import (  # noqa: E402
     ServiceExperimentConfig,
     run_service_experiment,
 )
+from repro.workload import run_service  # noqa: E402
 
 #: The canonical service points.  "smoke" variants are CI-sized.
 CASES = {
@@ -45,6 +46,20 @@ CASES = {
 SMOKE_OVERRIDES = dict(n_cps=4, n_iops=2, n_disks=2, n_requests=12,
                        n_files=8, file_size=128 * 1024, read_fraction=1.0,
                        arrival="closed", concurrency=4)
+
+#: The 8-byte-record point: traditional caching's worst case (~100x costlier
+#: to simulate than 8 KB records before the per-(CP, block) request batching
+#: landed).  Tracked so BENCH_service.json shows the batching speedup:
+#: the same point is also run with ``batch_requests=False`` (the one-event-
+#: round-trip-per-record baseline) and the wall-clock ratio recorded.
+EIGHT_BYTE_OVERRIDES = dict(n_cps=4, n_iops=2, n_disks=2, n_requests=4,
+                            n_files=4, file_size=256 * 1024,
+                            read_fraction=1.0, pattern_specs=("c",),
+                            record_size=8, arrival="closed", concurrency=2,
+                            layout="random")
+
+EIGHT_BYTE_SMOKE_OVERRIDES = dict(EIGHT_BYTE_OVERRIDES, n_requests=2,
+                                  file_size=64 * 1024)
 
 
 def run_case(overrides, seed=3, trials=2):
@@ -68,6 +83,31 @@ def run_case(overrides, seed=3, trials=2):
         out[f"{key}_wall_s"] = round(wall, 3)
     out["ddio_advantage"] = round(
         out["ddio_throughput_mb"] / out["tc_throughput_mb"], 3)
+    return out
+
+
+def run_eight_byte_case(overrides, seed=3, trials=1):
+    """The 8-byte-record point, batched vs the unbatched simulator baseline.
+
+    Returns the usual per-method throughput/wall fields plus
+    ``tc_unbatched_wall_s`` and ``batching_speedup`` (unbatched wall over
+    batched wall for the traditional-caching runs — the acceptance criterion
+    is >= 5x).
+    """
+    out = run_case(overrides, seed=seed, trials=trials)
+    config = ServiceExperimentConfig(method="traditional", seed=seed,
+                                     **overrides)
+    start = time.perf_counter()
+    for trial in range(trials):
+        result = run_service(
+            "traditional", config.workload(),
+            machine_config=config.machine_config(), seed=seed + trial,
+            disk_scheduler=config.disk_scheduler, batch_requests=False)
+        if not result.conserves_bytes():
+            raise AssertionError("byte conservation violated (unbatched)")
+    out["tc_unbatched_wall_s"] = round(time.perf_counter() - start, 3)
+    out["batching_speedup"] = round(
+        out["tc_unbatched_wall_s"] / max(out["tc_wall_s"], 1e-9), 2)
     return out
 
 
@@ -96,6 +136,19 @@ def main(argv=None):
               f"tc {point['tc_throughput_mb']:6.2f} MB/s "
               f"({point['tc_wall_s']:.2f}s wall)  "
               f"advantage {point['ddio_advantage']:.2f}x")
+
+    eight_byte = EIGHT_BYTE_SMOKE_OVERRIDES if args.smoke \
+        else EIGHT_BYTE_OVERRIDES
+    name = "eight_byte_records"
+    measurements[name] = run_eight_byte_case(eight_byte, seed=args.seed,
+                                             trials=1)
+    point = measurements[name]
+    print(f"  {name:22s} ddio {point['ddio_throughput_mb']:6.2f} MB/s "
+          f"({point['ddio_wall_s']:.2f}s wall)  "
+          f"tc {point['tc_throughput_mb']:6.2f} MB/s "
+          f"({point['tc_wall_s']:.2f}s wall, unbatched "
+          f"{point['tc_unbatched_wall_s']:.2f}s -> "
+          f"{point['batching_speedup']:.1f}x)")
 
     record = {
         "label": args.label,

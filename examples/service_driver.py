@@ -41,6 +41,19 @@ def main():
     parser.add_argument("--layout", default="random",
                         choices=["contiguous", "random"],
                         help="physical layout of every file")
+    parser.add_argument("--size-dist", default="fixed",
+                        choices=["fixed", "pareto", "lognormal"],
+                        help="per-file size distribution (mean --file-mb; "
+                             "heavy-tailed draws are deterministic per "
+                             "(seed, file) — docs/workloads.md)")
+    parser.add_argument("--size-alpha", type=float, default=1.5,
+                        help="Pareto tail index (smaller = heavier)")
+    parser.add_argument("--size-sigma", type=float, default=1.0,
+                        help="lognormal shape parameter (larger = heavier)")
+    parser.add_argument("--record-sizes", type=str, default="",
+                        help="comma-separated record-size mix in bytes, e.g. "
+                             "'8,8192' to include the paper's 8-byte worst "
+                             "case (default: 8192 only)")
     parser.add_argument("--scheduler", default="fcfs",
                         choices=["fcfs", "sstf", "cscan", "shared-fcfs",
                                  "shared-sstf", "shared-cscan"],
@@ -52,12 +65,16 @@ def main():
 
     config = MachineConfig()   # Table 1 defaults: 16 CPs, 16 IOPs, 16 disks
     concurrency_levels = args.concurrency or [1, 4]
+    record_sizes = tuple(int(size) for size in args.record_sizes.split(",")
+                         if size) if args.record_sizes else ()
 
+    sizes = f"{args.file_mb:g} MB" if args.size_dist == "fixed" \
+        else f"{args.size_dist}(mean {args.file_mb:g} MB)"
     print(f"Machine: {config.n_cps} CPs, {config.n_iops} IOPs, "
           f"{config.n_disks} disks")
     print(f"Stream: {args.requests} mixed collectives "
           f"({args.read_fraction:.0%} reads) over {args.files} x "
-          f"{args.file_mb:g} MB {args.layout} files, {args.arrival} arrivals, "
+          f"{sizes} {args.layout} files, {args.arrival} arrivals, "
           f"disk scheduler {args.scheduler}")
     print()
 
@@ -74,6 +91,10 @@ def main():
                 layout=args.layout,
                 read_fraction=args.read_fraction,
                 pattern_specs=("b", "c"),
+                record_sizes=record_sizes,
+                size_distribution=args.size_dist,
+                size_alpha=args.size_alpha,
+                size_sigma=args.size_sigma,
                 file_assignment="round-robin",
                 seed=args.seed,
             )

@@ -25,7 +25,15 @@ from repro.sim.events import AllOf, Event
 
 @dataclass
 class _Request:
-    """What a CP asks an IOP to do with one piece of one block."""
+    """What a CP asks an IOP to do with one piece of one block.
+
+    ``n_requests`` > 1 means this object stands for a *batch* of modeled
+    requests: that many back-to-back single-piece requests from one CP to the
+    same file block, simulated as one exchange.  ``length`` is then the total
+    bytes across the batch and every per-request software cost (CP request
+    build, message send/receive, thread dispatch, cache lookup, reply) is
+    charged ``n_requests`` times — in one simulator event each.
+    """
 
     kind: str                 # "read" or "write"
     block: int
@@ -35,6 +43,7 @@ class _Request:
     disk_index: int
     session: object = None    # the CollectiveSession this request belongs to
     reply_event: Event = None
+    n_requests: int = 1
 
     @property
     def file(self):
@@ -51,12 +60,18 @@ class TraditionalCachingFS(CollectiveFileSystem):
     REQUEST_TAG = "tc-request"
 
     def __init__(self, machine, striped_file=None, cache_blocks_per_cp_per_disk=2,
-                 prefetch_blocks=1, outstanding_per_disk=1):
+                 prefetch_blocks=1, outstanding_per_disk=1, batch_requests=True):
         super().__init__(machine, striped_file)
         if outstanding_per_disk < 1:
             raise ValueError("need at least one outstanding request per disk")
         self.prefetch_blocks = prefetch_blocks
         self.outstanding_per_disk = outstanding_per_disk
+        #: Simulator batching of per-record request streams (see
+        #: :meth:`_cp_worker`).  ``False`` restores one simulation event
+        #: round-trip per modeled request — the reference behaviour the
+        #: batched path is regression-tested against, and the baseline
+        #: ``benchmarks/perf_service.py`` measures its speedup over.
+        self.batch_requests = batch_requests
         self.cache_blocks_per_cp_per_disk = cache_blocks_per_cp_per_disk
         self.request_tag = (self.REQUEST_TAG, self.fs_id)
         self.caches = []
@@ -112,11 +127,68 @@ class TraditionalCachingFS(CollectiveFileSystem):
         before starting the next chunk (there is no CP-side buffering).  For
         single-block chunks this collapses to one outstanding request per CP —
         the behaviour the paper's sensitivity analysis calls out for ``rc``.
+
+        Simulator batching (``batch_requests``): when records are smaller
+        than a file block, the chunk walk degenerates into thousands of
+        single-piece chunks per block (the paper's 8-byte cyclic worst case),
+        each a full simulated round-trip.  Consecutive single-block chunks
+        that land in the *same* block are coalesced into one batched
+        :class:`_Request` whose every per-request CPU, header and DMA-setup
+        cost is charged ``n_requests`` times but in single simulator events —
+        the same substitution disk-directed I/O makes for per-piece Memput
+        messages.  The modeled protocol is unchanged: the IOP still sees (and
+        charges for) every request; the drive still sees one fetch per block.
         """
         cp_node = self.machine.cps[cp_index]
+        if not self.batch_requests:
+            for offset, length in session.pattern.chunks_for_cp(cp_index):
+                yield from self._issue_byte_range(cp_node, cp_index, session,
+                                                  offset, length)
+            return
+        block_size = session.file.block_size
+        batch = None  # (block, first offset-in-block, total bytes, n requests)
         for offset, length in session.pattern.chunks_for_cp(cp_index):
-            yield from self._issue_byte_range(cp_node, cp_index, session,
-                                              offset, length)
+            block = offset // block_size
+            if (offset + length - 1) // block_size != block:
+                # Multi-block chunk: flush the batch, take the general path
+                # (its own per-disk outstanding-request window applies).
+                if batch is not None:
+                    yield from self._issue_batched(cp_node, cp_index, session,
+                                                   *batch)
+                    batch = None
+                yield from self._issue_byte_range(cp_node, cp_index, session,
+                                                  offset, length)
+            elif batch is not None and batch[0] == block:
+                batch = (block, batch[1], batch[2] + length, batch[3] + 1)
+            else:
+                if batch is not None:
+                    yield from self._issue_batched(cp_node, cp_index, session,
+                                                   *batch)
+                batch = (block, offset % block_size, length, 1)
+        if batch is not None:
+            yield from self._issue_batched(cp_node, cp_index, session, *batch)
+
+    def _issue_batched(self, cp_node, cp_index, session, block, offset_in_block,
+                       length, n_requests):
+        """Issue *n_requests* same-block requests as one simulated exchange.
+
+        The unbatched model serialises these (one outstanding request per
+        disk, all to the same disk), so a single blocking exchange preserves
+        the pacing; only the per-request event round-trips are collapsed.
+        """
+        striped_file = session.file
+        request = _Request(
+            kind="write" if session.pattern.is_write else "read",
+            block=block,
+            offset_in_block=offset_in_block,
+            length=length,
+            cp_index=cp_index,
+            disk_index=striped_file.disk_of_block(block),
+            session=session,
+            n_requests=n_requests,
+        )
+        session.count("cp_requests", n_requests)
+        yield self.env.process(self._cp_issue_request(cp_node, request))
 
     def _issue_byte_range(self, cp_node, cp_index, session, offset, length):
         """One ReadCP/WriteCP call: issue per-block requests, then wait for all.
@@ -149,13 +221,15 @@ class TraditionalCachingFS(CollectiveFileSystem):
             yield AllOf(self.env, remaining)
 
     def _cp_issue_request(self, cp_node, request):
-        """Send one request to the owning IOP and wait for its reply."""
+        """Send one request (or batch) to the owning IOP and wait for its reply."""
         costs = self.costs
         iop = self.machine.iop_for_disk(request.disk_index)
         request.reply_event = Event(self.env)
-        # CP software: build the request, find the disk, enter the message system.
+        # CP software: build the request, find the disk, enter the message
+        # system — once per modeled request, in one event for a batch.
         yield from self._charge_cpu(
-            cp_node, costs.cp_request_overhead + costs.message_overhead)
+            cp_node, request.n_requests
+            * (costs.cp_request_overhead + costs.message_overhead))
         data_bytes = request.length if request.kind == "write" else 0
         message = Message(
             kind=MessageKind.WRITE_REQUEST if request.kind == "write"
@@ -165,6 +239,7 @@ class TraditionalCachingFS(CollectiveFileSystem):
             data_bytes=data_bytes,
             payload=request,
             session_id=request.session.session_id,
+            n_messages=request.n_requests,
         )
         yield from self.machine.network.send(
             message, iop.mailbox, tag=self.request_tag)
@@ -177,10 +252,12 @@ class TraditionalCachingFS(CollectiveFileSystem):
         costs = self.costs
         while True:
             message = yield iop.mailbox.receive(self.request_tag)
-            message.payload.session.count("iop_messages")
+            request = message.payload
+            request.session.count("iop_messages", request.n_requests)
             yield from self._charge_cpu(
-                iop, costs.message_overhead + costs.thread_dispatch_overhead)
-            self.env.process(self._handle_request(iop, cache, message.payload))
+                iop, request.n_requests
+                * (costs.message_overhead + costs.thread_dispatch_overhead))
+            self.env.process(self._handle_request(iop, cache, request))
 
     def _handle_request(self, iop, cache, request):
         if request.kind == "read":
@@ -192,7 +269,8 @@ class TraditionalCachingFS(CollectiveFileSystem):
         costs = self.costs
         striped_file = request.file
         session_id = request.session.session_id
-        yield from self._charge_cpu(iop, costs.cache_lookup_overhead)
+        yield from self._charge_cpu(
+            iop, request.n_requests * costs.cache_lookup_overhead)
         yield cache.acquire_for_read(request.block, file=striped_file,
                                      session_id=session_id)
         # One-block-ahead prefetch: the next block of this file on this disk.
@@ -204,18 +282,23 @@ class TraditionalCachingFS(CollectiveFileSystem):
                 next_block = request.block + ahead * striped_file.n_disks
                 if next_block < striped_file.n_blocks:
                     cache.try_prefetch(next_block, file=striped_file)
-        # Reply with the data (deposited into the user's buffer by DMA).
-        yield from self._charge_cpu(iop, costs.message_overhead)
+        # Reply with the data (deposited into the user's buffer by DMA) —
+        # one modeled reply per modeled request.
+        yield from self._charge_cpu(
+            iop, request.n_requests * costs.message_overhead)
         cp_node = self.machine.cps[request.cp_index]
         yield from self.machine.network.transfer(
-            iop.node_id, cp_node.node_id, HEADER_BYTES + request.length)
+            iop.node_id, cp_node.node_id,
+            request.n_requests * HEADER_BYTES + request.length,
+            count=request.n_requests)
         request.session.count("bytes_moved", request.length)
         request.reply_event.succeed()
 
     def _handle_write(self, iop, cache, request):
         costs = self.costs
         striped_file = request.file
-        yield from self._charge_cpu(iop, costs.cache_lookup_overhead)
+        yield from self._charge_cpu(
+            iop, request.n_requests * costs.cache_lookup_overhead)
         # Acquire and pin the buffer: under concurrent collectives the cache
         # can thrash, and an unpinned buffer could be evicted between
         # allocation and the copy — silently dropping the written bytes.
@@ -236,8 +319,11 @@ class TraditionalCachingFS(CollectiveFileSystem):
             cache.flush_block(request.block, file=striped_file)
         cache.unpin(request.block, file=striped_file)
         # Acknowledge so the CP can reuse its outstanding-request slot.
-        yield from self._charge_cpu(iop, costs.message_overhead)
+        yield from self._charge_cpu(
+            iop, request.n_requests * costs.message_overhead)
         cp_node = self.machine.cps[request.cp_index]
         yield from self.machine.network.transfer(
-            iop.node_id, cp_node.node_id, HEADER_BYTES)
+            iop.node_id, cp_node.node_id,
+            request.n_requests * HEADER_BYTES,
+            count=request.n_requests)
         request.reply_event.succeed()

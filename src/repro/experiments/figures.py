@@ -17,7 +17,11 @@ from repro.experiments.claims import check_headline_claims
 from repro.experiments.config import MEGABYTE, ExperimentConfig
 from repro.experiments.report import format_bar_chart, format_series_table, format_table
 from repro.experiments.runner import run_trials, sweep, sweep_parallel
-from repro.experiments.service import service_figure, service_scheduler_figure
+from repro.experiments.service import (
+    service_figure,
+    service_overload_figure,
+    service_scheduler_figure,
+)
 from repro.machine import MachineConfig
 from repro.patterns import READ_PATTERN_NAMES, WRITE_PATTERN_NAMES
 
@@ -217,8 +221,10 @@ def table1():
 #: Registry used by the CLI and the benchmark harness.  ``service`` goes
 #: beyond the paper: concurrent mixed collectives vs offered load (see
 #: repro.experiments.service and docs/workloads.md).  ``service-sched``
-#: compares per-collective presort with the shared-CSCAN IOP elevator at
-#: K in {1, 2, 4, 8} (docs/scheduling.md).
+#: compares per-collective presort with the shared per-disk IOP queues
+#: (CSCAN/SSTF, worker-pool sizes) at K in {1, 2, 4, 8} (docs/scheduling.md).
+#: ``service-overload`` pushes an open loop to ~4x saturation with
+#: heavy-tailed file sizes and an 8-byte record mix (docs/workloads.md).
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -229,6 +235,7 @@ FIGURES = {
     "figure8": figure8,
     "service": service_figure,
     "service-sched": service_scheduler_figure,
+    "service-overload": service_overload_figure,
 }
 
 
@@ -278,7 +285,7 @@ def main(argv=None):
         generator = FIGURES[name]
         if name == "table1":
             _rows, text = generator()
-        elif name in ("service", "service-sched"):
+        elif name in ("service", "service-sched", "service-overload"):
             summaries, text = generator(
                 trials=args.trials, progress=progress,
                 workers=args.workers, cache=args.cache)

@@ -40,7 +40,15 @@ from repro.patterns import make_pattern
 #:     per-session (tagged disk service time / bus share replaced
 #:     machine-cumulative stats); traditional caching drains per-session
 #:     write-behind to the media instead of a machine-wide cache+disk flush.
-CACHE_SCHEMA_VERSION = 3
+#: 4 — overload-scale service study: heavy-tailed per-file sizes
+#:     (``size_distribution``/``size_alpha``/``size_sigma``/``max_file_size``),
+#:     per-request record-size mixes (``record_sizes``) and the shared-queue
+#:     worker-pool knob (``shared_queue_workers``) joined the service config
+#:     and cache key; traditional caching's per-record request streams are
+#:     now simulator-batched per (CP, block) — same modeled CPU/DMA/header
+#:     costs, collapsed event round-trips — and uncontended Resource grants
+#:     are synchronous, both of which shift simulated timings slightly.
+CACHE_SCHEMA_VERSION = 4
 
 
 # -- experiment families --------------------------------------------------------

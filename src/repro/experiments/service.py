@@ -53,6 +53,17 @@ class ServiceExperimentConfig:
     file_assignment: str = "round-robin"
     pattern_specs: tuple = ("b", "c")
     record_size: int = 8192
+    #: record-size mix: each request draws uniformly from this tuple
+    #: (empty: every request uses ``record_size``).  ``(8, 8192)`` mixes the
+    #: paper's 8-byte worst case into the stream.
+    record_sizes: tuple = ()
+    #: per-file size distribution: "fixed", "pareto" or "lognormal"
+    #: (heavy-tailed with mean ``file_size``; see repro.workload.sizes)
+    size_distribution: str = "fixed"
+    size_alpha: float = 1.5
+    size_sigma: float = 1.0
+    #: cap on one heavy-tailed size draw (0: 16x the mean)
+    max_file_size: int = 0
     n_cps: int = 16
     n_iops: int = 16
     n_disks: int = 16
@@ -61,6 +72,10 @@ class ServiceExperimentConfig:
     #: DDIO collective presorts for itself); ``shared-cscan`` merges all
     #: active collectives into one elevator per disk at the IOP.
     disk_scheduler: str = "fcfs"
+    #: worker-pool size of each shared per-disk queue (the per-drive buffer
+    #: budget; the paper's double-buffering 2).  Only meaningful with a
+    #: ``shared-*`` scheduler.
+    shared_queue_workers: int = 2
     seed: int = 0
     label: str = ""
 
@@ -86,6 +101,11 @@ class ServiceExperimentConfig:
             file_assignment=self.file_assignment,
             pattern_specs=tuple(self.pattern_specs),
             record_size=self.record_size,
+            record_sizes=tuple(self.record_sizes),
+            size_distribution=self.size_distribution,
+            size_alpha=self.size_alpha,
+            size_sigma=self.size_sigma,
+            max_file_size=self.max_file_size,
             seed=self.seed,
         )
 
@@ -117,6 +137,7 @@ def run_service_experiment(config, seed=None):
         machine_config=config.machine_config(),
         seed=trial_seed,
         disk_scheduler=config.disk_scheduler,
+        shared_queue_workers=config.shared_queue_workers,
     )
 
 
@@ -208,38 +229,57 @@ def _mean(values):
 #: per-collective presorted streams interleave at the drive.
 SCHEDULER_CONCURRENCIES = (1, 2, 4, 8)
 
-#: The two scheduling regimes compared: each DDIO collective presorting for
+#: The scheduling regimes compared: each DDIO collective presorting for
 #: itself over a FCFS drive queue (the paper's single-collective design,
-#: unchanged under concurrency) vs one shared CSCAN elevator per disk at the
-#: IOP merging all active collectives.
-SCHEDULER_CHOICES = ("fcfs", "shared-cscan")
+#: unchanged under concurrency) vs one shared elevator (CSCAN) or
+#: shortest-seek queue (SSTF) per disk at the IOP merging all active
+#: collectives.
+SCHEDULER_CHOICES = ("fcfs", "shared-sstf", "shared-cscan")
 
 #: Offered loads for the scheduler figure (requests/second).
 SCHEDULER_LOADS = (8.0, 16.0)
 
+#: Worker-pool sizes per shared queue swept by the scheduler figure: the
+#: per-drive buffer budget (the paper's double-buffering is 2).
+SCHEDULER_POOL_SIZES = (2,)
+
 
 def service_scheduler_configs(loads=SCHEDULER_LOADS,
                               concurrencies=SCHEDULER_CONCURRENCIES,
-                              schedulers=SCHEDULER_CHOICES, **overrides):
-    """The config grid: one point per (K, scheduler, load), DDIO only."""
+                              schedulers=SCHEDULER_CHOICES,
+                              pool_sizes=SCHEDULER_POOL_SIZES, **overrides):
+    """The config grid: one point per (K, scheduler, pool size, load), DDIO only.
+
+    Worker-pool size only matters under shared scheduling, so ``fcfs`` points
+    are generated once — at the sweep's first pool size, keeping the baseline
+    row consistent with the sweep it anchors — however many *pool_sizes* are
+    swept; a pool sweep does not duplicate the baseline.
+    """
     configs = []
     for concurrency in concurrencies:
         for scheduler in schedulers:
-            for load in loads:
-                configs.append(ServiceExperimentConfig(
-                    method="disk-directed",
-                    arrival_rate=load,
-                    concurrency=concurrency,
-                    disk_scheduler=scheduler,
-                    label=f"K={concurrency} {scheduler}@{load:g}",
-                    **overrides,
-                ))
+            shared = scheduler.startswith("shared-")
+            for pool in (pool_sizes if shared else pool_sizes[:1]):
+                for load in loads:
+                    label = f"K={concurrency} {scheduler}"
+                    if shared and len(pool_sizes) > 1:
+                        label += f" w={pool}"
+                    configs.append(ServiceExperimentConfig(
+                        method="disk-directed",
+                        arrival_rate=load,
+                        concurrency=concurrency,
+                        disk_scheduler=scheduler,
+                        shared_queue_workers=pool,
+                        label=f"{label}@{load:g}",
+                        **overrides,
+                    ))
     return configs
 
 
 def service_scheduler_figure(loads=SCHEDULER_LOADS,
                              concurrencies=SCHEDULER_CONCURRENCIES,
-                             schedulers=SCHEDULER_CHOICES, trials=1,
+                             schedulers=SCHEDULER_CHOICES,
+                             pool_sizes=SCHEDULER_POOL_SIZES, trials=1,
                              progress=None, workers=None, cache=None,
                              **overrides):
     """Cross-collective IOP scheduling vs per-collective presort, K∈{1,2,4,8}.
@@ -247,10 +287,11 @@ def service_scheduler_figure(loads=SCHEDULER_LOADS,
     The K>1 pathology: every DDIO session presorts its own block list, so at
     concurrency K the drive sees K interleaved sorted streams — forfeiting
     the single-collective sort benefit the paper demonstrates.  The shared
-    per-disk CSCAN queue at the IOP merges the streams back into one sweep.
-    This figure plots sustained throughput and p99 response time against
-    offered load for both regimes at each K; the two should coincide at K=1
-    and diverge in shared-CSCAN's favour as K grows.
+    per-disk queue at the IOP merges the streams back into one sweep; this
+    figure compares the CSCAN elevator against greedy SSTF (and, via
+    *pool_sizes*, the per-drive worker-pool budget) at each K.  The regimes
+    should coincide at K=1 and diverge in the shared policies' favour as K
+    grows.
 
     Returns ``(summaries, text)`` like every other figure generator; extra
     keyword arguments override :class:`ServiceExperimentConfig` fields.
@@ -259,15 +300,19 @@ def service_scheduler_figure(loads=SCHEDULER_LOADS,
 
     configs = service_scheduler_configs(loads=loads,
                                         concurrencies=concurrencies,
-                                        schedulers=schedulers, **overrides)
+                                        schedulers=schedulers,
+                                        pool_sizes=pool_sizes, **overrides)
     summaries = sweep_parallel(configs, trials=trials, progress=progress,
                                workers=workers, cache=cache)
+    sweep_pools = len(pool_sizes) > 1
     throughput_series = {}
     p99_series = {}
     rows = []
     for summary in summaries:
         config = summary.config
         name = f"K={config.concurrency} {config.disk_scheduler}"
+        if sweep_pools and config.disk_scheduler.startswith("shared-"):
+            name += f" w={config.shared_queue_workers}"
         load = config.arrival_rate
         mean_tp = summary.mean_throughput_mb
         p99 = _mean(result.response_percentile(0.99) for result in summary.results)
@@ -276,6 +321,7 @@ def service_scheduler_figure(loads=SCHEDULER_LOADS,
         rows.append({
             "K": config.concurrency,
             "scheduler": config.disk_scheduler,
+            "workers": config.shared_queue_workers,
             "load_req_s": load,
             "throughput_mb": mean_tp,
             "p99_ms": p99 * 1e3,
@@ -284,16 +330,136 @@ def service_scheduler_figure(loads=SCHEDULER_LOADS,
     sample = configs[0]
     text = (
         f"Cross-collective IOP scheduling (disk-directed I/O): "
-        f"per-collective sort (fcfs drive queue) vs shared-CSCAN elevator\n"
+        f"per-collective sort (fcfs drive queue) vs shared per-disk queues\n"
         f"{sample.n_requests} mixed collectives "
         f"({sample.read_fraction:.0%} reads) over {sample.n_files} "
         f"{sample.file_size // KILOBYTE} KB {sample.layout} files, "
         f"{sample.arrival} arrivals\n\n"
-        + format_table(rows, columns=["K", "scheduler", "load_req_s",
-                                      "throughput_mb", "p99_ms", "trials"])
+        + format_table(rows, columns=["K", "scheduler", "workers",
+                                      "load_req_s", "throughput_mb", "p99_ms",
+                                      "trials"])
         + "\n\nSustained throughput (Mbytes/s) vs offered load (req/s)\n"
         + format_series_table(throughput_series, x_label="load")
         + "\n\n99th-percentile response time (ms) vs offered load (req/s)\n"
+        + format_series_table(p99_series, x_label="load")
+    )
+    return summaries, text
+
+
+# -- the overload figure ----------------------------------------------------------
+
+#: Offered loads (requests/second) swept by the overload figure.  The default
+#: service machine saturates around 8-9 req/s, so the sweep reaches ~4x
+#: saturation — deep into the regime where an open loop's queue grows without
+#: bound and response time is governed by the asymptote, not the mean.
+OVERLOAD_LOADS = (4.0, 8.0, 16.0, 24.0, 32.0)
+
+#: Methods compared by the overload figure.
+OVERLOAD_METHODS = ("disk-directed", "traditional")
+
+
+def service_overload_configs(loads=OVERLOAD_LOADS, methods=OVERLOAD_METHODS,
+                             **overrides):
+    """The config grid of the overload figure: one point per (load, method).
+
+    Defaults describe the paper's worst case scaled to a server: Pareto
+    (alpha=1.5) file sizes with mean 1 MB, a record-size mix that includes
+    the 8-byte cyclic requests of Figure 3, random layout, and a larger
+    machine (32 disks over 16 IOPs) so the overload comes from the request
+    stream, not from an undersized back end.
+    """
+    defaults = dict(
+        size_distribution="pareto",
+        size_alpha=1.5,
+        record_sizes=(8, 8192),
+        n_disks=32,
+        n_requests=32,
+        concurrency=4,
+        layout="random",
+    )
+    defaults.update(overrides)
+    configs = []
+    for load in loads:
+        for method in methods:
+            configs.append(ServiceExperimentConfig(
+                method=method,
+                arrival_rate=load,
+                label=f"{method}@{load:g}",
+                **defaults,
+            ))
+    return configs
+
+
+def service_overload_figure(loads=OVERLOAD_LOADS, methods=OVERLOAD_METHODS,
+                            trials=1, progress=None, workers=None, cache=None,
+                            **overrides):
+    """Response-time asymptotes under overload: heavy tails + 8-byte records.
+
+    The paper's core claim is that disk-directed I/O stays near hardware
+    limits even for its worst patterns while traditional caching collapses.
+    The closed-loop service figure cannot show the collapse: offered load
+    adapts to capacity.  This figure pushes an *open-loop* Poisson stream to
+    ~4x saturation with heavy-tailed (Pareto) file sizes and a record mix
+    that includes the 8-byte cyclic worst case, and plots sustained
+    throughput plus mean/p99 response time against offered load.  Throughput
+    should flatten at each method's capacity (DDIO's plateau higher) while
+    response times diverge — and the DDIO:TC response-time gap should
+    *widen* with load, because TC burns its IOP CPUs on per-record request
+    handling precisely when there is no idle time left to hide it in.
+
+    Returns ``(summaries, text)``; extra keyword arguments override
+    :class:`ServiceExperimentConfig` fields (tests run it on a tiny machine).
+    """
+    from repro.experiments.runner import sweep_parallel
+
+    configs = service_overload_configs(loads=loads, methods=methods,
+                                       **overrides)
+    summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                               workers=workers, cache=cache)
+    throughput_series = {}
+    mean_series = {}
+    p99_series = {}
+    rows = []
+    for summary in summaries:
+        config = summary.config
+        name = "DDIO" if config.method.startswith("disk-directed") else \
+            config.method.replace("traditional", "TC")
+        load = config.arrival_rate
+        mean_tp = summary.mean_throughput_mb
+        mean_rt = _mean(result.mean_response_time for result in summary.results)
+        p99 = _mean(result.response_percentile(0.99)
+                    for result in summary.results)
+        throughput_series.setdefault(name, []).append((load, mean_tp))
+        mean_series.setdefault(name, []).append((load, mean_rt))
+        p99_series.setdefault(name, []).append((load, p99))
+        rows.append({
+            "method": config.method,
+            "load_req_s": load,
+            "throughput_mb": mean_tp,
+            "mean_rt_s": mean_rt,
+            "p99_rt_s": p99,
+            "max_in_flight": max(result.max_in_flight
+                                 for result in summary.results),
+            "trials": len(summary.results),
+        })
+    sample = configs[0]
+    record_mix = ",".join(str(size) for size in
+                          (sample.record_sizes or (sample.record_size,)))
+    text = (
+        f"Overload study: {sample.arrival} arrivals to ~{max(loads):g} req/s, "
+        f"{sample.size_distribution} file sizes (mean "
+        f"{sample.file_size // KILOBYTE} KB, alpha={sample.size_alpha:g}), "
+        f"record mix {{{record_mix}}} bytes, {sample.layout} layout, "
+        f"{sample.n_cps} CPs / {sample.n_iops} IOPs / {sample.n_disks} disks, "
+        f"K={sample.concurrency}\n\n"
+        + format_table(rows, columns=["method", "load_req_s", "throughput_mb",
+                                      "mean_rt_s", "p99_rt_s", "max_in_flight",
+                                      "trials"])
+        + "\n\nSustained throughput (Mbytes/s) vs offered load (req/s)\n"
+        + format_series_table(throughput_series, x_label="load")
+        + "\n\nMean response time (s) vs offered load (req/s) — the asymptote\n"
+        + format_series_table(mean_series, x_label="load")
+        + "\n\n99th-percentile response time (s) vs offered load (req/s)\n"
         + format_series_table(p99_series, x_label="load")
     )
     return summaries, text

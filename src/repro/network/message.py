@@ -59,12 +59,17 @@ class Message:
     data_bytes: int = 0
     payload: object = None
     session_id: object = None
+    #: how many modeled protocol messages this object stands for.  The
+    #: simulator batches back-to-back messages between one (src, dst) pair
+    #: into a single event (see ``Network.transfer``'s ``count``); the wire
+    #: carries one header per modeled message either way.
+    n_messages: int = 1
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
     @property
     def wire_bytes(self):
-        """Total bytes that cross the network."""
-        return HEADER_BYTES + self.data_bytes
+        """Total bytes that cross the network (one header per modeled message)."""
+        return self.n_messages * HEADER_BYTES + self.data_bytes
 
 
 class Mailbox:

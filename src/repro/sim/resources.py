@@ -101,9 +101,27 @@ class Resource:
         """Convenience process-fragment: acquire, hold for *hold_time*, release.
 
         Usage: ``yield from resource.acquire(duration)``.
+
+        When a slot is free the grant is synchronous: the request is marked
+        processed without ever entering the event queue, so an uncontended
+        acquire costs a single simulator event (the hold timeout) instead of
+        two.  Every CPU charge and bus hop goes through here, which makes
+        this the single biggest event-count lever in the simulator.  A full
+        resource still queues a :class:`Request` and yields it, so FIFO
+        ordering under contention is unchanged.
         """
-        req = self.request()
-        yield req
+        users = self._users
+        if len(users) < self.capacity:
+            req = Request(self)
+            req._ok = True
+            req._value = None
+            req.callbacks = None  # processed without a queue round-trip
+            users.append(req)
+            self.utilization.set(len(users))
+        else:
+            req = Request(self)
+            self._waiters.append(req)
+            yield req
         try:
             yield self.env.timeout(hold_time)
         finally:

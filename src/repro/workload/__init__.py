@@ -2,6 +2,8 @@
 
 * :mod:`repro.workload.arrival` — closed-loop and Poisson open-loop arrival
   processes with per-(seed, request) deterministic randomness.
+* :mod:`repro.workload.sizes` — heavy-tailed (Pareto/lognormal) per-file size
+  sampling with per-(seed, file) deterministic randomness.
 * :mod:`repro.workload.driver` — the :class:`ServiceDriver`: multiple open
   files, a K-slot admission scheduler, per-request response-time accounting.
 
@@ -24,17 +26,27 @@ from repro.workload.driver import (
     percentile,
     run_service,
 )
+from repro.workload.sizes import (
+    SIZE_DISTRIBUTIONS,
+    file_size_rng,
+    sample_file_size,
+    sample_file_sizes,
+)
 
 __all__ = [
     "ArrivalProcess",
     "ClosedLoopArrivals",
     "PoissonArrivals",
+    "SIZE_DISTRIBUTIONS",
     "ServiceDriver",
     "ServiceResult",
     "ServiceWorkload",
     "build_service_machine",
+    "file_size_rng",
     "make_arrival",
     "percentile",
     "request_rng",
     "run_service",
+    "sample_file_size",
+    "sample_file_sizes",
 ]

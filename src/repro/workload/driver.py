@@ -19,11 +19,14 @@ whole-run throughput — the inputs for the ``service`` experiment family.
 Invariants the driver guarantees (tests pin each one):
 
 * **Plan determinism.**  The shape of request *i* — target file, pattern,
-  read/write mode, interarrival gap, think time — is a pure function of
-  ``(trial_seed, i)`` via :func:`~repro.workload.arrival.request_rng`.  It
-  does not depend on arrival order, admission order, completion order, the
-  client population, or which process pool ran the trial; serial and
-  parallel sweeps are therefore bit-identical.
+  record size, read/write mode, interarrival gap, think time — is a pure
+  function of ``(trial_seed, i)`` via
+  :func:`~repro.workload.arrival.request_rng`, and the size of file *j* is a
+  pure function of ``(trial_seed, j)`` via
+  :func:`~repro.workload.sizes.file_size_rng`.  Nothing depends on arrival
+  order, admission order, completion order, the client population, or which
+  process pool ran the trial; serial and parallel sweeps are therefore
+  bit-identical.
 * **Admission bound.**  At most ``concurrency`` sessions are ever in
   flight; ``max_in_flight`` reports the high-water mark actually reached.
 * **Byte conservation.**  Every admitted collective moves exactly the bytes
@@ -42,6 +45,7 @@ per-session throughout (disk service time, bus share — see
 bleed into each other's metrics.
 """
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,8 +57,13 @@ from repro.patterns import make_pattern
 from repro.sim.events import AllOf
 from repro.sim.resources import Resource
 from repro.workload.arrival import make_arrival, request_rng
+from repro.workload.sizes import SIZE_DISTRIBUTIONS, sample_file_sizes
 
 MEGABYTE = float(2 ** 20)
+
+#: Default cap on a heavy-tailed file-size draw, as a multiple of the mean.
+#: Bounds the simulation cost of one trial; see :mod:`repro.workload.sizes`.
+DEFAULT_SIZE_CAP_FACTOR = 16
 
 
 @dataclass(frozen=True)
@@ -88,8 +97,23 @@ class ServiceWorkload:
     read_fraction: float = 0.5
     #: distribution specs (pattern names minus the r/w prefix) to draw from
     pattern_specs: tuple = ("b",)
-    #: record size of every request's pattern
+    #: record size of every request's pattern (when ``record_sizes`` is empty)
     record_size: int = 8192
+    #: record-size *mix*: each request draws its record size uniformly from
+    #: this tuple (e.g. ``(8, 8192)`` mixes the paper's worst case in).
+    #: Empty means every request uses ``record_size``.
+    record_sizes: tuple = ()
+    #: per-file size distribution: "fixed" (every file is ``file_size``
+    #: bytes), "pareto" or "lognormal" (heavy-tailed, mean ``file_size``;
+    #: see :mod:`repro.workload.sizes`)
+    size_distribution: str = "fixed"
+    #: Pareto tail index (must be > 1 for a finite mean); smaller is heavier
+    size_alpha: float = 1.5
+    #: lognormal shape parameter; larger is heavier
+    size_sigma: float = 1.0
+    #: cap on any single heavy-tailed size draw, bytes
+    #: (0 means ``DEFAULT_SIZE_CAP_FACTOR * file_size``)
+    max_file_size: int = 0
     #: default trial seed (overridable per run)
     seed: int = 0
 
@@ -109,6 +133,39 @@ class ServiceWorkload:
             raise ValueError(
                 f"file assignment must be 'random' or 'round-robin', "
                 f"got {self.file_assignment!r}")
+        if any(size < 1 for size in self.effective_record_sizes):
+            raise ValueError(
+                f"record sizes must be positive, got {self.record_sizes}")
+        if self.size_distribution not in SIZE_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown size distribution {self.size_distribution!r}; "
+                f"choose one of {SIZE_DISTRIBUTIONS}")
+        if self.size_distribution == "fixed" \
+                and self.file_size % self.size_granularity:
+            raise ValueError(
+                f"file size {self.file_size} is not a multiple of the record "
+                f"granularity {self.size_granularity} "
+                f"(lcm of {self.effective_record_sizes})")
+
+    @property
+    def effective_record_sizes(self):
+        """The record-size mix requests draw from (never empty)."""
+        return tuple(self.record_sizes) if self.record_sizes \
+            else (self.record_size,)
+
+    @property
+    def size_granularity(self):
+        """Every file size is a multiple of this: lcm of the record mix."""
+        return math.lcm(*self.effective_record_sizes)
+
+    def sample_sizes(self, trial_seed):
+        """Per-file sizes for one trial (deterministic per (seed, file))."""
+        cap = self.max_file_size if self.max_file_size \
+            else DEFAULT_SIZE_CAP_FACTOR * self.file_size
+        return sample_file_sizes(
+            self.size_distribution, self.file_size, self.n_files, trial_seed,
+            alpha=self.size_alpha, sigma=self.size_sigma,
+            granularity=self.size_granularity, max_size=cap)
 
     def make_arrival_process(self):
         return make_arrival(self.arrival, arrival_rate=self.arrival_rate,
@@ -148,6 +205,9 @@ class ServiceResult:
     max_in_flight: int
     requests: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
+    #: size of each open file, bytes, in creation order (uniform unless the
+    #: workload samples a heavy-tailed size distribution)
+    file_sizes: list = field(default_factory=list)
 
     # -- whole-run metrics -------------------------------------------------------
     @property
@@ -243,9 +303,17 @@ class ServiceDriver:
         is_read = bool(rng.random() < self.workload.read_fraction)
         if spec == "a":
             is_read = True  # the ALL pattern only exists for reads
+        # The record-size draw comes last, and only for a real mix, so plans
+        # under single-record-size workloads are bit-identical to before the
+        # mix existed (pinned by the determinism tests).
+        record_sizes = self.workload.effective_record_sizes
+        if len(record_sizes) > 1:
+            record_size = record_sizes[int(rng.integers(len(record_sizes)))]
+        else:
+            record_size = record_sizes[0]
         pattern_name = ("r" if is_read else "w") + spec
         pattern = make_pattern(pattern_name, striped_file.size_bytes,
-                               self.workload.record_size,
+                               record_size,
                                self.machine.config.n_cps)
         return striped_file, pattern
 
@@ -296,6 +364,7 @@ class ServiceDriver:
             requests=list(self._records),
             counters={name: counter.value
                       for name, counter in self.implementation.counters.items()},
+            file_sizes=[striped.size_bytes for striped in self.files],
         )
 
     def _closed_loop_client(self, trial_seed, arrival, client_index):
@@ -355,39 +424,52 @@ class ServiceDriver:
             "arrival_time": arrival_time,
             "admitted_time": admitted_time,
             "completed_time": self.env.now,
+            "record_size": pattern.record_size,
             "bytes_requested": session.bytes_requested,
             "bytes_moved": session.bytes_moved,
         }
 
 
 def build_service_machine(workload, machine_config=None, seed=None,
-                          method="disk-directed", disk_scheduler="fcfs"):
+                          method="disk-directed", disk_scheduler="fcfs",
+                          shared_queue_workers=2, **fs_kwargs):
     """Construct (machine, implementation, files) ready for a :class:`ServiceDriver`.
 
-    The trial seed controls disk layout seeds and rotational positions, just
-    as in the single-collective experiments.  ``disk_scheduler`` is the
-    machine-wide scheduling knob (``fcfs`` | ``sstf`` | ``cscan`` for the
-    drive queue, ``shared-cscan`` etc. for cross-collective IOP scheduling —
-    see :class:`repro.machine.Machine`).
+    The trial seed controls disk layout seeds, rotational positions and —
+    when the workload samples a heavy-tailed size distribution — the per-file
+    sizes, just as in the single-collective experiments.  ``disk_scheduler``
+    is the machine-wide scheduling knob (``fcfs`` | ``sstf`` | ``cscan`` for
+    the drive queue, ``shared-cscan`` etc. for cross-collective IOP
+    scheduling — see :class:`repro.machine.Machine`);
+    ``shared_queue_workers`` sizes each shared queue's worker pool (the
+    per-drive buffer budget, the paper's double-buffering 2 by default).
     """
     config = machine_config if machine_config is not None else MachineConfig()
     trial_seed = workload.seed if seed is None else seed
-    machine = Machine(config, seed=trial_seed, disk_scheduler=disk_scheduler)
+    machine = Machine(config, seed=trial_seed, disk_scheduler=disk_scheduler,
+                      shared_queue_workers=shared_queue_workers)
     filesystem = FileSystem(config, layout_seed=trial_seed)
+    sizes = workload.sample_sizes(trial_seed)
     files = [
-        filesystem.create_file(f"svc-{index}", workload.file_size,
+        filesystem.create_file(f"svc-{index}", sizes[index],
                                layout=workload.layout)
         for index in range(workload.n_files)
     ]
-    implementation = make_filesystem(method, machine)
+    implementation = make_filesystem(method, machine, **fs_kwargs)
     return machine, implementation, files
 
 
 def run_service(method, workload, machine_config=None, seed=None,
-                disk_scheduler="fcfs"):
-    """Build a machine, drive *workload* through it, return the :class:`ServiceResult`."""
+                disk_scheduler="fcfs", shared_queue_workers=2, **fs_kwargs):
+    """Build a machine, drive *workload* through it, return the :class:`ServiceResult`.
+
+    Extra keyword arguments are forwarded to the file-system implementation
+    (e.g. ``batch_requests=False`` to run traditional caching with the
+    per-record simulator batching disabled — the benchmark baseline).
+    """
     machine, implementation, files = build_service_machine(
         workload, machine_config=machine_config, seed=seed, method=method,
-        disk_scheduler=disk_scheduler)
+        disk_scheduler=disk_scheduler,
+        shared_queue_workers=shared_queue_workers, **fs_kwargs)
     driver = ServiceDriver(machine, implementation, files, workload)
     return driver.run(trial_seed=workload.seed if seed is None else seed)

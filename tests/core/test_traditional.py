@@ -49,6 +49,56 @@ class TestReads:
         assert result.counters["cp_requests"] == 16
 
 
+class TestRequestBatching:
+    """The per-(CP, block) simulator batching of per-record request streams."""
+
+    def _run(self, pattern_name, batch_requests, record_size=8):
+        from repro.core import make_filesystem
+        from repro.fs import FileSystem
+        from repro.machine import Machine
+        from repro.patterns import make_pattern
+
+        config = MachineConfig(n_cps=4, n_iops=2, n_disks=2)
+        machine = Machine(config, seed=1)
+        filesystem = FileSystem(config, layout_seed=1)
+        striped = filesystem.create_file("batch-file", 64 * KILOBYTE)
+        pattern = make_pattern(pattern_name, 64 * KILOBYTE, record_size,
+                               config.n_cps)
+        implementation = make_filesystem("traditional", machine, striped,
+                                         batch_requests=batch_requests)
+        return implementation.transfer(pattern), machine
+
+    @pytest.mark.parametrize("pattern_name", ["rc", "wc"])
+    def test_batched_accounting_matches_unbatched(self, pattern_name):
+        batched, machine_b = self._run(pattern_name, True)
+        reference, machine_r = self._run(pattern_name, False)
+        # The modeled protocol is identical: same requests, same messages,
+        # same bytes — only the simulator event count differs.
+        for counter in ("cp_requests", "iop_messages", "bytes_moved"):
+            assert batched.counters[counter] == reference.counters[counter]
+        assert machine_b.total_disk_stats() == machine_r.total_disk_stats()
+        assert machine_b.network.bytes_sent.value == \
+            machine_r.network.bytes_sent.value
+        assert machine_b.network.messages_sent.value == \
+            machine_r.network.messages_sent.value
+
+    def test_batched_time_stays_close_to_unbatched(self):
+        # Collapsing the per-record event round-trips removes their
+        # pipelining slack, so the batched model runs a little *faster* in
+        # simulated time; pin the drift to a modest band so the substitution
+        # stays honest.
+        batched, _ = self._run("rc", True)
+        reference, _ = self._run("rc", False)
+        assert batched.elapsed <= reference.elapsed
+        assert batched.elapsed >= 0.55 * reference.elapsed
+
+    def test_block_sized_records_unaffected_by_batching(self):
+        # One request per block: nothing to coalesce, identical simulation.
+        batched, _ = self._run("rc", True, record_size=8192)
+        reference, _ = self._run("rc", False, record_size=8192)
+        assert batched.elapsed == reference.elapsed
+
+
 class TestWrites:
     def test_write_moves_every_byte_to_disk(self):
         result, machine, _fs = run_transfer("traditional", "wb",

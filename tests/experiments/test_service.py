@@ -157,6 +157,83 @@ class TestHeadlineUnderConcurrentLoad:
         assert ddio.throughput_mb > caching.throughput_mb
 
 
+class TestOverloadFamily:
+    """Heavy-tailed sizes, record mixes and the overload figure."""
+
+    def overload_config(self, **overrides):
+        base = dict(method="disk-directed", n_cps=2, n_iops=1, n_disks=1,
+                    n_requests=6, n_files=3, file_size=64 * KILOBYTE,
+                    layout="contiguous", concurrency=2, arrival="poisson",
+                    arrival_rate=200.0, size_distribution="pareto",
+                    size_alpha=1.5, record_sizes=(8, 8192), seed=7)
+        base.update(overrides)
+        return ServiceExperimentConfig(**base)
+
+    def test_heavy_tail_fields_participate_in_cache_key(self):
+        fixed = tiny_service_config()
+        for overrides in (dict(size_distribution="pareto"),
+                          dict(size_distribution="pareto", size_alpha=2.5),
+                          dict(size_distribution="lognormal", size_sigma=2.0),
+                          dict(size_distribution="pareto",
+                               max_file_size=256 * KILOBYTE),
+                          dict(record_sizes=(8, 8192))):
+            other = tiny_service_config(**overrides)
+            assert trial_cache_key(fixed, 7) != trial_cache_key(other, 7), \
+                overrides
+
+    def test_heavy_tailed_trial_conserves_bytes_and_varies_sizes(self):
+        result = run_service_experiment(self.overload_config())
+        assert result.conserves_bytes()
+        assert len(result.file_sizes) == 3
+        # Pareto with alpha=1.5 over 3 files: at least two distinct sizes
+        # (the draw is deterministic, so this is a stable pin, not a flake).
+        assert len(set(result.file_sizes)) >= 2
+
+    def test_record_mix_reaches_both_sizes(self):
+        result = run_service_experiment(
+            self.overload_config(n_requests=10, method="traditional"))
+        assert result.conserves_bytes()
+        sizes = {record["record_size"] for record in result.requests}
+        assert sizes == {8, 8192}
+
+    def test_serial_parallel_determinism_with_heavy_tails(self):
+        configs = [self.overload_config(method=method)
+                   for method in ("disk-directed", "traditional")]
+        serial = sweep(configs, trials=2)
+        parallel = sweep_parallel(configs, trials=2, workers=2)
+        for serial_summary, parallel_summary in zip(serial, parallel):
+            assert results_as_dicts(serial_summary) == \
+                results_as_dicts(parallel_summary)
+
+    def test_overload_figure_smoke(self):
+        from repro.experiments.service import service_overload_figure
+
+        summaries, text = service_overload_figure(
+            loads=(100.0, 400.0), trials=1, n_cps=2, n_iops=1, n_disks=1,
+            n_requests=4, n_files=2, file_size=64 * KILOBYTE,
+            layout="contiguous", concurrency=2, seed=7)
+        assert len(summaries) == 4  # 2 loads x 2 methods
+        assert "asymptote" in text
+        assert "record mix {8,8192}" in text
+        assert all(result.conserves_bytes()
+                   for summary in summaries for result in summary.results)
+
+    def test_overload_response_time_grows_with_load(self):
+        # Open loop far beyond saturation: mean response time at the highest
+        # load must exceed the lightest load's (the asymptote, test-sized).
+        from repro.experiments.service import service_overload_figure
+
+        summaries, _text = service_overload_figure(
+            loads=(25.0, 800.0), methods=("traditional",), trials=1,
+            n_cps=2, n_iops=1, n_disks=1, n_requests=8, n_files=2,
+            file_size=64 * KILOBYTE, layout="contiguous", concurrency=2,
+            seed=7)
+        by_load = {summary.config.arrival_rate:
+                   summary.results[0].mean_response_time
+                   for summary in summaries}
+        assert by_load[800.0] > by_load[25.0]
+
+
 class TestSchedulerComparison:
     """Cross-collective IOP scheduling plugged into the service family."""
 
@@ -198,9 +275,33 @@ class TestSchedulerComparison:
         from repro.experiments.service import service_scheduler_figure
 
         summaries, text = service_scheduler_figure(
-            loads=(100.0,), concurrencies=(1, 2), trials=1,
+            loads=(100.0,), concurrencies=(1, 2),
+            schedulers=("fcfs", "shared-cscan"), trials=1,
             n_cps=2, n_iops=1, n_disks=1, n_requests=4, n_files=2,
             file_size=64 * KILOBYTE, layout="contiguous", seed=7)
         assert len(summaries) == 4  # 2 K x 2 schedulers x 1 load
         assert "shared-cscan" in text
         assert "99th-percentile" in text
+
+    def test_scheduler_figure_sweeps_policies_and_pools(self):
+        from repro.experiments.service import service_scheduler_figure
+
+        summaries, text = service_scheduler_figure(
+            loads=(100.0,), concurrencies=(2,),
+            schedulers=("fcfs", "shared-sstf", "shared-cscan"),
+            pool_sizes=(1, 2), trials=1,
+            n_cps=2, n_iops=1, n_disks=1, n_requests=4, n_files=2,
+            file_size=64 * KILOBYTE, layout="contiguous", seed=7)
+        # fcfs once (pool size is meaningless there), each shared policy at
+        # both pool sizes: 1 + 2*2 = 5 configs.
+        assert len(summaries) == 5
+        assert "shared-sstf" in text
+        pools = {(s.config.disk_scheduler, s.config.shared_queue_workers)
+                 for s in summaries}
+        assert ("shared-cscan", 1) in pools and ("shared-cscan", 2) in pools
+
+    def test_shared_queue_workers_participates_in_cache_key(self):
+        base = tiny_service_config(disk_scheduler="shared-cscan")
+        wider = tiny_service_config(disk_scheduler="shared-cscan",
+                                    shared_queue_workers=4)
+        assert trial_cache_key(base, 7) != trial_cache_key(wider, 7)

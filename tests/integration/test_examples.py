@@ -43,3 +43,14 @@ class TestExamples:
                            "--file-mb", "0.25")
         assert proc.returncode == 0, proc.stderr
         assert "disks" in proc.stdout
+
+    def test_service_driver(self):
+        # The CI quickstart smoke: tiny stream, heavy-tailed sizes, 8-byte
+        # record mix (mirrors the bench-smoke CI step).
+        proc = run_example("service_driver.py", "--requests", "4", "--files",
+                           "2", "--file-mb", "0.125", "-K", "2",
+                           "--size-dist", "pareto",
+                           "--record-sizes", "8,8192")
+        assert proc.returncode == 0, proc.stderr
+        assert "conservation=ok" in proc.stdout
+        assert "VIOLATED" not in proc.stdout

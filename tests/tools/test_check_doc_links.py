@@ -1,6 +1,17 @@
-"""Tests for the docs dead-link checker CI guard."""
+"""Tests for the docs dead-link / staleness checker CI guard."""
 
-from tools.check_doc_links import dead_links, default_files, is_checkable, main
+from tools.check_doc_links import (
+    dead_links,
+    default_files,
+    figure_names,
+    is_checkable,
+    iter_code_references,
+    known_flags,
+    main,
+    module_resolves,
+    stale_references,
+    tree_path_exists,
+)
 
 
 def write(path, text):
@@ -46,6 +57,116 @@ class TestDeadLinks:
         assert dead_links(doc) == [(1, "figures/missing.png")]
 
 
+def make_repo(tmp_path):
+    """A miniature repository tree for staleness checks."""
+    write(tmp_path / "src" / "repro" / "__init__.py", "")
+    write(tmp_path / "src" / "repro" / "sim" / "__init__.py", "")
+    write(tmp_path / "src" / "repro" / "sim" / "engine.py", "X = 1\n")
+    write(tmp_path / "src" / "repro" / "experiments" / "figures.py",
+          'FIGURES = {\n    "figure3": f3,\n    "service": svc,\n}\n')
+    write(tmp_path / "tools" / "demo.py",
+          'parser.add_argument("--workers")\n')
+    return tmp_path
+
+
+class TestCodeReferenceScan:
+    def test_inline_spans_and_fenced_lines_found(self, tmp_path):
+        doc = write(tmp_path / "d.md",
+                    "See `src/a.py` here.\n```\npython run.py --fast\n```\n")
+        refs = list(iter_code_references(doc.read_text()))
+        assert (1, "src/a.py") in refs
+        assert (3, "python run.py --fast") in refs
+
+    def test_fence_markers_not_yielded(self, tmp_path):
+        doc = write(tmp_path / "d.md", "```bash\nls\n```\n")
+        assert list(iter_code_references(doc.read_text())) == [(2, "ls")]
+
+
+class TestStaleReferences:
+    def test_existing_references_pass(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md",
+                    "`src/repro/sim/engine.py` and `repro.sim.engine` and "
+                    "`repro.sim.engine.X` and `--workers` and\n"
+                    "```\nddio-figures service --workers 4\n```\n")
+        assert stale_references(doc, root=root) == []
+
+    def test_missing_tree_path_reported(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "`src/repro/gone.py`")
+        assert stale_references(doc, root=root) == \
+            [(1, "path", "src/repro/gone.py")]
+
+    def test_pytest_node_id_checks_file_part_only(self, tmp_path):
+        root = make_repo(tmp_path)
+        write(root / "tests" / "test_x.py", "")
+        doc = write(root / "docs" / "a.md", "`tests/test_x.py::TestX`")
+        assert stale_references(doc, root=root) == []
+
+    def test_missing_module_reported(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "`repro.sim.retired_module.attr`")
+        assert stale_references(doc, root=root) == \
+            [(1, "module", "repro.sim.retired_module.attr")]
+
+    def test_unknown_flag_reported(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "run with `--no-such-flag`")
+        assert stale_references(doc, root=root) == \
+            [(1, "flag", "--no-such-flag")]
+
+    def test_unknown_figure_name_reported(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "```\nddio-figures figure99\n```\n")
+        assert stale_references(doc, root=root) == \
+            [(2, "figure", "figure99")]
+
+    def test_external_tool_flags_allowed(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "`pytest --cov=repro`")
+        assert stale_references(doc, root=root) == []
+
+
+class TestStalenessHelpers:
+    def test_tree_path_exists(self, tmp_path):
+        root = make_repo(tmp_path)
+        assert tree_path_exists("src/repro/sim/engine.py", root)
+        assert not tree_path_exists("src/repro/sim/gone.py", root)
+
+    def test_module_resolves_packages_modules_and_attributes(self, tmp_path):
+        root = make_repo(tmp_path)
+        assert module_resolves("repro.sim", root)
+        assert module_resolves("repro.sim.engine", root)
+        assert module_resolves("repro.sim.engine.X", root)
+        assert not module_resolves("repro.gone.engine.X", root)
+
+    def test_two_segment_typo_is_not_excused_as_attribute(self, tmp_path):
+        # `repro.<typo>` must not pass just because the top-level package
+        # exists: the attribute fallback needs a two-segment module prefix.
+        root = make_repo(tmp_path)
+        assert not module_resolves("repro.simulation", root)
+
+    def test_precomputed_flags_and_figures_are_honoured(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "`--workers`")
+        assert stale_references(doc, root=root, flags={"--workers"},
+                                figures=set()) == []
+        assert stale_references(doc, root=root, flags=set(),
+                                figures=set()) == [(1, "flag", "--workers")]
+
+    def test_known_flags_harvested_from_sources(self, tmp_path):
+        root = make_repo(tmp_path)
+        assert "--workers" in known_flags(root)
+        assert "--cov" in known_flags(root)  # external allowlist
+
+    def test_figure_names_parsed_without_import(self, tmp_path):
+        root = make_repo(tmp_path)
+        assert figure_names(root) == {"figure3", "service"}
+
+    def test_figure_names_empty_when_source_missing(self, tmp_path):
+        assert figure_names(tmp_path) == set()
+
+
 class TestMain:
     def test_default_file_set(self, tmp_path):
         write(tmp_path / "README.md", "[d](docs/a.md)")
@@ -57,12 +178,24 @@ class TestMain:
         doc = write(tmp_path / "doc.md", "[ok](other.md)")
         write(tmp_path / "other.md", "x")
         assert main([str(doc)]) == 0
-        assert "all relative links resolve" in capsys.readouterr().out
+        assert "all links and code references resolve" in \
+            capsys.readouterr().out
 
     def test_exit_one_on_dead_link(self, tmp_path, capsys):
         doc = write(tmp_path / "doc.md", "[bad](nope.md)")
         assert main([str(doc)]) == 1
         assert "nope.md" in capsys.readouterr().out
+
+    def test_exit_one_on_stale_reference(self, tmp_path, capsys):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "`src/repro/gone.py`")
+        assert main([str(doc), "--root", str(root)]) == 1
+        assert "stale path" in capsys.readouterr().out
+
+    def test_links_only_skips_staleness(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", "`src/repro/gone.py`")
+        assert main([str(doc), "--root", str(root), "--links-only"]) == 0
 
     def test_repo_docs_are_clean(self):
         # The real README + docs tree must stay link-clean (what CI enforces).

@@ -1,0 +1,139 @@
+"""Tests for the heavy-tailed file-size sampler."""
+
+import statistics
+
+import pytest
+
+from repro.workload import ServiceWorkload
+from repro.workload.sizes import (
+    SIZE_DISTRIBUTIONS,
+    file_size_rng,
+    sample_file_size,
+    sample_file_sizes,
+)
+
+KILOBYTE = 1024
+MEGABYTE = 2 ** 20
+
+
+class TestDeterminism:
+    def test_size_is_pure_function_of_seed_and_index(self):
+        for distribution in ("pareto", "lognormal"):
+            first = sample_file_size(distribution, MEGABYTE, 3, 5)
+            again = sample_file_size(distribution, MEGABYTE, 3, 5)
+            assert first == again
+
+    def test_independent_of_population_size(self):
+        # File 2's size does not change when more files exist: each draw is
+        # keyed by (seed, index), never by a shared sequential stream.
+        few = sample_file_sizes("pareto", MEGABYTE, 4, 3)
+        many = sample_file_sizes("pareto", MEGABYTE, 12, 3)
+        assert few == many[:4]
+
+    def test_different_seeds_and_indices_decorrelate(self):
+        across_seeds = {sample_file_size("pareto", MEGABYTE, seed, 0)
+                        for seed in range(20)}
+        across_files = {sample_file_size("pareto", MEGABYTE, 0, index)
+                        for index in range(20)}
+        assert len(across_seeds) > 10
+        assert len(across_files) > 10
+
+    def test_rng_streams_are_reproducible(self):
+        assert file_size_rng(1, 2).integers(1 << 30) == \
+            file_size_rng(1, 2).integers(1 << 30)
+
+
+class TestRoundingAndBounds:
+    def test_sizes_are_record_multiples(self):
+        for index in range(50):
+            size = sample_file_size("pareto", MEGABYTE, 0, index,
+                                    granularity=8192)
+            assert size % 8192 == 0
+            assert size >= 8192
+
+    def test_cap_is_respected_and_granular(self):
+        cap = 4 * MEGABYTE + 5000  # deliberately not a granularity multiple
+        for index in range(200):
+            size = sample_file_size("pareto", MEGABYTE, 0, index,
+                                    alpha=1.1, granularity=8192, max_size=cap)
+            assert size <= (cap // 8192) * 8192
+            assert size % 8192 == 0
+
+    def test_fixed_is_exact(self):
+        assert sample_file_size("fixed", MEGABYTE, 0, 7) == MEGABYTE
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            sample_file_size("zipf", MEGABYTE, 0, 0)
+        with pytest.raises(ValueError):
+            sample_file_size("pareto", MEGABYTE, 0, 0, alpha=1.0)
+        with pytest.raises(ValueError):
+            sample_file_size("lognormal", MEGABYTE, 0, 0, sigma=0.0)
+        with pytest.raises(ValueError):
+            sample_file_size("fixed", 100, 0, 0, granularity=8192)
+        with pytest.raises(ValueError):
+            sample_file_size("pareto", MEGABYTE, 0, 0, max_size=100)
+
+
+class TestTailShape:
+    """Tail-index sanity: heavier parameters produce heavier empirical tails."""
+
+    def _draws(self, distribution, n=2000, **kwargs):
+        return sample_file_sizes(distribution, MEGABYTE, n, 11,
+                                 granularity=8, max_size=10_000 * MEGABYTE,
+                                 **kwargs)
+
+    def test_mean_tracks_target_when_tail_is_light(self):
+        draws = self._draws("pareto", alpha=3.0)
+        assert statistics.mean(draws) == pytest.approx(MEGABYTE, rel=0.15)
+        draws = self._draws("lognormal", sigma=0.5)
+        assert statistics.mean(draws) == pytest.approx(MEGABYTE, rel=0.15)
+
+    def test_smaller_alpha_is_heavier(self):
+        def p99_over_median(draws):
+            ordered = sorted(draws)
+            return ordered[int(0.99 * len(ordered))] / statistics.median(draws)
+
+        heavy = p99_over_median(self._draws("pareto", alpha=1.2))
+        light = p99_over_median(self._draws("pareto", alpha=3.0))
+        assert heavy > 3 * light
+
+    def test_pareto_tail_index_roughly_recovered(self):
+        # Hill estimator over the top 5% of a big sample should land near
+        # the configured tail index (a shape check, not a precision claim).
+        alpha = 1.5
+        draws = sorted(self._draws("pareto", alpha=alpha))
+        tail = draws[int(0.95 * len(draws)):]
+        threshold = tail[0]
+        import math
+        hill = len(tail) / sum(math.log(x / threshold) for x in tail[1:])
+        assert 1.0 < hill < 2.2
+
+    def test_every_distribution_name_is_exercised(self):
+        assert set(SIZE_DISTRIBUTIONS) == {"fixed", "pareto", "lognormal"}
+
+
+class TestWorkloadIntegration:
+    def test_workload_sampling_uses_record_granularity(self):
+        workload = ServiceWorkload(n_files=6, file_size=256 * KILOBYTE,
+                                   size_distribution="lognormal",
+                                   size_sigma=1.5, record_sizes=(8, 8192))
+        assert workload.size_granularity == 8192
+        sizes = workload.sample_sizes(3)
+        assert len(sizes) == 6
+        assert all(size % 8192 == 0 for size in sizes)
+        assert sizes == workload.sample_sizes(3)
+        assert sizes != workload.sample_sizes(4)
+
+    def test_default_cap_bounds_draws(self):
+        workload = ServiceWorkload(n_files=64, file_size=64 * KILOBYTE,
+                                   size_distribution="pareto", size_alpha=1.1)
+        assert max(workload.sample_sizes(0)) <= 16 * 64 * KILOBYTE
+
+    def test_fixed_workload_requires_granular_file_size(self):
+        with pytest.raises(ValueError):
+            ServiceWorkload(file_size=100_000, record_sizes=(8, 8192))
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            ServiceWorkload(size_distribution="zipf")

@@ -1,20 +1,38 @@
 #!/usr/bin/env python
-"""Fail when documentation contains dead relative links.
+"""Fail when documentation contains dead links or stale code references.
 
-Scans Markdown files (by default ``README.md`` and ``docs/*.md``) for inline
-links and image references, and checks that every *relative* target exists
-on disk, resolved against the file containing the link.  External links
-(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
-(``#section``) are not checked — this is a repository-consistency guard,
-not a crawler.  Anchored file links (``architecture.md#the-layers``) are
-checked for file existence only.
+Two layers of guard over ``README.md`` and ``docs/*.md``:
+
+**Dead links.**  Scans Markdown for inline links and image references, and
+checks that every *relative* target exists on disk, resolved against the file
+containing the link.  External links (``http://``, ``https://``,
+``mailto:``) and pure in-page anchors (``#section``) are not checked — this
+is a repository-consistency guard, not a crawler.  Anchored file links
+(``architecture.md#the-layers``) are checked for file existence only.
+
+**Staleness.**  Documentation rots in ways a link checker cannot see: a
+renamed module, a dropped CLI flag, a retired experiment family.  The
+staleness pass grep-checks three kinds of inline-code references against the
+tree (no imports, so it runs in a bare CI image):
+
+* *tree paths* — code spans that look like repository paths
+  (``src/repro/sim/engine.py``, ``tools/check_schema_bump.py``,
+  ``benchmarks/``, a pytest node id) must exist on disk;
+* *module paths* — dotted ``repro.*`` references (``repro.workload.driver``)
+  must resolve to a module under ``src/``, allowing one trailing attribute
+  segment (``repro.experiments.runner.CACHE_SCHEMA_VERSION``);
+* *CLI flags and figure names* — every ``--flag`` mentioned in the docs must
+  appear verbatim in some Python source under ``src/``, ``tools/``,
+  ``benchmarks/`` or ``examples/`` (or be a known external-tool flag), and
+  every ``ddio-figures NAME`` command must name a key of the ``FIGURES``
+  registry (parsed textually from ``src/repro/experiments/figures.py``).
 
 CI runs this on every pull request::
 
     python tools/check_doc_links.py
 
-Exit status 0 when every relative link resolves, 1 otherwise (each dead
-link is reported as ``file:line: target``).
+Exit status 0 when everything resolves, 1 otherwise (each failure is
+reported as ``file:line: kind -> reference``).
 """
 
 import argparse
@@ -28,6 +46,38 @@ _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
 #: Schemes that are not filesystem paths.
 _EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: Inline code spans (single-backtick; fenced blocks are handled separately).
+_CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+
+#: A code span that looks like a repository path.  Top-level trees only, so
+#: prose like `a/b` never false-positives.
+_TREE_PATH_RE = re.compile(
+    r"^(?:src|tools|benchmarks|examples|tests|docs)/[\w./-]*$")
+
+#: A dotted module reference into the package.
+_MODULE_RE = re.compile(r"^repro(?:\.\w+)+$")
+
+#: A CLI long flag.
+_FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+#: ``ddio-figures NAME`` commands (however invoked).
+_FIGURE_CMD_RE = re.compile(r"ddio-figures\s+([a-z][a-z0-9-]*)")
+
+#: Flags that belong to external tools the docs legitimately mention.
+_EXTERNAL_FLAGS = frozenset({
+    "--benchmark-columns", "--benchmark-json", "--cov", "--cov-fail-under",
+    "--cov-report", "--import-mode", "--upgrade",
+})
+
+#: Where project CLI flags are defined.
+_FLAG_SOURCE_DIRS = ("src", "tools", "benchmarks", "examples")
+
+#: The figure registry, parsed textually (CI's docs job has no numpy).
+_FIGURES_SOURCE = "src/repro/experiments/figures.py"
+
+#: CLI pseudo-figures accepted beside the registry keys.
+_FIGURE_EXTRAS = frozenset({"all", "claims"})
 
 
 def iter_links(text):
@@ -66,6 +116,109 @@ def dead_links(markdown_path, repo_root=None):
     return missing
 
 
+# -- staleness checks --------------------------------------------------------------
+
+def iter_code_references(text):
+    """Yield ``(line_number, text)`` for inline spans and fenced-block lines."""
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield line_number, stripped
+        else:
+            for match in _CODE_SPAN_RE.finditer(line):
+                yield line_number, match.group(1)
+
+
+def tree_path_exists(reference, root):
+    """Whether a path-looking code span resolves in the repository."""
+    path = reference.split("::", 1)[0]  # strip a pytest node id
+    return (Path(root) / path).exists()
+
+
+def module_resolves(reference, root):
+    """Whether a dotted ``repro.*`` span resolves under ``src/``.
+
+    The full dotted path may name a module or a package; one trailing
+    segment may instead be an attribute (class, function, constant) of the
+    resolved module — existence of the attribute itself is not checked
+    (that would require importing the tree), only the module prefix.  The
+    attribute fallback needs a prefix of at least two segments: otherwise
+    every ``repro.<typo>`` would pass via the top-level package.
+    """
+    src = Path(root) / "src"
+    parts = reference.split(".")
+    candidates = [parts]
+    if len(parts) > 2:
+        candidates.append(parts[:-1])
+    for candidate in candidates:
+        base = src.joinpath(*candidate)
+        if base.with_suffix(".py").exists() or (base / "__init__.py").exists():
+            return True
+    return False
+
+
+def known_flags(root):
+    """Every ``--flag`` literal appearing in project Python sources."""
+    flags = set(_EXTERNAL_FLAGS)
+    for tree in _FLAG_SOURCE_DIRS:
+        for source in (Path(root) / tree).rglob("*.py"):
+            try:
+                flags.update(_FLAG_RE.findall(source.read_text(encoding="utf-8")))
+            except (OSError, UnicodeDecodeError):
+                continue
+    return flags
+
+
+def figure_names(root):
+    """Keys of the FIGURES registry, parsed from the source text."""
+    source_path = Path(root) / _FIGURES_SOURCE
+    try:
+        source = source_path.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    match = re.search(r"^FIGURES\s*=\s*\{(.*?)^\}", source,
+                      re.MULTILINE | re.DOTALL)
+    if match is None:
+        return set()
+    return set(re.findall(r"[\"']([a-z][a-z0-9-]*)[\"']\s*:", match.group(1)))
+
+
+def stale_references(markdown_path, root=".", flags=None, figures=None):
+    """``(line, kind, reference)`` doc references that no longer match the tree.
+
+    *flags* and *figures* may be precomputed (via :func:`known_flags` /
+    :func:`figure_names`) so a multi-file run scans the Python tree once,
+    not once per document.
+    """
+    markdown_path = Path(markdown_path)
+    text = markdown_path.read_text(encoding="utf-8")
+    if flags is None:
+        flags = known_flags(root)
+    if figures is None:
+        figures = figure_names(root) | _FIGURE_EXTRAS
+    stale = []
+    for line_number, reference in iter_code_references(text):
+        if _TREE_PATH_RE.match(reference.split("::", 1)[0]):
+            if not tree_path_exists(reference, root):
+                stale.append((line_number, "path", reference))
+            continue
+        if _MODULE_RE.match(reference):
+            if not module_resolves(reference, root):
+                stale.append((line_number, "module", reference))
+            continue
+        for flag in _FLAG_RE.findall(reference):
+            if flag not in flags:
+                stale.append((line_number, "flag", flag))
+        for name in _FIGURE_CMD_RE.findall(reference):
+            if name not in figures:
+                stale.append((line_number, "figure", name))
+    return stale
+
+
 def default_files(root):
     """README.md plus every Markdown file under docs/."""
     root = Path(root)
@@ -79,24 +232,38 @@ def default_files(root):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Check Markdown files for dead relative links.")
+        description="Check Markdown files for dead links and stale "
+                    "code references.")
     parser.add_argument("files", nargs="*", type=Path,
                         help="Markdown files to check "
                              "(default: README.md and docs/*.md)")
     parser.add_argument("--root", type=Path, default=Path("."),
-                        help="repository root for the default file set")
+                        help="repository root for the default file set and "
+                             "the staleness checks")
+    parser.add_argument("--links-only", action="store_true",
+                        help="skip the staleness pass (dead links only)")
     args = parser.parse_args(argv)
 
     files = args.files or default_files(args.root)
+    if not args.links_only:
+        flags = known_flags(args.root)
+        figures = figure_names(args.root) | _FIGURE_EXTRAS
     failures = 0
     for markdown in files:
         for line_number, target in dead_links(markdown):
             print(f"{markdown}:{line_number}: dead link -> {target}")
             failures += 1
+        if args.links_only:
+            continue
+        for line_number, kind, reference in stale_references(
+                markdown, root=args.root, flags=flags, figures=figures):
+            print(f"{markdown}:{line_number}: stale {kind} -> {reference}")
+            failures += 1
     if failures:
-        print(f"{failures} dead link(s).", file=sys.stderr)
+        print(f"{failures} dead link(s) / stale reference(s).", file=sys.stderr)
         return 1
-    print(f"checked {len(files)} file(s): all relative links resolve.")
+    print(f"checked {len(files)} file(s): all links and code references "
+          f"resolve.")
     return 0
 
 
