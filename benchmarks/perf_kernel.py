@@ -127,6 +127,13 @@ def main(argv=None):
                         help="trajectory file to append to")
     parser.add_argument("--label", type=str, default="",
                         help="free-form label recorded with this run")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) when any measured case is more "
+                             "than --check-factor slower than the last "
+                             "recorded run (CI bench-smoke regression gate)")
+    parser.add_argument("--check-factor", type=float, default=2.0,
+                        help="regression threshold for --check (default 2.0: "
+                             "generous, to absorb noisy shared runners)")
     args = parser.parse_args(argv)
 
     timings = {}
@@ -168,6 +175,10 @@ def main(argv=None):
                 trajectory["runs"] = existing["runs"]
         except (json.JSONDecodeError, OSError):
             pass
+
+    regressions = check_regression(trajectory["runs"], timings,
+                                   args.check_factor) if args.check else []
+
     trajectory["runs"].append(record)
     args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"wrote {args.output} ({len(trajectory['runs'])} run(s))")
@@ -176,7 +187,39 @@ def main(argv=None):
     if headline is not None:
         status = "PASS" if headline >= 2.0 else "BELOW TARGET"
         print(f"headline ({HEADLINE_CASE}): {headline:.2f}x vs seed [{status}]")
+
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        return 1
+    if args.check:
+        print(f"regression check: ok (threshold {args.check_factor:g}x "
+              f"vs last recorded run)")
     return 0
+
+
+def check_regression(previous_runs, timings, factor):
+    """Compare *timings* against the last recorded timed run.
+
+    Returns a list of human-readable regression descriptions (empty when
+    everything is within *factor* of the previous run).  Profile-only
+    records (no ``timings_s``) are skipped when looking for the reference.
+    """
+    reference = None
+    for run in reversed(previous_runs):
+        if isinstance(run.get("timings_s"), dict) and run["timings_s"]:
+            reference = run
+            break
+    if reference is None:
+        return []
+    regressions = []
+    for name, seconds in timings.items():
+        before = reference["timings_s"].get(name)
+        if before and seconds > factor * before:
+            regressions.append(
+                f"{name}: {seconds:.5f}s vs {before:.5f}s in the last run "
+                f"({seconds / before:.2f}x, threshold {factor:g}x)")
+    return regressions
 
 
 if __name__ == "__main__":

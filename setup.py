@@ -14,7 +14,7 @@ setup(
         "(OSDI 1994)"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    python_requires=">=3.10",
     install_requires=["numpy"],
     entry_points={
         "console_scripts": ["ddio-figures=repro.experiments.figures:main"],

@@ -214,9 +214,20 @@ class CollectiveFileSystem:
 
     # -- common cost fragments --------------------------------------------------------
     def _charge_cpu(self, node, seconds):
-        """Process fragment: occupy *node*'s CPU for *seconds*."""
+        """Process fragment: occupy *node*'s CPU for *seconds*.
+
+        The uncontended case (one event, no inner generator) goes through
+        :meth:`~repro.sim.resources.Resource.acquire_event`; a busy CPU falls
+        back to the queueing :meth:`~repro.sim.resources.Resource.acquire`.
+        The hottest per-piece paths inline this same pattern directly rather
+        than delegating here.
+        """
         if seconds > 0:
-            yield from node.cpu.acquire(seconds)
+            event = node.cpu.acquire_event(seconds)
+            if event is None:
+                yield from node.cpu.acquire(seconds)
+            else:
+                yield event
 
     def _send(self, session, src_node, dst_node, data_bytes, header_bytes=32):
         """Process fragment: move a message's bytes across the interconnect."""

@@ -23,7 +23,7 @@ from repro.network.message import HEADER_BYTES, Message, MessageKind
 from repro.sim.events import AllOf, Event
 
 
-@dataclass
+@dataclass(slots=True)
 class _Request:
     """What a CP asks an IOP to do with one piece of one block.
 
@@ -146,7 +146,10 @@ class TraditionalCachingFS(CollectiveFileSystem):
                                                   offset, length)
             return
         block_size = session.file.block_size
-        batch = None  # (block, first offset-in-block, total bytes, n requests)
+        # [block, first offset-in-block, total bytes, n requests] — mutated
+        # in place: this loop visits every chunk (one per record in the
+        # 8-byte cyclic worst case), so no per-chunk tuple rebuilds.
+        batch = None
         for offset, length in session.pattern.chunks_for_cp(cp_index):
             block = offset // block_size
             if (offset + length - 1) // block_size != block:
@@ -159,12 +162,13 @@ class TraditionalCachingFS(CollectiveFileSystem):
                 yield from self._issue_byte_range(cp_node, cp_index, session,
                                                   offset, length)
             elif batch is not None and batch[0] == block:
-                batch = (block, batch[1], batch[2] + length, batch[3] + 1)
+                batch[2] += length
+                batch[3] += 1
             else:
                 if batch is not None:
                     yield from self._issue_batched(cp_node, cp_index, session,
                                                    *batch)
-                batch = (block, offset % block_size, length, 1)
+                batch = [block, offset % block_size, length, 1]
         if batch is not None:
             yield from self._issue_batched(cp_node, cp_index, session, *batch)
 
@@ -226,10 +230,17 @@ class TraditionalCachingFS(CollectiveFileSystem):
         iop = self.machine.iop_for_disk(request.disk_index)
         request.reply_event = Event(self.env)
         # CP software: build the request, find the disk, enter the message
-        # system — once per modeled request, in one event for a batch.
-        yield from self._charge_cpu(
-            cp_node, request.n_requests
-            * (costs.cp_request_overhead + costs.message_overhead))
+        # system — once per modeled request, in one event for a batch.  The
+        # CPU charge is inlined on the uncontended fast path (this runs once
+        # per modeled exchange, the hottest CP-side loop).
+        cpu_time = request.n_requests \
+            * (costs.cp_request_overhead + costs.message_overhead)
+        if cpu_time > 0:
+            charge = cp_node.cpu.acquire_event(cpu_time)
+            if charge is None:
+                yield from cp_node.cpu.acquire(cpu_time)
+            else:
+                yield charge
         data_bytes = request.length if request.kind == "write" else 0
         message = Message(
             kind=MessageKind.WRITE_REQUEST if request.kind == "write"
@@ -254,9 +265,14 @@ class TraditionalCachingFS(CollectiveFileSystem):
             message = yield iop.mailbox.receive(self.request_tag)
             request = message.payload
             request.session.count("iop_messages", request.n_requests)
-            yield from self._charge_cpu(
-                iop, request.n_requests
-                * (costs.message_overhead + costs.thread_dispatch_overhead))
+            cpu_time = request.n_requests \
+                * (costs.message_overhead + costs.thread_dispatch_overhead)
+            if cpu_time > 0:
+                charge = iop.cpu.acquire_event(cpu_time)
+                if charge is None:
+                    yield from iop.cpu.acquire(cpu_time)
+                else:
+                    yield charge
             self.env.process(self._handle_request(iop, cache, request))
 
     def _handle_request(self, iop, cache, request):
@@ -269,8 +285,13 @@ class TraditionalCachingFS(CollectiveFileSystem):
         costs = self.costs
         striped_file = request.file
         session_id = request.session.session_id
-        yield from self._charge_cpu(
-            iop, request.n_requests * costs.cache_lookup_overhead)
+        cpu_time = request.n_requests * costs.cache_lookup_overhead
+        if cpu_time > 0:
+            charge = iop.cpu.acquire_event(cpu_time)
+            if charge is None:
+                yield from iop.cpu.acquire(cpu_time)
+            else:
+                yield charge
         yield cache.acquire_for_read(request.block, file=striped_file,
                                      session_id=session_id)
         # One-block-ahead prefetch: the next block of this file on this disk.
@@ -284,8 +305,13 @@ class TraditionalCachingFS(CollectiveFileSystem):
                     cache.try_prefetch(next_block, file=striped_file)
         # Reply with the data (deposited into the user's buffer by DMA) —
         # one modeled reply per modeled request.
-        yield from self._charge_cpu(
-            iop, request.n_requests * costs.message_overhead)
+        cpu_time = request.n_requests * costs.message_overhead
+        if cpu_time > 0:
+            charge = iop.cpu.acquire_event(cpu_time)
+            if charge is None:
+                yield from iop.cpu.acquire(cpu_time)
+            else:
+                yield charge
         cp_node = self.machine.cps[request.cp_index]
         yield from self.machine.network.transfer(
             iop.node_id, cp_node.node_id,

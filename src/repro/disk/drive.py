@@ -13,6 +13,7 @@ buffer to drain — experiment harnesses call it so that reported transfer times
 include all write-behind, as the paper's do.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.disk.cache import ReadAheadCache
@@ -27,7 +28,7 @@ READ = "read"
 WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """A single request for a contiguous run of sectors."""
 
@@ -116,6 +117,16 @@ class BusPort:
         """
         yield from self.resource.acquire(self.transfer_time(n_bytes))
 
+    def transfer_event(self, env, n_bytes, session_id=None):
+        """Uncontended fast path for :meth:`transfer`: one event, or ``None``.
+
+        When the bus is free, the whole hold is a single yieldable event
+        (see :meth:`~repro.sim.resources.Resource.acquire_event`); a busy
+        bus returns ``None`` and the caller falls back to the
+        :meth:`transfer` process fragment, preserving FIFO arbitration.
+        """
+        return self.resource.acquire_event(self.transfer_time(n_bytes))
+
 
 class Disk:
     """A single simulated drive attached to a SCSI bus on one IOP."""
@@ -141,10 +152,17 @@ class Disk:
         if write_buffer_blocks is None:
             write_buffer_blocks = max(1, spec.cache_size // 8192)
         self.write_buffer_capacity = write_buffer_blocks
-        self._write_buffer = []          # destage queue of DiskRequest
-        self._write_buffer_waiters = []  # requests waiting for buffer space
+        self._write_buffer = deque()          # destage queue of DiskRequest
+        self._write_buffer_waiters = deque()  # requests waiting for buffer space
         self._writes_outstanding = 0     # buffered or in-destage writes
         self._flush_waiters = []
+        #: Delay fusion defers the serve loop's arm update to a single fused
+        #: timeout; these reproduce the unfused timeline for *observers*
+        #: (the shared queue's policy reads :attr:`head_lbn_estimate` while
+        #: a request is mid-service): before ``_cylinder_update_time`` the
+        #: arm still reports the pre-request cylinder.
+        self._cylinder_update_time = 0.0
+        self._cylinder_before = 0
 
         self._queue = []
         self._work_available = None
@@ -212,6 +230,8 @@ class Disk:
     @property
     def current_cylinder(self):
         """Cylinder the heads are currently positioned over."""
+        if self.env._now < self._cylinder_update_time:
+            return self._cylinder_before
         return self.mechanics.current_cylinder
 
     @property
@@ -268,48 +288,105 @@ class Disk:
     def _current_lbn_estimate(self):
         # Approximate the head position by the first sector of the current cylinder;
         # schedulers only need relative ordering.
-        return self.mechanics.current_cylinder * \
-            self.spec.sectors_per_track * self.spec.heads
+        cylinder = self._cylinder_before \
+            if self.env._now < self._cylinder_update_time \
+            else self.mechanics.current_cylinder
+        return cylinder * self.spec.sectors_per_track * self.spec.heads
+
+    def _set_cylinder(self, cylinder, visible_at):
+        """Move the arm; the move becomes *observable* at ``visible_at``.
+
+        The fused service path updates mechanics state at service start, but
+        the unfused timeline moved the arm mid-service (after the controller
+        overhead, or at read-ahead data-ready time).  Deferring visibility
+        keeps :attr:`head_lbn_estimate` — read concurrently by the shared
+        queue's scheduling policy — bit-identical to the unfused simulator.
+        """
+        mechanics = self.mechanics
+        self._cylinder_before = mechanics.current_cylinder
+        self._cylinder_update_time = visible_at
+        mechanics.current_cylinder = cylinder
 
     # -- read path ---------------------------------------------------------------
     def _service_read(self, request):
         env = self.env
         spec = self.spec
-        yield env.timeout(spec.controller_overhead)
+        geometry = self.geometry
 
         session = self.session(request.session_id) \
             if request.session_id is not None else None
-        hit, ready_time = self.readahead.lookup(env.now, request.lbn, request.n_sectors)
+        # Delay fusion: controller overhead, any read-ahead wait, and the
+        # mechanical positioning + media transfer are charged as ONE fused
+        # timeout instead of two.  Every model decision is computed against
+        # the instant the unfused timeline would have made it (the cache
+        # lookup and positioning take the time as an explicit argument), and
+        # the fused timeout lands on the exact end time via ``event_at``, so
+        # simulated results are bit-identical.
+        #
+        # Fusion is only sound while the destage loop is provably idle: with
+        # write-behind in flight, a background ``_write_to_media`` could
+        # invalidate the read-ahead cache or move the arm *inside* the
+        # controller window, and the unfused timeline would observe that.
+        # ``_writes_outstanding == 0`` guarantees quiescence for the whole
+        # service (no new write can be accepted while this read is served);
+        # otherwise fall back to the unfused reference sequence.
+        fused = self._writes_outstanding == 0
+        if fused:
+            lookup_time = env._now + spec.controller_overhead
+        else:
+            yield env.timeout(spec.controller_overhead)
+            lookup_time = env._now
+        hit, ready_time = self.readahead.lookup(lookup_time, request.lbn,
+                                                request.n_sectors)
+        end_lbn = request.lbn + request.n_sectors
+        end_cylinder = geometry.cylinder_of(
+            min(end_lbn, geometry.total_sectors - 1))
         if hit:
             self.stats.cache_hits += 1
             if session is not None:
                 session.cache_hits += 1
-            if ready_time > env.now:
-                yield env.timeout(ready_time - env.now)
-            end_lbn = request.lbn + request.n_sectors
-            self.readahead.extend_after_hit(env.now, end_lbn, self.geometry.total_sectors)
-            # Track arm position so later schedulers see a sensible cylinder.
-            self.mechanics.current_cylinder = self.geometry.cylinder_of(
-                min(end_lbn, self.geometry.total_sectors - 1))
+            if fused:
+                if ready_time > lookup_time:
+                    service_end = lookup_time + (ready_time - lookup_time)
+                else:
+                    service_end = lookup_time
+                self.readahead.extend_after_hit(service_end, end_lbn,
+                                                geometry.total_sectors)
+                # Track arm position so later schedulers see a sensible cylinder.
+                self._set_cylinder(end_cylinder, visible_at=service_end)
+                yield env.event_at(service_end)
+            else:
+                if ready_time > env.now:
+                    yield env.timeout(ready_time - env.now)
+                self.readahead.extend_after_hit(env.now, end_lbn,
+                                                geometry.total_sectors)
+                self.mechanics.current_cylinder = end_cylinder
         else:
             self.stats.cache_misses += 1
             if session is not None:
                 session.cache_misses += 1
             self.readahead.invalidate()
-            positioning = self.mechanics.positioning_time(env.now, request.lbn)
+            positioning = self.mechanics.positioning_time(lookup_time, request.lbn)
             transfer = self.mechanics.media.transfer_time(request.lbn, request.n_sectors)
             self.stats.seek_time += positioning
             self.stats.transfer_time += transfer
-            end_lbn = request.lbn + request.n_sectors
-            self.mechanics.current_cylinder = self.geometry.cylinder_of(
-                min(end_lbn, self.geometry.total_sectors - 1))
-            yield env.timeout(positioning + transfer)
+            if fused:
+                self._set_cylinder(end_cylinder, visible_at=lookup_time)
+                yield env.event_at(lookup_time + (positioning + transfer))
+            else:
+                self.mechanics.current_cylinder = end_cylinder
+                yield env.timeout(positioning + transfer)
             # Media keeps streaming into the cache after the request completes.
-            self.readahead.start_readahead(env.now, end_lbn, self.geometry.total_sectors)
+            self.readahead.start_readahead(env.now, end_lbn, geometry.total_sectors)
 
         # Ship the data across the SCSI bus to the IOP.
-        yield from self.bus_port.transfer(env, request.n_bytes,
-                                          session_id=request.session_id)
+        bus_hold = self.bus_port.transfer_event(env, request.n_bytes,
+                                                session_id=request.session_id)
+        if bus_hold is None:
+            yield from self.bus_port.transfer(env, request.n_bytes,
+                                              session_id=request.session_id)
+        else:
+            yield bus_hold
         self.stats.reads += 1
         self.stats.bytes_read += request.n_bytes
         if session is not None:
@@ -321,10 +398,18 @@ class Disk:
     # -- write path ---------------------------------------------------------------
     def _service_write(self, request):
         env = self.env
+        # No fusion here: the controller overhead is followed by a *shared*
+        # bus acquisition, and folding the overhead into the bus hold would
+        # change the arbitration window other contenders see.
         yield env.timeout(self.spec.controller_overhead)
         # Data moves from IOP memory across the bus into the drive first.
-        yield from self.bus_port.transfer(env, request.n_bytes,
-                                          session_id=request.session_id)
+        bus_hold = self.bus_port.transfer_event(env, request.n_bytes,
+                                                session_id=request.session_id)
+        if bus_hold is None:
+            yield from self.bus_port.transfer(env, request.n_bytes,
+                                              session_id=request.session_id)
+        else:
+            yield bus_hold
 
         if self.spec.write_cache_enabled:
             # Wait for buffer space, then complete; destage happens in background.
@@ -358,9 +443,9 @@ class Disk:
             while not self._write_buffer:
                 self._destage_work = Event(env)
                 yield self._destage_work
-            request = self._write_buffer.pop(0)
+            request = self._write_buffer.popleft()
             if self._write_buffer_waiters:
-                self._write_buffer_waiters.pop(0).succeed()
+                self._write_buffer_waiters.popleft().succeed()
             yield from self._write_to_media(request)
             self._writes_outstanding -= 1
             self._signal_media(request)

@@ -3,7 +3,7 @@
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhysicalPosition:
     """A physical location on the platters."""
 
@@ -24,11 +24,9 @@ class DiskGeometry:
     def __init__(self, spec):
         self.spec = spec
         self._sectors_per_cylinder = spec.sectors_per_track * spec.heads
-
-    @property
-    def total_sectors(self):
-        """Total number of addressable sectors."""
-        return self.spec.total_sectors
+        #: Total number of addressable sectors (a plain attribute: this is
+        #: read on every request validation and service decision).
+        self.total_sectors = spec.total_sectors
 
     def position_of(self, lbn):
         """Physical position of logical sector *lbn*."""

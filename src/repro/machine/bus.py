@@ -48,10 +48,24 @@ class _CountingBusPort(BusPort):
         super().__init__(bus.resource, bus.bandwidth, bus.transfer_overhead)
         self._bus = bus
 
-    def transfer(self, env, n_bytes, session_id=None):
-        yield from super().transfer(env, n_bytes)
+    def _account(self, n_bytes, session_id):
         self._bus.bytes_transferred.add(n_bytes)
         if session_id is not None:
             busy = self._bus.session_busy
             busy[session_id] = busy.get(session_id, 0.0) \
                 + self.transfer_time(n_bytes)
+
+    def transfer(self, env, n_bytes, session_id=None):
+        yield from super().transfer(env, n_bytes)
+        self._account(n_bytes, session_id)
+
+    def transfer_event(self, env, n_bytes, session_id=None):
+        event = self.resource.acquire_event(self.transfer_time(n_bytes))
+        if event is None:
+            return None
+        # Accounting rides on the hold event so it still happens at transfer
+        # *end* (after the release callback, before the waiter resumes) —
+        # the same effect order as the generator path.
+        event.callbacks.append(
+            lambda _event: self._account(n_bytes, session_id))
+        return event

@@ -39,7 +39,7 @@ class MessageKind(Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single network message.
 

@@ -38,6 +38,9 @@ class Network:
         self.dma_setup_time = dma_setup_time
         self.interfaces = [NetworkInterface(env, node, bandwidth)
                            for node in range(n_nodes)]
+        #: (src, dst) -> routing latency; hop counts are static, and the
+        #: lookup sits on the per-transfer hot path.
+        self._latency_cache = {}
         self.messages_sent = Counter("network.messages")
         self.bytes_sent = Counter("network.bytes")
         #: wire bytes of protocol messages per collective session
@@ -49,7 +52,11 @@ class Network:
     # -- raw transfers ------------------------------------------------------------
     def wire_latency(self, src, dst):
         """Pure routing latency between two nodes (no serialisation)."""
-        return self.topology.hops(src, dst) * self.router_latency
+        latency = self._latency_cache.get((src, dst))
+        if latency is None:
+            latency = self._latency_cache[(src, dst)] = \
+                self.topology.hops(src, dst) * self.router_latency
+        return latency
 
     def transfer(self, src, dst, n_bytes, count=1):
         """Process fragment moving *n_bytes* from node *src* to node *dst*.
@@ -77,12 +84,21 @@ class Network:
         serialization = src_if.serialization_time(n_bytes)
         setup = count * self.dma_setup_time
 
-        yield from src_if.tx.acquire(setup + serialization)
+        hold = setup + serialization
+        event = src_if.tx.acquire_event(hold)
+        if event is None:
+            yield from src_if.tx.acquire(hold)
+        else:
+            yield event
         latency = self.wire_latency(src, dst)
         if latency > 0:
             yield self.env.timeout(latency)
         if src != dst:
-            yield from dst_if.rx.acquire(setup + serialization)
+            event = dst_if.rx.acquire_event(hold)
+            if event is None:
+                yield from dst_if.rx.acquire(hold)
+            else:
+                yield event
 
         self.messages_sent.add(count)
         self.bytes_sent.add(n_bytes)

@@ -186,9 +186,12 @@ class MatrixPattern(AccessPattern):
                     pending = None
                 continue
             starts, lengths = _runs_of_true(mine)
-            for run_start, run_length in zip(starts, lengths):
-                record_start = batch_start + int(run_start)
-                record_length = int(run_length)
+            # tolist() converts to Python ints in one C pass; per-element
+            # int() calls dominate this loop for cyclic small-record
+            # patterns (one run per record, 100k+ runs per transfer).
+            for run_start, run_length in zip(starts.tolist(), lengths.tolist()):
+                record_start = batch_start + run_start
+                record_length = run_length
                 if pending is not None:
                     pending_start, pending_length = pending
                     if pending_start + pending_length == record_start:

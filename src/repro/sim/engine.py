@@ -1,12 +1,32 @@
-"""The simulation environment: virtual clock plus event queue.
+"""The simulation environment: virtual clock plus a two-tier event calendar.
 
-The run loops are deliberately flat: popping an event, advancing the clock and
-running the callbacks happens inline (rather than through :meth:`step`) so the
-per-event cost is a handful of bytecodes.  :meth:`step` remains the one-event
-reference implementation for tests and debugging; the inlined bodies must stay
-in sync with it.
+The calendar has two tiers:
+
+* a FIFO **ring** (`collections.deque`) holding events scheduled *at the
+  current instant* with NORMAL priority — the ``Event.succeed()`` /
+  ``fail()`` / message-delivery path, which is the large majority of all
+  scheduling in a protocol simulation.  Ring entries are appended in eid
+  order and the clock never moves backwards, so the ring is always sorted
+  by ``(time, key)`` without any heap discipline: O(1) push, O(1) pop.
+* the classic binary **heap** for everything else (future timeouts, urgent
+  events, explicit ``schedule()`` calls).
+
+Entries in both tiers are ``(time, key, event)`` 3-tuples where *key* folds
+the old ``(priority, eid)`` pair into a single integer (see
+:func:`_priority_key`), so a pop is one tuple comparison between the two
+heads.  Pops interleave the tiers in exact ``(time, priority, eid)`` order,
+which makes the two-tier calendar observationally identical to the previous
+single-heap implementation — ``tests/sim/test_calendar.py`` property-tests
+the equivalence against a reference heap.
+
+The run loops are deliberately flat: popping an event, advancing the clock
+and running the callbacks happens inline (rather than through :meth:`step`)
+so the per-event cost is a handful of bytecodes.  :meth:`step` remains the
+one-event reference implementation for tests and debugging; the inlined
+bodies must stay in sync with it.
 """
 
+from collections import deque
 from heapq import heappop, heappush
 
 from repro.sim.errors import SimulationError
@@ -18,9 +38,16 @@ NORMAL = 1
 #: Priority used for "urgent" events (processed before normal ones at equal time).
 URGENT = 0
 
+#: Key-space stride separating one priority level from the next.  Event ids
+#: are allocated sequentially and would need ~146 years at a billion events
+#: per second to reach it, so ``(priority - NORMAL) * _PRIORITY_STRIDE + eid``
+#: orders exactly like the old ``(priority, eid)`` pair while fitting in one
+#: integer: URGENT keys are negative, NORMAL keys are the bare eid.
+_PRIORITY_STRIDE = 1 << 62
+
 
 class Environment:
-    """Holds the simulation clock and the pending-event queue.
+    """Holds the simulation clock and the pending-event calendar.
 
     All model objects (disks, busses, NICs, caches, processes) are created
     against a single :class:`Environment`; calling :meth:`run` advances the
@@ -28,11 +55,12 @@ class Environment:
     waiting on them.
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+    __slots__ = ("_now", "_heap", "_ring", "_eid", "_active_process")
 
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
-        self._queue = []
+        self._heap = []
+        self._ring = deque()
         self._eid = 0
         self._active_process = None
 
@@ -56,6 +84,23 @@ class Environment:
         """Create an event that fires after *delay* seconds of simulated time."""
         return Timeout(self, delay, value)
 
+    def event_at(self, when):
+        """A pre-succeeded event processed at the absolute instant *when*.
+
+        Like ``timeout(when - now)``, except the target time is taken
+        verbatim: ``now + (when - now)`` does not always round back to
+        ``when`` in floating point.  Delay fusion in the device models uses
+        this to land a single fused timeout on exactly the instant the
+        unfused sequence of timeouts would have reached.
+        """
+        if when < self._now:
+            raise ValueError(f"event_at({when!r}) is in the past (now={self._now})")
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        self._schedule_at(when, event)
+        return event
+
     def process(self, generator):
         """Start a new :class:`Process` running *generator*."""
         return Process(self, generator)
@@ -70,36 +115,70 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------------
     def schedule(self, event, delay=0.0, priority=NORMAL):
-        """Insert *event* into the queue, to be processed after *delay*."""
+        """Insert *event* into the calendar, to be processed after *delay*.
+
+        *priority* must be an integer; lower values are processed first among
+        events at the same time (the kernel uses :data:`URGENT` and
+        :data:`NORMAL`).
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         eid = self._eid
         self._eid = eid + 1
-        heappush(self._queue, (self._now + delay, priority, eid, event))
+        when = self._now + delay
+        if priority == NORMAL:
+            if when == self._now:
+                self._ring.append((when, eid, event))
+                return
+            key = eid
+        else:
+            key = (priority - NORMAL) * _PRIORITY_STRIDE + eid
+        heappush(self._heap, (when, key, event))
 
     def _schedule_now(self, event):
-        """Fast path used by ``Event.succeed``/``fail``: no delay arithmetic."""
+        """Fast path used by ``Event.succeed``/``fail``: straight to the ring."""
         eid = self._eid
         self._eid = eid + 1
-        heappush(self._queue, (self._now, NORMAL, eid, event))
+        self._ring.append((self._now, eid, event))
 
     def _schedule_at(self, when, event):
         """Fast path used by ``Timeout``: the delay was already validated."""
         eid = self._eid
         self._eid = eid + 1
-        heappush(self._queue, (when, NORMAL, eid, event))
+        if when == self._now:
+            self._ring.append((when, eid, event))
+        else:
+            heappush(self._heap, (when, eid, event))
 
     def peek(self):
-        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        if not self._queue:
+        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
+        if self._ring:
+            # Ring entries are at the current instant: nothing can precede them.
+            return self._ring[0][0]
+        if not self._heap:
             return float("inf")
-        return self._queue[0][0]
+        return self._heap[0][0]
+
+    def _pop(self):
+        """Remove and return the next ``(time, key, event)`` entry in order.
+
+        Key ordering is total across the two tiers (keys embed the unique
+        eid), so one tuple comparison between the heads decides the pop.
+        """
+        ring = self._ring
+        if ring:
+            if not self._heap or ring[0] < self._heap[0]:
+                return ring.popleft()
+            return heappop(self._heap)
+        if not self._heap:
+            raise SimulationError("pop from an empty event calendar")
+        return heappop(self._heap)
 
     def step(self):
         """Process exactly one event (advancing the clock to its time)."""
-        if not self._queue:
+        if not self._ring and not self._heap:
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _eid, event = heappop(self._queue)
+        when, _key, event = self._pop()
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -110,17 +189,22 @@ class Environment:
             raise event._value
 
     def run(self, until=None):
-        """Run until the queue empties, *until* time passes, or *until* event fires.
+        """Run until the calendar empties, *until* time passes, or *until* fires.
 
         ``until`` may be ``None`` (run to exhaustion), a number (absolute
         simulated time), or an :class:`Event` (run until it is processed and
         return its value).
         """
-        queue = self._queue
+        heap = self._heap
+        ring = self._ring
+        ring_popleft = ring.popleft
 
         if until is None:
-            while queue:
-                when, _priority, _eid, event = heappop(queue)
+            while ring or heap:
+                if ring and (not heap or ring[0] < heap[0]):
+                    when, _key, event = ring_popleft()
+                else:
+                    when, _key, event = heappop(heap)
                 self._now = when
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
@@ -132,11 +216,14 @@ class Environment:
         if isinstance(until, Event):
             sentinel = until
             while sentinel.callbacks is not None:
-                if not queue:
+                if ring and (not heap or ring[0] < heap[0]):
+                    when, _key, event = ring_popleft()
+                elif heap:
+                    when, _key, event = heappop(heap)
+                else:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event fired "
                         "(deadlock: a process is waiting on something that never happens)")
-                when, _priority, _eid, event = heappop(queue)
                 self._now = when
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
@@ -150,8 +237,17 @@ class Environment:
         stop_at = float(until)
         if stop_at < self._now:
             raise ValueError(f"until={stop_at} is in the past (now={self._now})")
-        while queue and queue[0][0] <= stop_at:
-            when, _priority, _eid, event = heappop(queue)
+        while True:
+            if ring and (not heap or ring[0] < heap[0]):
+                if ring[0][0] > stop_at:
+                    break
+                when, _key, event = ring_popleft()
+            elif heap:
+                if heap[0][0] > stop_at:
+                    break
+                when, _key, event = heappop(heap)
+            else:
+                break
             self._now = when
             callbacks, event.callbacks = event.callbacks, None
             for callback in callbacks:

@@ -111,7 +111,13 @@ class Process(Event):
                 # Mirrors _step: restore even when a BaseException (e.g.
                 # KeyboardInterrupt) escapes the generator.
                 env._active_process = previous
-            self._wait_for(target)
+            # Inlined _wait_for fast path: attach to a live event (the
+            # overwhelmingly common case); anything else goes the slow way.
+            if isinstance(target, Event) and target.callbacks is not None:
+                target.callbacks.append(self._resume)
+                self._waiting_on = target
+            else:
+                self._wait_for(target)
         else:
             event._defused = True
             self._step(throw=event._value)

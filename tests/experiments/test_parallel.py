@@ -164,3 +164,39 @@ class TestResultCache:
         for path in tmp_path.glob("*.json"):
             data = json.loads(path.read_text())
             assert "bytes_transferred" in data
+
+
+class TestTrialCostEstimate:
+    """Dispatch ordering heuristic: results never depend on it, but the
+    known ~100x stragglers must rank first so work stealing can help."""
+
+    def test_small_record_traditional_ranks_above_ddio(self):
+        from repro.experiments.runner import trial_cost_estimate
+        tc_8byte = tiny_config(method="traditional", record_size=8)
+        ddio = tiny_config(method="disk-directed", record_size=8)
+        tc_8k = tiny_config(method="traditional", record_size=8192)
+        assert trial_cost_estimate(tc_8byte) > trial_cost_estimate(ddio)
+        assert trial_cost_estimate(tc_8byte) > trial_cost_estimate(tc_8k)
+
+    def test_service_configs_scale_with_requests_and_record_mix(self):
+        from repro.experiments.runner import trial_cost_estimate
+        from repro.experiments.service import ServiceExperimentConfig
+        small = ServiceExperimentConfig(method="traditional", n_requests=4)
+        big = ServiceExperimentConfig(method="traditional", n_requests=32)
+        mixed = ServiceExperimentConfig(method="traditional", n_requests=4,
+                                        record_sizes=(8, 8192))
+        assert trial_cost_estimate(big) > trial_cost_estimate(small)
+        assert trial_cost_estimate(mixed) > trial_cost_estimate(small)
+
+    def test_mixed_cost_sweep_still_matches_serial(self):
+        configs = [
+            tiny_config(method="traditional", pattern="rc", record_size=64,
+                        file_size=64 * KILOBYTE),
+            tiny_config(method="disk-directed", pattern="rb"),
+            tiny_config(method="traditional", pattern="rb"),
+        ]
+        serial = sweep(configs, trials=1)
+        parallel = sweep_parallel(configs, trials=1, workers=2)
+        for serial_summary, parallel_summary in zip(serial, parallel):
+            assert results_as_dicts(serial_summary) == \
+                results_as_dicts(parallel_summary)

@@ -92,6 +92,50 @@ class TestScsiBus:
         port = bus.port()
         assert port.transfer_time(10_000) == pytest.approx(1e-3 + 1e-3)
 
+    def test_transfer_event_fast_path_accounts_like_transfer(self):
+        # The uncontended single-event path must record the same byte count
+        # and per-session occupancy as the generator path, at transfer end.
+        env = Environment()
+        bus = ScsiBus(env, bandwidth=10e6, transfer_overhead=0.0)
+        port = bus.port()
+        checkpoints = []
+
+        def fast_user(env):
+            event = port.transfer_event(env, 5_000_000, session_id="s1")
+            assert event is not None
+            checkpoints.append(("before", bus.bytes_transferred.value))
+            yield event
+            checkpoints.append(("after", bus.bytes_transferred.value))
+
+        def generator_user(env):
+            yield env.timeout(1.0)
+            yield from port.transfer(env, 5_000_000, session_id="s1")
+
+        env.process(fast_user(env))
+        env.process(generator_user(env))
+        env.run()
+        assert checkpoints == [("before", 0), ("after", 5_000_000)]
+        assert bus.bytes_transferred.value == 10_000_000
+        assert bus.session_busy_seconds("s1") == pytest.approx(1.0)
+
+    def test_transfer_event_none_on_contended_bus(self):
+        env = Environment()
+        bus = ScsiBus(env, bandwidth=10e6, transfer_overhead=0.0)
+        port = bus.port()
+        observed = []
+
+        def holder(env):
+            yield from port.transfer(env, 10_000_000)
+
+        def prober(env):
+            yield env.timeout(0.5)
+            observed.append(port.transfer_event(env, 8192))
+
+        env.process(holder(env))
+        env.process(prober(env))
+        env.run()
+        assert observed == [None]
+
 
 class TestNodes:
     def test_compute_charges_cpu(self, small_config):

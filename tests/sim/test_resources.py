@@ -100,3 +100,98 @@ class TestResource:
         env.process(user(env, resource))
         env.run()
         assert resource.count == 0
+
+
+class TestAcquireEvent:
+    """The non-generator fast path must mirror acquire() exactly."""
+
+    def test_uncontended_returns_single_event(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        done = []
+
+        def user(env, resource):
+            event = resource.acquire_event(2.0)
+            assert event is not None
+            assert resource.count == 1
+            yield event
+            done.append(env.now)
+
+        env.process(user(env, resource))
+        env.run()
+        assert done == [2.0]
+        assert resource.count == 0  # released at expiry
+
+    def test_contended_returns_none(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def holder(env, resource):
+            yield from resource.acquire(5.0)
+
+        def prober(env, resource):
+            yield env.timeout(1.0)
+            assert resource.acquire_event(1.0) is None
+
+        env.process(holder(env, resource))
+        env.process(prober(env, resource))
+        env.run()
+
+    def test_release_happens_before_waiter_resumes(self):
+        # A queued waiter must be granted by the fast path's release callback
+        # at hold expiry, exactly as the generator path grants it.
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        grants = []
+
+        def fast_user(env, resource):
+            yield resource.acquire_event(1.0)
+            grants.append(("fast-done", env.now))
+
+        def queued_user(env, resource):
+            yield from resource.acquire(1.0)
+            grants.append(("queued-done", env.now))
+
+        env.process(fast_user(env, resource))
+        env.process(queued_user(env, resource))
+        env.run()
+        assert grants == [("fast-done", 1.0), ("queued-done", 2.0)]
+
+    def test_matches_generator_path_timings(self):
+        def scenario(use_fast_path):
+            env = Environment()
+            resource = Resource(env, capacity=2)
+            finished = []
+
+            def user(env, name, start, hold):
+                yield env.timeout(start)
+                if use_fast_path:
+                    event = resource.acquire_event(hold)
+                    if event is None:
+                        yield from resource.acquire(hold)
+                    else:
+                        yield event
+                else:
+                    yield from resource.acquire(hold)
+                finished.append((name, env.now))
+
+            for index, (start, hold) in enumerate(
+                    [(0.0, 3.0), (0.5, 1.0), (1.0, 2.0), (1.0, 0.5)]):
+                env.process(user(env, index, start, hold))
+            env.run()
+            return finished, resource.utilization.busy_fraction()
+
+        assert scenario(True) == scenario(False)
+
+    def test_utilization_tracked_on_fast_path(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def user(env, resource):
+            yield resource.acquire_event(4.0)
+            yield env.timeout(4.0)
+
+        env.process(user(env, resource))
+        env.run()
+        assert env.now == 8.0
+        assert resource.utilization.busy_fraction() == pytest.approx(0.5)
