@@ -13,15 +13,26 @@ remains and simply runs one session to completion.
 from itertools import count
 
 from repro.core.result import TransferResult
+from repro.disk.faults import retry_fragment
 from repro.sim.events import Event
 from repro.sim.stats import Counter
 
 #: Counter names tracked both per session and for the file system's lifetime.
-#: ``bytes_moved`` counts CP<->IOP traffic only, so it equals the pattern's
-#: requested bytes (the conservation invariant); CP-to-CP redistribution
-#: (two-phase I/O's permute phase) is tallied separately in ``permute_bytes``.
+#: ``bytes_moved`` counts CP<->IOP traffic only; without faults it equals the
+#: pattern's requested bytes, and under fault injection the conservation
+#: invariant becomes ``bytes_moved + failed_bytes == bytes_requested`` (every
+#: requested byte is either delivered or explicitly accounted as failed).
+#: CP-to-CP redistribution (two-phase I/O's permute phase) is tallied
+#: separately in ``permute_bytes``.  The fault counters: ``retries`` is the
+#: number of re-submitted disk requests; ``failed_blocks`` counts blocks
+#: given up on; ``failed_bytes`` is requested-but-undelivered read traffic;
+#: ``lost_bytes`` is write traffic the CPs shipped but the drive never made
+#: durable (it still counts in ``bytes_moved`` — the wire work happened — so
+#: it sits outside the conservation sum); ``degraded`` is 0 or 1 per session
+#: (its file-system lifetime twin therefore counts degraded sessions).
 SESSION_COUNTERS = ("cp_requests", "iop_messages", "bytes_moved",
-                    "permute_bytes")
+                    "permute_bytes", "retries", "failed_blocks",
+                    "failed_bytes", "lost_bytes", "degraded")
 
 _session_ids = count()
 _fs_ids = count()
@@ -104,12 +115,17 @@ class CollectiveFileSystem:
 
     method_name = "abstract"
 
-    def __init__(self, machine, striped_file=None):
+    def __init__(self, machine, striped_file=None, fault_policy=None):
         self.machine = machine
         self.env = machine.env
         self.config = machine.config
         self.costs = machine.config.costs
         self.file = striped_file
+        #: Optional :class:`~repro.disk.faults.FaultPolicy` governing how
+        #: this file system reacts to errored disk requests (None: errors
+        #: degrade immediately, which only matters when the machine injects
+        #: faults — a healthy machine never produces an errored request).
+        self.fault_policy = fault_policy
         #: Distinguishes this instance's mailbox traffic from any other
         #: instance sharing the machine (e.g. a DDIO and a TC file system
         #: being compared on the same simulated hardware).
@@ -234,6 +250,39 @@ class CollectiveFileSystem:
         yield from self.machine.network.transfer(
             src_node.node_id, dst_node.node_id, header_bytes + data_bytes)
         session.count("bytes_moved", data_bytes)
+
+    # -- failure handling -------------------------------------------------------------
+    def _fault_retry(self, session, attempt):
+        """Process fragment: run *attempt* with bounded retry; returns the request.
+
+        Delegates to :func:`repro.disk.faults.retry_fragment` (each retry
+        submits a brand-new request — drives do not keep errored requests),
+        counting each retry against *session*.  The returned request may
+        still carry ``status == "error"`` — the caller decides how to
+        degrade; under ``on_fault="abort"`` a terminal failure raises
+        :class:`~repro.disk.faults.FaultAbort` instead.
+        """
+        on_retry = (lambda: session.count("retries")) \
+            if session is not None else None
+        request = yield from retry_fragment(
+            self.env, self.fault_policy, attempt, on_retry)
+        return request
+
+    def _record_read_failure(self, session, n_bytes):
+        """Account one block's worth of undeliverable read data."""
+        session.count("failed_blocks")
+        session.count("failed_bytes", n_bytes)
+        self._mark_degraded(session)
+
+    def _record_write_loss(self, session, n_bytes):
+        """Account one accepted-but-never-durable block of write data."""
+        session.count("failed_blocks")
+        session.count("lost_bytes", n_bytes)
+        self._mark_degraded(session)
+
+    def _mark_degraded(self, session):
+        if session.counters["degraded"].value == 0:
+            session.count("degraded")
 
 
 def make_filesystem(method, machine, striped_file=None, **kwargs):

@@ -51,12 +51,18 @@ class DiskDirectedFS(CollectiveFileSystem):
     #: base mailbox tag for completion notifications arriving at the proxy CP
     DONE_TAG = "ddio-done"
 
-    def __init__(self, machine, striped_file=None, presort=True, buffers_per_disk=2):
-        super().__init__(machine, striped_file)
+    def __init__(self, machine, striped_file=None, presort=True, buffers_per_disk=2,
+                 fault_policy=None, collapse_single_piece=True):
+        super().__init__(machine, striped_file, fault_policy=fault_policy)
         if buffers_per_disk < 1:
             raise ValueError("need at least one buffer per disk")
         self.presort = presort
         self.buffers_per_disk = buffers_per_disk
+        #: Run single-piece Memput/Memget inline instead of spawning a
+        #: Process + AllOf per piece (see :meth:`_deliver_to_cps` for the
+        #: equivalence argument).  The knob exists only so the pin test can
+        #: compare both paths bit-for-bit.
+        self.collapse_single_piece = collapse_single_piece
         #: cross-collective IOP scheduling: block lists are merged into each
         #: drive's SharedDiskQueue instead of running per-session buffer
         #: threads.  The queue's worker pool plays the buffer-thread role
@@ -242,32 +248,83 @@ class DiskDirectedFS(CollectiveFileSystem):
                 iop, disk, block, lbn, session, write_behind)
 
     def _move_block(self, iop, disk, block, lbn, session, write_behind):
-        """Move one block between *disk* and the CPs for *session*."""
+        """Move one block between *disk* and the CPs for *session*.
+
+        The fault path: each disk request is wrapped in
+        :meth:`~repro.core.base.CollectiveFileSystem._fault_retry` (each
+        retry submits a brand-new request).  A read that still fails after
+        retries delivers nothing for this block — the session degrades and
+        the undelivered bytes are accounted so conservation
+        (``bytes_moved + failed_bytes == requested``) holds.  A write that
+        fails is data the CPs already shipped: it counts as ``lost_bytes``
+        (moved but never durable), and only the *successful* attempt's
+        media-completion event joins ``write_behind``.
+        """
         pattern = session.pattern
         sectors_per_block = self.config.sectors_per_block
         pieces = pattern.pieces_in_block(block, session.file.block_size)
         if pattern.is_read:
-            yield disk.read(lbn, sectors_per_block, tag=block,
-                            session_id=session.session_id)
+            request = yield from self._fault_retry(
+                session,
+                lambda: disk.read(lbn, sectors_per_block, tag=block,
+                                  session_id=session.session_id))
+            if request.status != "ok":
+                self._record_read_failure(
+                    session, sum(piece.n_bytes for piece in pieces))
+                return
             yield from self._deliver_to_cps(iop, pieces, session)
         else:
             yield from self._gather_from_cps(iop, pieces, session)
-            accepted, on_media = disk.write_tracked(
-                lbn, sectors_per_block, tag=block,
-                session_id=session.session_id)
-            write_behind.append(on_media)
-            yield accepted
+            media_box = []
+
+            def attempt():
+                accepted, on_media = disk.write_tracked(
+                    lbn, sectors_per_block, tag=block,
+                    session_id=session.session_id)
+                media_box.append(on_media)
+                return accepted
+            request = yield from self._fault_retry(session, attempt)
+            if request.status != "ok":
+                self._record_write_loss(
+                    session, sum(piece.n_bytes for piece in pieces))
+                return
+            write_behind.append(media_box[-1])
 
     # -- remote-memory operations ----------------------------------------------------------
     def _deliver_to_cps(self, iop, pieces, session):
-        """Memput the per-CP pieces of one block, concurrently to all CPs."""
+        """Memput the per-CP pieces of one block, concurrently to all CPs.
+
+        Single-piece blocks run the Memput inline (``yield from``) instead
+        of spawning a Process + AllOf.  Equivalence argument (PR 5 style):
+        spawning defers the child's first step by one same-instant ring hop
+        and resumes the parent through AllOf one hop after the child
+        finishes; inlining runs the same event sequence starting at
+        parent-resume time.  Both orderings issue the piece's CPU charge and
+        wire transfer at the same simulated instants because nothing else in
+        this session can run between the parent's resume and the child's
+        first step (the block's data dependency serialises them), and
+        cross-session interleavings only shift *which* same-instant ring slot
+        the charge occupies — the acquire/transfer times are identical.  The
+        ``collapse_single_piece=False`` knob preserves the spawning path so
+        ``tests/core/test_memput_collapse.py`` can pin both bit-identical.
+        """
+        if self.collapse_single_piece and len(pieces) == 1:
+            yield from self._memput(iop, pieces[0], session)
+            return
         transfers = [self.env.process(self._memput(iop, piece, session))
                      for piece in pieces]
         if transfers:
             yield AllOf(self.env, transfers)
 
     def _gather_from_cps(self, iop, pieces, session):
-        """Memget the per-CP pieces of one block, concurrently from all CPs."""
+        """Memget the per-CP pieces of one block, concurrently from all CPs.
+
+        Single-piece blocks inline the Memget; see :meth:`_deliver_to_cps`
+        for the same-instant equivalence argument.
+        """
+        if self.collapse_single_piece and len(pieces) == 1:
+            yield from self._memget(iop, pieces[0], session)
+            return
         transfers = [self.env.process(self._memget(iop, piece, session))
                      for piece in pieces]
         if transfers:

@@ -25,6 +25,7 @@ waiting on any other session's dirty volume.
 from dataclasses import dataclass, field
 from itertools import count
 
+from repro.disk.faults import BlockFault, retry_fragment
 from repro.sim.events import Event, chain
 
 
@@ -80,12 +81,20 @@ class IOPCache:
     """An LRU cache of file blocks for one I/O processor."""
 
     def __init__(self, env, iop, striped_file, disk_lookup, capacity_blocks,
-                 sectors_per_block, stats=None):
+                 sectors_per_block, stats=None, fault_policy=None,
+                 session_lookup=None):
         """
         ``disk_lookup`` maps a global disk index to that IOP's local
         :class:`~repro.disk.drive.Disk` object.  ``striped_file`` is the
         default file for block arguments; it may be ``None`` when every call
         passes an explicit ``file``.
+
+        ``fault_policy`` (a :class:`~repro.disk.faults.FaultPolicy`) governs
+        fetch/write-back retries on a fault-injecting machine;
+        ``session_lookup`` maps a session id to its live
+        :class:`~repro.core.base.CollectiveSession` so retries and lost
+        write-back bytes are counted against the owning session (either may
+        be None on a healthy machine).
         """
         if capacity_blocks < 1:
             raise ValueError(f"cache needs at least one block, got {capacity_blocks}")
@@ -95,6 +104,8 @@ class IOPCache:
         self.disk_lookup = disk_lookup
         self.capacity = capacity_blocks
         self.sectors_per_block = sectors_per_block
+        self.fault_policy = fault_policy
+        self.session_lookup = session_lookup
         self.stats = stats if stats is not None else IOPCacheStats()
         self._entries = {}
         #: misses that have been accepted but whose buffer/disk work has not
@@ -212,8 +223,24 @@ class IOPCache:
         entry.was_prefetch = was_prefetch
         location = striped_file.location(block)
         disk = self.disk_lookup(location.disk_index)
-        yield disk.read(location.lbn, self.sectors_per_block,
-                        session_id=session_id)
+        request = yield from retry_fragment(
+            self.env, self.fault_policy,
+            lambda: disk.read(location.lbn, self.sectors_per_block,
+                              session_id=session_id),
+            self._count_retry(session_id))
+        if request.status != "ok":
+            # Permanently unreadable: drop the buffer rather than leave a
+            # poisoned VALID entry serving garbage hits.  A FETCHING entry
+            # is never picked as an eviction victim, so nobody else owns
+            # it.  Every waiter coalesced onto this fetch receives a
+            # BlockFault instead of data and accounts its own failure.
+            key = self._key(block, striped_file)
+            self._entries.pop(key, None)
+            self._inflight.pop(key, None)
+            if not ready.triggered:
+                ready.succeed(BlockFault(block, request.error))
+            self._notify_space()
+            return
         entry.state = VALID
         self._inflight.pop(self._key(block, striped_file), None)
         if not ready.triggered:
@@ -403,10 +430,37 @@ class IOPCache:
         self.stats.writebacks += 1
         location = entry.file.location(entry.block)
         disk = self.disk_lookup(location.disk_index)
-        accepted, on_media = disk.write_tracked(
-            location.lbn, self.sectors_per_block, session_id=owner)
-        chain(on_media, media)
-        yield accepted
+        if self.fault_policy is None:
+            # Healthy path, kept verbatim: the media placeholder is chained
+            # before the first yield so the unfaulted event sequence is
+            # bit-identical to the pre-fault implementation.
+            accepted, on_media = disk.write_tracked(
+                location.lbn, self.sectors_per_block, session_id=owner)
+            chain(on_media, media)
+            yield accepted
+        else:
+            media_box = []
+
+            def attempt():
+                accepted, on_media = disk.write_tracked(
+                    location.lbn, self.sectors_per_block, session_id=owner)
+                media_box.append(on_media)
+                return accepted
+            request = yield from retry_fragment(
+                self.env, self.fault_policy, attempt,
+                self._count_retry(owner))
+            if request.status == "ok":
+                # Only the successful attempt's media event stands for this
+                # write-back; earlier failed attempts already fired theirs.
+                chain(media_box[-1], media)
+            else:
+                # The data is lost at the drive.  Fire the placeholder
+                # anyway (carrying the errored request) so flush_session /
+                # flush_all never hang on a dead drive, and account the
+                # loss to the buffer's owning session.
+                self._record_write_loss(owner)
+                if not media.triggered:
+                    media.succeed(request)
         # dirty_bytes is NOT reset here: _register_writeback took ownership
         # of the bytes this write covers, so whatever is dirty now arrived
         # while the write was in flight and waits for the next write-back.
@@ -415,6 +469,29 @@ class IOPCache:
         if not done.triggered:
             done.succeed()
         self._notify_space()
+
+    # -- fault accounting -------------------------------------------------------------
+    def _count_retry(self, session_id):
+        """A per-retry callback charging *session_id*, or None."""
+        if self.session_lookup is None or session_id is None:
+            return None
+        def on_retry():
+            session = self.session_lookup(session_id)
+            if session is not None:
+                session.count("retries")
+        return on_retry
+
+    def _record_write_loss(self, session_id):
+        """Account one lost write-back buffer against its owning session."""
+        if self.session_lookup is None or session_id is None:
+            return
+        session = self.session_lookup(session_id)
+        if session is None:
+            return
+        session.count("failed_blocks")
+        session.count("lost_bytes", self.sectors_per_block * 512)
+        if session.counters["degraded"].value == 0:
+            session.count("degraded")
 
     # -- allocation / eviction -------------------------------------------------------
     def _allocate(self, block, striped_file):

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.base import CollectiveFileSystem
 from repro.core.iop_cache import IOPCache
+from repro.disk.faults import BlockFault
 from repro.network.message import HEADER_BYTES, Message, MessageKind
 from repro.sim.events import AllOf, Event
 
@@ -60,8 +61,9 @@ class TraditionalCachingFS(CollectiveFileSystem):
     REQUEST_TAG = "tc-request"
 
     def __init__(self, machine, striped_file=None, cache_blocks_per_cp_per_disk=2,
-                 prefetch_blocks=1, outstanding_per_disk=1, batch_requests=True):
-        super().__init__(machine, striped_file)
+                 prefetch_blocks=1, outstanding_per_disk=1, batch_requests=True,
+                 fault_policy=None):
+        super().__init__(machine, striped_file, fault_policy=fault_policy)
         if outstanding_per_disk < 1:
             raise ValueError("need at least one outstanding request per disk")
         self.prefetch_blocks = prefetch_blocks
@@ -90,6 +92,11 @@ class TraditionalCachingFS(CollectiveFileSystem):
                 disk_lookup=iop.local_disk_handle,
                 capacity_blocks=capacity,
                 sectors_per_block=machine.config.sectors_per_block,
+                fault_policy=fault_policy,
+                # Retries and lost write-backs are charged to the session
+                # whose id is on the disk request; the lookup returns None
+                # once the session has completed and been released.
+                session_lookup=self.active_sessions.get,
             )
             self.caches.append(cache)
             self.env.process(self._iop_dispatcher(iop, cache))
@@ -292,8 +299,23 @@ class TraditionalCachingFS(CollectiveFileSystem):
                 yield from iop.cpu.acquire(cpu_time)
             else:
                 yield charge
-        yield cache.acquire_for_read(request.block, file=striped_file,
-                                     session_id=session_id)
+        value = yield cache.acquire_for_read(request.block, file=striped_file,
+                                             session_id=session_id)
+        if isinstance(value, BlockFault):
+            # The block is permanently unreadable (cache fetch exhausted its
+            # retries): reply with an error — header only, no data, no
+            # prefetch — and account the undelivered bytes so conservation
+            # (moved + failed == requested) holds for the session.
+            self._record_read_failure(request.session, request.length)
+            yield from self._charge_cpu(
+                iop, request.n_requests * costs.message_overhead)
+            cp_node = self.machine.cps[request.cp_index]
+            yield from self.machine.network.transfer(
+                iop.node_id, cp_node.node_id,
+                request.n_requests * HEADER_BYTES,
+                count=request.n_requests)
+            request.reply_event.succeed()
+            return
         # One-block-ahead prefetch: the next block of this file on this disk.
         # Prefetches are the IOP's speculation, not the session's work: they
         # stay untagged so one can land at the drive after its trigger

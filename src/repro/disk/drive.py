@@ -17,6 +17,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.disk.cache import ReadAheadCache
+from repro.disk.faults import FAIL_STOP
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import DiskMechanics
 from repro.disk.scheduler import make_scheduler
@@ -46,6 +47,14 @@ class DiskRequest:
     #: it fires together with ``completion``); clients that must drain their
     #: own write-behind without waiting on other clients' traffic use this.
     media_completion: Event = None
+    #: "ok", or "error" when the drive could not serve the request.  The
+    #: completion event still *succeeds* (with the request as its value) so
+    #: every existing ``request = yield disk.read(...)`` call site keeps
+    #: working; failure-aware clients check this field.
+    status: str = "ok"
+    #: Error kind when ``status == "error"`` (one of the
+    #: :mod:`repro.disk.faults` constants).
+    error: str = None
 
     @property
     def n_bytes(self):
@@ -69,6 +78,9 @@ class DiskStats:
     cache_misses: int = 0
     queue_wait_time: float = 0.0
     extra: Counter = field(default_factory=lambda: Counter("extra"))
+    #: error kind -> count of requests failed by the fault plan (plus
+    #: ``"lost_destage"`` for buffered writes dropped by a fail-stop).
+    faults: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -132,11 +144,16 @@ class Disk:
     """A single simulated drive attached to a SCSI bus on one IOP."""
 
     def __init__(self, env, spec, bus_port, name="disk", scheduler="fcfs",
-                 initial_angle_fraction=0.0, write_buffer_blocks=None):
+                 initial_angle_fraction=0.0, write_buffer_blocks=None,
+                 fault_plan=None):
         self.env = env
         self.spec = spec
         self.name = name
         self.bus_port = bus_port
+        #: Optional :class:`~repro.disk.faults.FaultPlan`.  A non-None plan
+        #: disables the fused read fast path (see :meth:`_service_read`);
+        #: None means this drive is bit-identical to the pre-fault model.
+        self.fault_plan = fault_plan
         self.geometry = DiskGeometry(spec)
         self.mechanics = DiskMechanics(
             spec, self.geometry, initial_angle_fraction=initial_angle_fraction)
@@ -329,18 +346,46 @@ class Disk:
         # controller window, and the unfused timeline would observe that.
         # ``_writes_outstanding == 0`` guarantees quiescence for the whole
         # service (no new write can be accepted while this read is served);
-        # otherwise fall back to the unfused reference sequence.
-        fused = self._writes_outstanding == 0
+        # otherwise fall back to the unfused reference sequence.  A fault
+        # plan disables fusion the same way: errors and fail-slow stretching
+        # are decided mid-service on the unfused timeline.
+        plan = self.fault_plan
+        fused = self._writes_outstanding == 0 and plan is None
         if fused:
             lookup_time = env._now + spec.controller_overhead
         else:
             yield env.timeout(spec.controller_overhead)
             lookup_time = env._now
-        hit, ready_time = self.readahead.lookup(lookup_time, request.lbn,
-                                                request.n_sectors)
         end_lbn = request.lbn + request.n_sectors
         end_cylinder = geometry.cylinder_of(
             min(end_lbn, geometry.total_sectors - 1))
+        if plan is not None:
+            if plan.failed_at(env.now):
+                # Dead drive: fail immediately after the controller window.
+                self._fail_request(request, FAIL_STOP)
+                return
+            error = plan.media_error(request)
+            if error is not None:
+                # The drive attempts the transfer and reports the error:
+                # charge positioning + (possibly stretched) media time, but
+                # ship no data across the bus and start no read-ahead.
+                self.stats.cache_misses += 1
+                if session is not None:
+                    session.cache_misses += 1
+                self.readahead.invalidate()
+                positioning = self.mechanics.positioning_time(
+                    lookup_time, request.lbn)
+                transfer = self.mechanics.media.transfer_time(
+                    request.lbn, request.n_sectors)
+                self.stats.seek_time += positioning
+                self.stats.transfer_time += transfer
+                self.mechanics.current_cylinder = end_cylinder
+                yield env.timeout((positioning + transfer)
+                                  * plan.slow_multiplier(lookup_time))
+                self._fail_request(request, error)
+                return
+        hit, ready_time = self.readahead.lookup(lookup_time, request.lbn,
+                                                request.n_sectors)
         if hit:
             self.stats.cache_hits += 1
             if session is not None:
@@ -375,7 +420,10 @@ class Disk:
                 yield env.event_at(lookup_time + (positioning + transfer))
             else:
                 self.mechanics.current_cylinder = end_cylinder
-                yield env.timeout(positioning + transfer)
+                delay = positioning + transfer
+                if plan is not None:
+                    delay *= plan.slow_multiplier(lookup_time)
+                yield env.timeout(delay)
             # Media keeps streaming into the cache after the request completes.
             self.readahead.start_readahead(env.now, end_lbn, geometry.total_sectors)
 
@@ -398,10 +446,15 @@ class Disk:
     # -- write path ---------------------------------------------------------------
     def _service_write(self, request):
         env = self.env
+        plan = self.fault_plan
         # No fusion here: the controller overhead is followed by a *shared*
         # bus acquisition, and folding the overhead into the bus hold would
         # change the arbitration window other contenders see.
         yield env.timeout(self.spec.controller_overhead)
+        if plan is not None and plan.failed_at(env.now):
+            # Dead drive: refuse the data before it crosses the bus.
+            self._fail_request(request, FAIL_STOP)
+            return
         # Data moves from IOP memory across the bus into the drive first.
         bus_hold = self.bus_port.transfer_event(env, request.n_bytes,
                                                 session_id=request.session_id)
@@ -410,6 +463,13 @@ class Disk:
                                               session_id=request.session_id)
         else:
             yield bus_hold
+        if plan is not None:
+            error = plan.media_error(request)
+            if error is not None:
+                # The drive took the data but reports a write error before
+                # buffering it; the client may retry with a fresh request.
+                self._fail_request(request, error)
+                return
 
         if self.spec.write_cache_enabled:
             # Wait for buffer space, then complete; destage happens in background.
@@ -453,6 +513,16 @@ class Disk:
 
     def _write_to_media(self, request):
         env = self.env
+        plan = self.fault_plan
+        if plan is not None and plan.failed_at(env.now):
+            # The drive died with this write still buffered: the data is
+            # lost at the device.  The caller still signals media completion
+            # (with the request marked errored) so flush waiters never hang.
+            request.status = "error"
+            request.error = FAIL_STOP
+            self.stats.faults["lost_destage"] = \
+                self.stats.faults.get("lost_destage", 0) + 1
+            return
         # A write that continues exactly where the previous media operation
         # ended streams at media rate; anything else pays seek + rotation.
         positioning = self.mechanics.positioning_time(env.now, request.lbn)
@@ -464,7 +534,23 @@ class Disk:
             min(end_lbn, self.geometry.total_sectors - 1))
         # Writing invalidates any read-ahead state (conservative).
         self.readahead.invalidate()
-        yield env.timeout(positioning + transfer)
+        delay = positioning + transfer
+        if plan is not None:
+            delay *= plan.slow_multiplier(env.now)
+        yield env.timeout(delay)
+
+    def _fail_request(self, request, error):
+        """Complete *request* with an error status.
+
+        The completion event *succeeds* (carrying the errored request) so
+        non-fault-aware call sites keep working; ``media_completion`` fires
+        too, keeping ``write_tracked``/``flush`` waiters live under faults.
+        """
+        request.status = "error"
+        request.error = error
+        self.stats.faults[error] = self.stats.faults.get(error, 0) + 1
+        request.completion.succeed(request)
+        self._signal_media(request)
 
     def _signal_media(self, request):
         if request.media_completion is not None \

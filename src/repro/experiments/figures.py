@@ -18,6 +18,7 @@ from repro.experiments.config import MEGABYTE, ExperimentConfig
 from repro.experiments.report import format_bar_chart, format_series_table, format_table
 from repro.experiments.runner import run_trials, sweep, sweep_parallel
 from repro.experiments.service import (
+    service_faults_figure,
     service_figure,
     service_overload_figure,
     service_scheduler_figure,
@@ -225,6 +226,9 @@ def table1():
 #: (CSCAN/SSTF, worker-pool sizes) at K in {1, 2, 4, 8} (docs/scheduling.md).
 #: ``service-overload`` pushes an open loop to ~4x saturation with
 #: heavy-tailed file sizes and an 8-byte record mix (docs/workloads.md).
+#: ``service-faults`` injects deterministic disk faults (transient errors,
+#: a fail-slow drive, one fail-stop drive out of 32) and compares goodput
+#: and tail latency under bounded retry (docs/faults.md).
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -236,6 +240,7 @@ FIGURES = {
     "service": service_figure,
     "service-sched": service_scheduler_figure,
     "service-overload": service_overload_figure,
+    "service-faults": service_faults_figure,
 }
 
 
@@ -285,7 +290,8 @@ def main(argv=None):
         generator = FIGURES[name]
         if name == "table1":
             _rows, text = generator()
-        elif name in ("service", "service-sched", "service-overload"):
+        elif name in ("service", "service-sched", "service-overload",
+                      "service-faults"):
             summaries, text = generator(
                 trials=args.trials, progress=progress,
                 workers=args.workers, cache=args.cache)

@@ -54,7 +54,11 @@ from repro.patterns import make_pattern
 #:     is precautionary — the schema guard cannot distinguish a mechanics
 #:     refactor from a model change, and a wasted cache fill is cheaper than
 #:     a silently stale figure.
-CACHE_SCHEMA_VERSION = 5
+#: 6 — fault injection (PR 6).  ServiceExperimentConfig grew fault fields
+#:     (all-defaults == healthy, verified bit-identical) and ServiceResult
+#:     records grew per-request fault counters; cached envelopes from
+#:     schema 5 lack those keys, so they must not be replayed.
+CACHE_SCHEMA_VERSION = 6
 
 
 # -- experiment families --------------------------------------------------------

@@ -15,6 +15,7 @@ like the paper figures.
 
 from dataclasses import dataclass
 
+from repro.disk.faults import FaultConfig
 from repro.experiments.config import MEGABYTE
 from repro.experiments.report import format_series_table, format_table
 from repro.experiments.runner import register_experiment_family
@@ -33,6 +34,10 @@ DEFAULT_LOADS = (4.0, 8.0, 16.0)
 
 #: Methods compared by the default service figure.
 SERVICE_METHODS = ("disk-directed", "traditional")
+
+#: Wall-clock seconds without simulated progress before a fault-injected
+#: trial is declared wedged (a diagnosable DeadlockError, not a hang).
+FAULT_WATCHDOG = 120.0
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,24 @@ class ServiceExperimentConfig:
     #: budget; the paper's double-buffering 2).  Only meaningful with a
     #: ``shared-*`` scheduler.
     shared_queue_workers: int = 2
+    # -- fault injection (all-defaults == healthy machine, bit-identical to
+    # -- pre-fault builds; see repro.disk.faults and docs/faults.md) --------
+    #: per-request probability of a retryable media error, every drive
+    fault_transient_rate: float = 0.0
+    #: latent bad LBN ranges per drive (permanent read errors)
+    fault_bad_ranges: int = 0
+    fault_bad_range_sectors: int = 64
+    #: fail-slow episode: drive ``fault_slow_disk`` stretches mechanical time
+    #: by ``fault_slow_factor`` inside [slow_start, slow_start + duration)
+    fault_slow_factor: float = 1.0
+    fault_slow_disk: int = -1
+    fault_slow_start: float = 0.0
+    fault_slow_duration: float = 0.0
+    #: drive ``fault_fail_stop_disk`` dies at ``fault_fail_stop_time`` (-1: none)
+    fault_fail_stop_disk: int = -1
+    fault_fail_stop_time: float = 0.0
+    #: client response to errored requests: ``retry`` | ``degrade`` | ``abort``
+    on_fault: str = "retry"
     seed: int = 0
     label: str = ""
 
@@ -109,6 +132,26 @@ class ServiceExperimentConfig:
             seed=self.seed,
         )
 
+    def fault_config(self):
+        """The :class:`FaultConfig` this point injects, or None when healthy.
+
+        Returning None for the all-defaults case is load-bearing: a healthy
+        config builds a machine with no fault plans and a file system with no
+        fault policy, bit-identical to pre-fault builds.
+        """
+        config = FaultConfig(
+            transient_rate=self.fault_transient_rate,
+            bad_range_count=self.fault_bad_ranges,
+            bad_range_sectors=self.fault_bad_range_sectors,
+            slow_factor=self.fault_slow_factor,
+            slow_disk=self.fault_slow_disk,
+            slow_start=self.fault_slow_start,
+            slow_duration=self.fault_slow_duration,
+            fail_stop_disk=self.fault_fail_stop_disk,
+            fail_stop_time=self.fault_fail_stop_time,
+        )
+        return config if config.enabled else None
+
     def machine_config(self):
         return MachineConfig(
             n_cps=self.n_cps,
@@ -131,6 +174,7 @@ def run_service_experiment(config, seed=None):
         raise TypeError(
             f"expected ServiceExperimentConfig, got {type(config).__name__}")
     trial_seed = config.seed if seed is None else seed
+    fault_config = config.fault_config()
     return run_service(
         config.method,
         config.workload(),
@@ -138,6 +182,11 @@ def run_service_experiment(config, seed=None):
         seed=trial_seed,
         disk_scheduler=config.disk_scheduler,
         shared_queue_workers=config.shared_queue_workers,
+        fault_config=fault_config,
+        on_fault=config.on_fault,
+        # Insurance for fault sweeps: a scenario that wedges the protocol
+        # raises a diagnosable DeadlockError instead of hanging the sweep.
+        watchdog=FAULT_WATCHDOG if fault_config is not None else None,
     )
 
 
@@ -461,5 +510,141 @@ def service_overload_figure(loads=OVERLOAD_LOADS, methods=OVERLOAD_METHODS,
         + format_series_table(mean_series, x_label="load")
         + "\n\n99th-percentile response time (s) vs offered load (req/s)\n"
         + format_series_table(p99_series, x_label="load")
+    )
+    return summaries, text
+
+
+# -- the fault-injection figure ----------------------------------------------------
+
+#: The fault scenarios swept by the ``service-faults`` figure, in sweep
+#: order: name -> ServiceExperimentConfig fault-field overrides.  The sweep
+#: spans the taxonomy of repro.disk.faults — transient media errors at two
+#: rates, one fail-slow drive, one fail-stop drive out of 32, and the
+#: combined "sick disk" — always against the healthy baseline.
+FAULT_SCENARIOS = (
+    ("healthy", {}),
+    ("transient-1pct", {"fault_transient_rate": 0.01}),
+    ("transient-5pct", {"fault_transient_rate": 0.05}),
+    ("fail-slow-4x", {"fault_slow_disk": 0, "fault_slow_factor": 4.0,
+                      "fault_slow_start": 0.0, "fault_slow_duration": 3600.0}),
+    ("fail-stop", {"fault_fail_stop_disk": 0, "fault_fail_stop_time": 1.0}),
+    ("sick-disk", {"fault_transient_rate": 0.01,
+                   "fault_slow_disk": 0, "fault_slow_factor": 4.0,
+                   "fault_slow_start": 0.0, "fault_slow_duration": 3600.0,
+                   "fault_fail_stop_disk": 0, "fault_fail_stop_time": 2.0}),
+)
+
+#: Methods compared by the fault figure.
+FAULT_METHODS = ("disk-directed", "traditional")
+
+#: Offered load for the fault figure (requests/second): near saturation, so
+#: retry storms and a lost drive bite while the healthy baseline still keeps
+#: up — degradation, not overload, is what the figure isolates.
+FAULT_LOAD = 8.0
+
+
+def service_faults_configs(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
+                           load=FAULT_LOAD, **overrides):
+    """The config grid of the fault figure: one point per (scenario, method).
+
+    Defaults mirror the overload machine (32 disks over 16 IOPs, random
+    layout) so "one fail-stop drive" means losing 1/32 of the spindles, but
+    with fixed file sizes and a single near-saturation load so every delta
+    against the healthy row is attributable to the injected faults.
+    """
+    defaults = dict(
+        n_disks=32,
+        n_requests=32,
+        concurrency=4,
+        layout="random",
+    )
+    defaults.update(overrides)
+    # An arrival_rate override (tests shrink the run this way) wins over the
+    # explicit load parameter rather than colliding with it.
+    load = defaults.pop("arrival_rate", load)
+    configs = []
+    for scenario, faults in scenarios:
+        for method in methods:
+            configs.append(ServiceExperimentConfig(
+                method=method,
+                arrival_rate=load,
+                label=f"{scenario}:{method}",
+                **faults,
+                **defaults,
+            ))
+    return configs
+
+
+def service_faults_figure(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
+                          load=FAULT_LOAD, trials=1, progress=None,
+                          workers=None, cache=None, **overrides):
+    """Goodput and p99 under injected disk faults, DDIO vs TC.
+
+    The robustness question the paper never asks: disk-directed I/O wins by
+    giving the disks a long presorted stream — what happens when a drive in
+    that stream errors, limps, or dies?  Each scenario is run for both
+    methods under the bounded-retry policy; the table reports *goodput*
+    (delivered-and-durable bytes/s — failed blocks are explicitly given up,
+    never silently dropped), tail latency, undelivered data, retry volume
+    and how many requests completed degraded.  Byte conservation
+    (``delivered + failed == requested``) is asserted per trial.
+
+    Returns ``(summaries, text)``; extra keyword arguments override
+    :class:`ServiceExperimentConfig` fields (tests run a tiny machine).
+    """
+    from repro.experiments.runner import sweep_parallel
+
+    configs = service_faults_configs(scenarios=scenarios, methods=methods,
+                                     load=load, **overrides)
+    summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                               workers=workers, cache=cache)
+    goodput_series = {}
+    p99_series = {}
+    rows = []
+    for summary in summaries:
+        config = summary.config
+        scenario = config.label.split(":", 1)[0]
+        name = "DDIO" if config.method.startswith("disk-directed") else "TC"
+        for result in summary.results:
+            if not result.conserves_bytes():
+                raise AssertionError(
+                    f"byte conservation violated in {config.label}: "
+                    f"delivered + failed != requested")
+        goodput = _mean(result.goodput_mb for result in summary.results)
+        p99 = _mean(result.response_percentile(0.99)
+                    for result in summary.results)
+        goodput_series.setdefault(name, []).append((scenario, goodput))
+        p99_series.setdefault(name, []).append((scenario, p99 * 1e3))
+        rows.append({
+            "scenario": scenario,
+            "method": config.method,
+            "goodput_mb": goodput,
+            "p99_ms": p99 * 1e3,
+            "failed_mb": _mean(result.failed_bytes / MEGABYTE
+                               for result in summary.results),
+            "lost_mb": _mean(result.lost_bytes / MEGABYTE
+                             for result in summary.results),
+            "retries": _mean(result.total_retries
+                             for result in summary.results),
+            "degraded": _mean(result.degraded_requests
+                              for result in summary.results),
+            "trials": len(summary.results),
+        })
+    sample = configs[0]
+    text = (
+        f"Fault injection: {len(scenarios)} scenarios x DDIO/TC under "
+        f"bounded retry (on_fault={sample.on_fault!r}), "
+        f"{sample.arrival}@{sample.arrival_rate:g} req/s, "
+        f"{sample.n_requests} mixed "
+        f"collectives over {sample.n_files} {sample.layout} files, "
+        f"{sample.n_cps} CPs / {sample.n_iops} IOPs / {sample.n_disks} "
+        f"disks\n\n"
+        + format_table(rows, columns=["scenario", "method", "goodput_mb",
+                                      "p99_ms", "failed_mb", "lost_mb",
+                                      "retries", "degraded", "trials"])
+        + "\n\nGoodput (Mbytes/s) per fault scenario\n"
+        + format_series_table(goodput_series, x_label="scenario")
+        + "\n\n99th-percentile response time (ms) per fault scenario\n"
+        + format_series_table(p99_series, x_label="scenario")
     )
     return summaries, text

@@ -1,6 +1,7 @@
 """Builds the whole simulated machine from a :class:`MachineConfig`."""
 
 from repro.disk.drive import Disk
+from repro.disk.faults import build_fault_plan
 from repro.disk.shared_queue import SharedDiskQueue
 from repro.machine.bus import ScsiBus
 from repro.machine.node import ComputeNode, IONode
@@ -38,11 +39,12 @@ class Machine:
     """
 
     def __init__(self, config, seed=0, env=None, disk_scheduler="fcfs",
-                 shared_queue_workers=2):
+                 shared_queue_workers=2, fault_config=None):
         self.config = config
         self.seed = seed
         self.disk_scheduler = disk_scheduler
         self.shared_queue_workers = shared_queue_workers
+        self.fault_config = fault_config
         if isinstance(disk_scheduler, str) \
                 and disk_scheduler.startswith(SHARED_PREFIX):
             self.iop_scheduling = disk_scheduler[len(SHARED_PREFIX):]
@@ -78,8 +80,16 @@ class Machine:
                 name=f"{iop.name}.scsi",
             )
             iop.attach_bus(bus)
+        #: Realised per-drive :class:`~repro.disk.faults.FaultPlan`s (parallel
+        #: to :attr:`disks`; all None on a healthy machine).  Seeded per
+        #: ``(seed, disk_index)``, so the schedule is reproducible from the
+        #: trial seed alone and is recorded in result envelopes.
+        self.fault_plans = []
         for disk_index in range(config.n_disks):
             iop = self.iops[config.iop_of_disk(disk_index)]
+            fault_plan = build_fault_plan(
+                fault_config, seed, disk_index,
+                total_sectors=config.disk_spec.total_sectors)
             disk = Disk(
                 self.env,
                 spec=config.disk_spec,
@@ -87,7 +97,9 @@ class Machine:
                 name=f"disk{disk_index}",
                 scheduler=drive_scheduler,
                 initial_angle_fraction=float(rotation_rng.random()),
+                fault_plan=fault_plan,
             )
+            self.fault_plans.append(fault_plan)
             if self.iop_scheduling is not None:
                 queue = SharedDiskQueue(self.env, disk,
                                         policy=self.iop_scheduling,

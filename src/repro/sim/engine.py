@@ -26,10 +26,12 @@ one-event reference implementation for tests and debugging; the inlined
 bodies must stay in sync with it.
 """
 
+import time
+import weakref
 from collections import deque
 from heapq import heappop, heappush
 
-from repro.sim.errors import SimulationError
+from repro.sim.errors import DeadlockError, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -55,7 +57,8 @@ class Environment:
     waiting on them.
     """
 
-    __slots__ = ("_now", "_heap", "_ring", "_eid", "_active_process")
+    __slots__ = ("_now", "_heap", "_ring", "_eid", "_active_process",
+                 "_processes")
 
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
@@ -63,6 +66,7 @@ class Environment:
         self._ring = deque()
         self._eid = 0
         self._active_process = None
+        self._processes = weakref.WeakSet()
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -188,13 +192,48 @@ class Environment:
             # surface the original exception rather than losing it.
             raise event._value
 
-    def run(self, until=None):
+    def _deadlock(self, reason):
+        """Build a :class:`DeadlockError` naming the still-alive processes.
+
+        Processes register weakly at construction, so the diagnosis can list
+        who is stuck and what each one is waiting on — turning "the run just
+        stopped" into an actionable traceback.  Names are sorted for stable
+        messages (WeakSet iteration order is arbitrary).
+        """
+        stuck = sorted(
+            (process for process in self._processes if process.is_alive),
+            key=lambda process: process.name)
+        lines = [f"{reason} [t={self._now:.6g}]"]
+        if stuck:
+            lines.append(f"{len(stuck)} process(es) still alive:")
+            for process in stuck[:20]:
+                target = process._waiting_on
+                waiting = f"waiting on {target!r}" if target is not None \
+                    else "not waiting on any event"
+                lines.append(f"  - {process.name}: {waiting}")
+            if len(stuck) > 20:
+                lines.append(f"  ... and {len(stuck) - 20} more")
+        else:
+            lines.append("no registered processes are alive (the awaited "
+                         "event has no producer)")
+        return DeadlockError("\n".join(lines))
+
+    def run(self, until=None, watchdog=None):
         """Run until the calendar empties, *until* time passes, or *until* fires.
 
         ``until`` may be ``None`` (run to exhaustion), a number (absolute
         simulated time), or an :class:`Event` (run until it is processed and
         return its value).
+
+        ``watchdog``, if given, is a wall-clock budget in seconds: if that
+        much real time passes without simulated time advancing (events firing
+        forever at one instant, or a callback spinning), the run raises
+        :class:`DeadlockError` naming the stuck processes instead of hanging.
+        The watched loop is generic (not inlined), so leave ``watchdog=None``
+        on hot paths.
         """
+        if watchdog is not None:
+            return self._run_watched(until, watchdog)
         heap = self._heap
         ring = self._ring
         ring_popleft = ring.popleft
@@ -221,9 +260,10 @@ class Environment:
                 elif heap:
                     when, _key, event = heappop(heap)
                 else:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited event fired "
-                        "(deadlock: a process is waiting on something that never happens)")
+                    raise self._deadlock(
+                        "simulation ran out of events before the awaited event "
+                        "fired (a process is waiting on something that never "
+                        "happens)")
                 self._now = when
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:
@@ -256,3 +296,58 @@ class Environment:
                 raise event._value
         self._now = stop_at
         return None
+
+    #: Events between watchdog wall-clock checks.  Large enough that the
+    #: ``time.monotonic`` call is noise, small enough that a livelock is
+    #: caught within a fraction of the budget.
+    _WATCHDOG_STRIDE = 4096
+
+    def _run_watched(self, until, watchdog):
+        """The watchdog-instrumented run loop (reference-style, not inlined).
+
+        Semantics match :meth:`run` for every ``until`` mode, with two extra
+        failure conversions: an empty calendar below the sentinel raises the
+        same diagnosed :class:`DeadlockError` as the fast loop, and a stall —
+        *watchdog* wall-seconds elapsing while ``now`` stays put — raises one
+        too instead of spinning forever.
+        """
+        if watchdog <= 0:
+            raise ValueError(f"watchdog budget must be positive, got {watchdog!r}")
+        sentinel = until if isinstance(until, Event) else None
+        stop_at = None
+        if until is not None and sentinel is None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(f"until={stop_at} is in the past (now={self._now})")
+        countdown = self._WATCHDOG_STRIDE
+        last_advance_wall = time.monotonic()
+        last_advance_sim = self._now
+        while True:
+            if sentinel is not None and sentinel.callbacks is None:
+                if sentinel._ok:
+                    return sentinel._value
+                raise sentinel._value
+            if not self._ring and not self._heap:
+                if sentinel is not None:
+                    raise self._deadlock(
+                        "simulation ran out of events before the awaited event "
+                        "fired (a process is waiting on something that never "
+                        "happens)")
+                if stop_at is not None:
+                    self._now = stop_at
+                return None
+            if stop_at is not None and self.peek() > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+            countdown -= 1
+            if countdown <= 0:
+                countdown = self._WATCHDOG_STRIDE
+                if self._now > last_advance_sim:
+                    last_advance_sim = self._now
+                    last_advance_wall = time.monotonic()
+                elif time.monotonic() - last_advance_wall > watchdog:
+                    raise self._deadlock(
+                        f"watchdog expired: {watchdog:g}s of wall time passed "
+                        f"without simulated time advancing (livelock at one "
+                        f"instant, or a stalled callback)")

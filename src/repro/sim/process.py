@@ -25,7 +25,7 @@ class _Interruption(Event):
 class Process(Event):
     """A running simulation process (also usable as a "join" event)."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "__weakref__")
 
     def __init__(self, env, generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -35,6 +35,12 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._waiting_on = None
+        registry = getattr(env, "_processes", None)
+        if registry is not None:
+            # Weak registration: lets the environment name still-alive
+            # processes in DeadlockError diagnoses without keeping finished
+            # processes (or their generator frames) alive.
+            registry.add(self)
         # Kick the generator off via an initial event so that process start
         # happens inside the event loop, in creation order.
         start = Event(env)

@@ -29,9 +29,11 @@ Invariants the driver guarantees (tests pin each one):
   bit-identical.
 * **Admission bound.**  At most ``concurrency`` sessions are ever in
   flight; ``max_in_flight`` reports the high-water mark actually reached.
-* **Byte conservation.**  Every admitted collective moves exactly the bytes
-  its pattern requests (``bytes_moved == bytes_requested`` per record),
-  whatever the interleaving with its neighbours.
+* **Byte conservation.**  Every requested byte is accounted for: on a
+  healthy machine each collective moves exactly the bytes its pattern
+  requests, and under fault injection ``bytes_moved + bytes_failed ==
+  bytes_requested`` per record (failed read blocks are explicitly counted,
+  never silently dropped), whatever the interleaving with its neighbours.
 * **Makespan convention.**  Throughput divides total bytes by (last
   completion − *first arrival*): an open-loop run's idle lead-in is not
   service time and must not deflate throughput.
@@ -51,6 +53,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import make_filesystem
+from repro.disk.faults import FaultPolicy
 from repro.fs import FileSystem
 from repro.machine import Machine, MachineConfig
 from repro.patterns import make_pattern
@@ -208,6 +211,10 @@ class ServiceResult:
     #: size of each open file, bytes, in creation order (uniform unless the
     #: workload samples a heavy-tailed size distribution)
     file_sizes: list = field(default_factory=list)
+    #: realised fault schedule: one :meth:`FaultPlan.describe` snapshot per
+    #: faulted drive (empty on a healthy machine), so the result envelope
+    #: pins exactly which faults a trial injected
+    fault_plans: list = field(default_factory=list)
 
     # -- whole-run metrics -------------------------------------------------------
     @property
@@ -249,9 +256,49 @@ class ServiceResult:
         times = self.response_times
         return sum(times) / len(times) if times else 0.0
 
+    # -- fault accounting --------------------------------------------------------
+    @property
+    def failed_bytes(self):
+        """Read bytes requested but never delivered (given up under faults)."""
+        return sum(record.get("bytes_failed", 0) for record in self.requests)
+
+    @property
+    def lost_bytes(self):
+        """Write bytes shipped over the wire but never made durable."""
+        return sum(record.get("bytes_lost", 0) for record in self.requests)
+
+    @property
+    def total_retries(self):
+        """Disk requests re-submitted by the retry policy, whole run."""
+        return sum(record.get("retries", 0) for record in self.requests)
+
+    @property
+    def degraded_requests(self):
+        """Number of requests that completed degraded (partial data)."""
+        return sum(record.get("degraded", 0) for record in self.requests)
+
+    @property
+    def goodput(self):
+        """Useful bytes per second: delivered traffic minus write data the
+        drive never made durable.  Failed read bytes never enter
+        ``total_bytes``, so on a healthy machine goodput == throughput."""
+        if self.elapsed <= 0:
+            return 0.0
+        return (self.total_bytes - self.lost_bytes) / self.elapsed
+
+    @property
+    def goodput_mb(self):
+        """Goodput in the paper's Mbytes/s."""
+        return self.goodput / MEGABYTE
+
     def conserves_bytes(self):
-        """True when every collective moved exactly the bytes it requested."""
-        return all(record["bytes_moved"] == record["bytes_requested"]
+        """True when every requested byte is delivered or accounted failed.
+
+        On a healthy machine ``bytes_failed`` is always zero and this reduces
+        to the original ``bytes_moved == bytes_requested`` invariant.
+        """
+        return all(record["bytes_moved"] + record.get("bytes_failed", 0)
+                   == record["bytes_requested"]
                    for record in self.requests)
 
     def summary(self):
@@ -318,8 +365,15 @@ class ServiceDriver:
         return striped_file, pattern
 
     # -- the run -----------------------------------------------------------------
-    def run(self, trial_seed=None):
-        """Run the whole stream to completion; returns a :class:`ServiceResult`."""
+    def run(self, trial_seed=None, watchdog=None):
+        """Run the whole stream to completion; returns a :class:`ServiceResult`.
+
+        *watchdog* (wall-clock seconds) is forwarded to
+        :meth:`Environment.run`: a stream that stops making simulated
+        progress for that long raises a diagnosable
+        :class:`~repro.sim.errors.DeadlockError` instead of hanging —
+        insurance when sweeping fault scenarios that might wedge a protocol.
+        """
         workload = self.workload
         seed = workload.seed if trial_seed is None else trial_seed
         arrival = workload.make_arrival_process()
@@ -338,7 +392,7 @@ class ServiceDriver:
             handlers_done = self.env.event()
             self.env.process(self._open_loop_generator(seed, arrival, handlers_done))
             done = handlers_done
-        self.env.run(done)
+        self.env.run(done, watchdog=watchdog)
 
         total_bytes = sum(record["bytes_moved"] for record in self._records)
         end_time = max((record["completed_time"] for record in self._records),
@@ -365,6 +419,9 @@ class ServiceDriver:
             counters={name: counter.value
                       for name, counter in self.implementation.counters.items()},
             file_sizes=[striped.size_bytes for striped in self.files],
+            fault_plans=[plan.describe()
+                         for plan in getattr(self.machine, "fault_plans", [])
+                         if plan is not None],
         )
 
     def _closed_loop_client(self, trial_seed, arrival, client_index):
@@ -427,12 +484,20 @@ class ServiceDriver:
             "record_size": pattern.record_size,
             "bytes_requested": session.bytes_requested,
             "bytes_moved": session.bytes_moved,
+            # Fault accounting (all zero on a healthy machine), snapshotted
+            # from the completed session's result so concurrent requests
+            # cannot bleed into each other's tallies.
+            "bytes_failed": session.result.counters.get("failed_bytes", 0),
+            "bytes_lost": session.result.counters.get("lost_bytes", 0),
+            "retries": session.result.counters.get("retries", 0),
+            "degraded": session.result.counters.get("degraded", 0),
         }
 
 
 def build_service_machine(workload, machine_config=None, seed=None,
                           method="disk-directed", disk_scheduler="fcfs",
-                          shared_queue_workers=2, **fs_kwargs):
+                          shared_queue_workers=2, fault_config=None,
+                          on_fault="retry", **fs_kwargs):
     """Construct (machine, implementation, files) ready for a :class:`ServiceDriver`.
 
     The trial seed controls disk layout seeds, rotational positions and —
@@ -443,11 +508,21 @@ def build_service_machine(workload, machine_config=None, seed=None,
     scheduling — see :class:`repro.machine.Machine`);
     ``shared_queue_workers`` sizes each shared queue's worker pool (the
     per-drive buffer budget, the paper's double-buffering 2 by default).
+
+    ``fault_config`` (a :class:`~repro.disk.faults.FaultConfig`) injects
+    deterministic drive faults; when it actually enables anything the file
+    system also gets a :class:`~repro.disk.faults.FaultPolicy` built from
+    ``on_fault`` (``retry`` | ``degrade`` | ``abort``) unless the caller
+    passes an explicit ``fault_policy``.  A disabled/None fault config adds
+    neither, keeping healthy runs bit-identical to pre-fault builds.
     """
     config = machine_config if machine_config is not None else MachineConfig()
     trial_seed = workload.seed if seed is None else seed
     machine = Machine(config, seed=trial_seed, disk_scheduler=disk_scheduler,
-                      shared_queue_workers=shared_queue_workers)
+                      shared_queue_workers=shared_queue_workers,
+                      fault_config=fault_config)
+    if fault_config is not None and fault_config.enabled:
+        fs_kwargs.setdefault("fault_policy", FaultPolicy(on_fault=on_fault))
     filesystem = FileSystem(config, layout_seed=trial_seed)
     sizes = workload.sample_sizes(trial_seed)
     files = [
@@ -460,16 +535,23 @@ def build_service_machine(workload, machine_config=None, seed=None,
 
 
 def run_service(method, workload, machine_config=None, seed=None,
-                disk_scheduler="fcfs", shared_queue_workers=2, **fs_kwargs):
+                disk_scheduler="fcfs", shared_queue_workers=2,
+                fault_config=None, on_fault="retry", watchdog=None,
+                **fs_kwargs):
     """Build a machine, drive *workload* through it, return the :class:`ServiceResult`.
 
     Extra keyword arguments are forwarded to the file-system implementation
     (e.g. ``batch_requests=False`` to run traditional caching with the
     per-record simulator batching disabled — the benchmark baseline).
+    ``fault_config`` / ``on_fault`` inject deterministic drive faults and
+    pick the client response (see :func:`build_service_machine`);
+    ``watchdog`` bounds wall time without simulated progress.
     """
     machine, implementation, files = build_service_machine(
         workload, machine_config=machine_config, seed=seed, method=method,
         disk_scheduler=disk_scheduler,
-        shared_queue_workers=shared_queue_workers, **fs_kwargs)
+        shared_queue_workers=shared_queue_workers,
+        fault_config=fault_config, on_fault=on_fault, **fs_kwargs)
     driver = ServiceDriver(machine, implementation, files, workload)
-    return driver.run(trial_seed=workload.seed if seed is None else seed)
+    return driver.run(trial_seed=workload.seed if seed is None else seed,
+                      watchdog=watchdog)

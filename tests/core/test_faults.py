@@ -1,0 +1,180 @@
+"""Failure-aware client behaviour: retry, degrade, abort, conservation.
+
+Each test builds a machine with an injected :class:`FaultConfig` and checks
+the session-level accounting contract: every requested byte is either
+delivered (``bytes_moved``) or explicitly given up (``failed_bytes``), retries
+are counted, and a degraded session says so exactly once.
+"""
+
+import pytest
+
+from repro import FileSystem, Machine, MachineConfig, make_filesystem, make_pattern
+from repro.disk.faults import FaultAbort, FaultConfig, FaultPolicy
+
+KILOBYTE = 1024
+
+
+def run_faulted_transfer(method, pattern_name, fault_config, policy, *,
+                         record_size=8192, layout="contiguous",
+                         file_size=256 * KILOBYTE, seed=1, config=None):
+    config = config or MachineConfig(n_cps=4, n_iops=4, n_disks=4)
+    machine = Machine(config, seed=seed, fault_config=fault_config)
+    filesystem = FileSystem(config, layout_seed=seed)
+    striped = filesystem.create_file("test-file", file_size, layout=layout)
+    pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)
+    implementation = make_filesystem(method, machine, striped,
+                                     fault_policy=policy)
+    result = implementation.transfer(pattern)
+    return result, machine
+
+
+def assert_read_conservation(result):
+    assert result.counters["bytes_moved"] + result.counters["failed_bytes"] \
+        == result.bytes_transferred
+
+
+ALL_METHODS = ("disk-directed", "traditional", "two-phase")
+
+
+class TestHealthyBaseline:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_fault_policy_without_faults_changes_nothing(self, method):
+        healthy, _machine = run_faulted_transfer(method, "rb", None, None)
+        policed, _machine = run_faulted_transfer(
+            method, "rb", None, FaultPolicy())
+        assert policed.elapsed == healthy.elapsed
+        assert policed.counters["bytes_moved"] == healthy.counters["bytes_moved"]
+        assert policed.counters["retries"] == 0
+        assert policed.counters["failed_bytes"] == 0
+        assert policed.counters["degraded"] == 0
+
+
+class TestRetry:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_moderate_transients_retried_to_full_delivery(self, method):
+        """With a 20% transient rate and 4 attempts, retries recover every
+        block (deterministic for this seed: the fault draws are a pure
+        function of the seed and request order)."""
+        result, _machine = run_faulted_transfer(
+            method, "rb", FaultConfig(transient_rate=0.2), FaultPolicy())
+        assert result.counters["retries"] > 0
+        assert result.counters["failed_bytes"] == 0
+        assert result.counters["bytes_moved"] == result.bytes_transferred
+        assert result.counters["degraded"] == 0
+
+    @pytest.mark.parametrize("method", ("disk-directed", "traditional"))
+    def test_certain_transients_exhaust_retries_and_degrade(self, method):
+        """rate=1.0 defeats every retry: all blocks fail, none delivered."""
+        result, _machine = run_faulted_transfer(
+            method, "rb", FaultConfig(transient_rate=1.0), FaultPolicy())
+        assert result.counters["bytes_moved"] == 0
+        assert result.counters["failed_bytes"] == result.bytes_transferred
+        assert result.counters["degraded"] == 1
+        assert result.counters["failed_blocks"] > 0
+        assert_read_conservation(result)
+
+    def test_retries_bounded_by_max_attempts(self):
+        result, _machine = run_faulted_transfer(
+            "disk-directed", "rb", FaultConfig(transient_rate=1.0),
+            FaultPolicy(max_attempts=3))
+        blocks = result.counters["failed_blocks"]
+        # Every block made exactly (max_attempts - 1) retries.
+        assert result.counters["retries"] <= blocks * 2
+
+    def test_deadline_cuts_retries_short(self):
+        """A deadline shorter than the first backoff forbids all retries."""
+        result, _machine = run_faulted_transfer(
+            "disk-directed", "rb", FaultConfig(transient_rate=1.0),
+            FaultPolicy(backoff_base=0.01, deadline=0.001))
+        assert result.counters["retries"] == 0
+        assert result.counters["failed_bytes"] == result.bytes_transferred
+
+    def test_retry_slower_than_healthy_run(self):
+        healthy, _machine = run_faulted_transfer("disk-directed", "rb",
+                                                 None, None)
+        faulted, _machine = run_faulted_transfer(
+            "disk-directed", "rb", FaultConfig(transient_rate=0.2),
+            FaultPolicy())
+        assert faulted.elapsed > healthy.elapsed
+
+
+class TestDegrade:
+    @pytest.mark.parametrize("method", ("disk-directed", "traditional"))
+    def test_degrade_mode_never_retries(self, method):
+        result, _machine = run_faulted_transfer(
+            method, "rb", FaultConfig(transient_rate=1.0),
+            FaultPolicy(on_fault="degrade"))
+        assert result.counters["retries"] == 0
+        assert result.counters["failed_bytes"] == result.bytes_transferred
+        assert result.counters["degraded"] == 1
+        assert_read_conservation(result)
+
+    def test_degraded_flag_is_zero_or_one(self):
+        """Many failed blocks still mark the session degraded exactly once."""
+        result, _machine = run_faulted_transfer(
+            "disk-directed", "rb", FaultConfig(transient_rate=1.0),
+            FaultPolicy(on_fault="degrade"), file_size=512 * KILOBYTE)
+        assert result.counters["failed_blocks"] > 1
+        assert result.counters["degraded"] == 1
+
+
+class TestAbort:
+    def test_abort_raises_fault_abort(self):
+        with pytest.raises(FaultAbort):
+            run_faulted_transfer(
+                "disk-directed", "rb", FaultConfig(transient_rate=1.0),
+                FaultPolicy(on_fault="abort"))
+
+
+class TestFailStop:
+    @pytest.mark.parametrize("method", ("disk-directed", "traditional"))
+    def test_dead_drive_fails_its_share_of_blocks(self, method):
+        """One drive of four dead from t=0: ~1/4 of a striped read fails,
+        the rest is delivered; conservation holds throughout."""
+        result, machine = run_faulted_transfer(
+            method, "rb",
+            FaultConfig(fail_stop_disk=0, fail_stop_time=0.0), FaultPolicy())
+        assert result.counters["failed_bytes"] > 0
+        assert result.counters["bytes_moved"] > 0
+        assert result.counters["degraded"] == 1
+        assert_read_conservation(result)
+        # Permanent errors are never retried.
+        assert result.counters["retries"] == 0
+
+    def test_write_to_dead_drive_counts_lost_bytes(self):
+        result, _machine = run_faulted_transfer(
+            "disk-directed", "wb",
+            FaultConfig(fail_stop_disk=0, fail_stop_time=0.0), FaultPolicy())
+        assert result.counters["lost_bytes"] > 0
+        assert result.counters["degraded"] == 1
+
+
+class TestFailSlow:
+    def test_slow_drive_stretches_the_collective(self):
+        healthy, _machine = run_faulted_transfer("disk-directed", "rb",
+                                                 None, None)
+        slowed, _machine = run_faulted_transfer(
+            "disk-directed", "rb",
+            FaultConfig(slow_disk=0, slow_factor=8.0, slow_start=0.0,
+                        slow_duration=1000.0), FaultPolicy())
+        assert slowed.elapsed > healthy.elapsed
+        # No errors: everything is delivered, just late.
+        assert slowed.counters["failed_bytes"] == 0
+        assert slowed.counters["bytes_moved"] == slowed.bytes_transferred
+
+
+class TestSharedQueueFaults:
+    def test_retry_works_through_the_shared_disk_queue(self):
+        config = MachineConfig(n_cps=4, n_iops=4, n_disks=4)
+        machine = Machine(config, seed=1, disk_scheduler="shared-cscan",
+                          fault_config=FaultConfig(transient_rate=0.2))
+        filesystem = FileSystem(config, layout_seed=1)
+        striped = filesystem.create_file("qf", 256 * KILOBYTE,
+                                         layout="contiguous")
+        pattern = make_pattern("rb", 256 * KILOBYTE, 8192, config.n_cps)
+        implementation = make_filesystem("disk-directed", machine, striped,
+                                         fault_policy=FaultPolicy())
+        result = implementation.transfer(pattern)
+        assert result.counters["retries"] > 0
+        assert result.counters["bytes_moved"] \
+            + result.counters["failed_bytes"] == result.bytes_transferred

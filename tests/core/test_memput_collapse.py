@@ -1,0 +1,63 @@
+"""Pin: the single-piece Memput collapse is bit-identical to the spawn path.
+
+``DiskDirectedFS._deliver_to_cps`` / ``_gather_from_cps`` used to spawn a
+``Process`` + ``AllOf`` even when a block maps to exactly one CP piece (the
+common case for block-aligned patterns).  The collapse runs the single
+``_memput`` fragment inline — same yields, same instants, one less process
+and join event per block.  These tests pin the equivalence empirically:
+every timing and counter must match with the collapse forced off.
+"""
+
+import pytest
+
+from repro import DiskDirectedFS, FileSystem, Machine, MachineConfig, make_pattern
+
+KILOBYTE = 1024
+
+
+def run_ddio(pattern_name, *, collapse, record_size=8192, layout="random",
+             file_size=256 * KILOBYTE, seed=1, config=None):
+    config = config or MachineConfig(n_cps=4, n_iops=4, n_disks=4)
+    machine = Machine(config, seed=seed)
+    filesystem = FileSystem(config, layout_seed=seed)
+    striped = filesystem.create_file("pin-file", file_size, layout=layout)
+    pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)
+    implementation = DiskDirectedFS(machine, striped,
+                                    collapse_single_piece=collapse)
+    return implementation.transfer(pattern)
+
+
+#: Pattern/record-size mix covering single-piece blocks (rb/wb at 8 KB),
+#: many-piece blocks (cyclic 8-byte records — the collapse must not fire)
+#: and the broadcast pattern.
+CASES = [
+    ("rb", 8192),
+    ("wb", 8192),
+    ("rc", 8192),
+    ("rcc", 8),
+    ("wcc", 8),
+    ("ra", 8192),
+]
+
+
+class TestCollapseEquivalence:
+    @pytest.mark.parametrize("pattern_name,record_size", CASES)
+    def test_bit_identical_timing_and_counters(self, pattern_name, record_size):
+        collapsed = run_ddio(pattern_name, collapse=True,
+                             record_size=record_size)
+        spawned = run_ddio(pattern_name, collapse=False,
+                           record_size=record_size)
+        assert collapsed.elapsed == spawned.elapsed  # bit-identical, no approx
+        assert collapsed.counters == spawned.counters
+
+    def test_collapse_is_the_default(self):
+        config = MachineConfig(n_cps=2, n_iops=1, n_disks=1)
+        machine = Machine(config, seed=1)
+        implementation = DiskDirectedFS(machine)
+        assert implementation.collapse_single_piece is True
+
+    def test_equivalence_holds_on_contiguous_layout_too(self):
+        collapsed = run_ddio("rb", collapse=True, layout="contiguous")
+        spawned = run_ddio("rb", collapse=False, layout="contiguous")
+        assert collapsed.elapsed == spawned.elapsed
+        assert collapsed.counters == spawned.counters

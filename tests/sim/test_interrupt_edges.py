@@ -1,0 +1,232 @@
+"""Interrupt edge cases: fused device waits, resource fast paths, re-entry.
+
+`Process.interrupt` detaches the target from whatever it was waiting on and
+throws :class:`Interrupt` into its generator.  These tests pin the corners
+that the hot-path rewrites (delay fusion, ``acquire_event`` /
+``transfer_event``) must not break: the underlying hardware model keeps its
+own schedule; only the waiter changes course.
+"""
+
+import pytest
+
+from repro.disk import Disk, HP97560_SPEC
+from repro.disk.drive import BusPort
+from repro.sim import Environment, Resource
+from repro.sim.errors import Interrupt, SimulationError
+
+SECTORS_PER_BLOCK = 16
+
+
+def make_disk(env, **kwargs):
+    bus = Resource(env, capacity=1)
+    port = BusPort(bus, bandwidth=10e6, overhead=0.1e-3)
+    return Disk(env, HP97560_SPEC, port, **kwargs)
+
+
+class TestInterruptFusedDiskWait:
+    def test_interrupted_reader_leaves_drive_serviceable(self):
+        """Interrupting a waiter on a fused read must not corrupt the drive.
+
+        The fused fast path completes the read via one ``event_at``; the
+        interrupted client detaches, but the drive's internal schedule runs
+        on — the completion still fires and the next read sees a consistent
+        arm position and cache.
+        """
+        env = Environment()
+        disk = make_disk(env)
+        seen = []
+
+        def reader(env):
+            try:
+                yield disk.read(0, SECTORS_PER_BLOCK)
+                seen.append("completed")
+            except Interrupt:
+                seen.append("interrupted")
+
+        def interrupter(env, victim):
+            # Strike mid-service: after the request is queued, well before
+            # the mechanical delay expires.
+            yield env.timeout(1e-6)
+            victim.interrupt("lost interest")
+
+        victim = env.process(reader(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert seen == ["interrupted"]
+        # The service actually ran to completion on the drive's side.
+        assert disk.stats.reads == 1
+        # And the drive still serves later traffic normally.
+        done = []
+
+        def second_reader(env):
+            request = yield disk.read(64, SECTORS_PER_BLOCK)
+            done.append(request)
+
+        env.run(env.process(second_reader(env)))
+        assert done and done[0].status == "ok"
+        assert disk.stats.reads == 2
+
+    def test_interrupt_does_not_stop_the_completion_event(self):
+        env = Environment()
+        disk = make_disk(env)
+        completion_box = []
+
+        def reader(env):
+            completion = disk.read(0, SECTORS_PER_BLOCK)
+            completion_box.append(completion)
+            try:
+                yield completion
+            except Interrupt:
+                pass
+
+        victim = env.process(reader(env))
+
+        def interrupter(env):
+            yield env.timeout(1e-6)
+            victim.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert completion_box[0].triggered
+
+
+class TestInterruptResourceFastPaths:
+    def test_acquire_event_hold_released_at_expiry_after_interrupt(self):
+        """The documented ``acquire_event`` caveat: an interrupted holder's
+        slot is returned when the hold timeout expires, never leaked."""
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+
+        def holder(env):
+            event = cpu.acquire_event(1.0)
+            assert event is not None
+            try:
+                yield event
+            except Interrupt:
+                pass
+
+        victim = env.process(holder(env))
+
+        def interrupter(env):
+            yield env.timeout(0.25)
+            victim.interrupt()
+
+        env.process(interrupter(env))
+        env.run(until=0.5)
+        assert cpu.count == 1  # still held: release rides the timeout
+        env.run()
+        assert cpu.count == 0  # ...and lands exactly at expiry
+
+    def test_acquire_generator_path_releases_on_interrupt(self):
+        """The generator path's ``finally`` releases at interrupt time."""
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+
+        def holder(env):
+            try:
+                yield from cpu.acquire(1.0)
+            except Interrupt:
+                pass
+
+        victim = env.process(holder(env))
+
+        def interrupter(env):
+            yield env.timeout(0.25)
+            victim.interrupt()
+
+        env.process(interrupter(env))
+        env.run(until=0.5)
+        assert cpu.count == 0
+
+    def test_transfer_event_bus_released_at_expiry_after_interrupt(self):
+        env = Environment()
+        bus = Resource(env, capacity=1)
+        port = BusPort(bus, bandwidth=10e6, overhead=0.0)
+
+        def sender(env):
+            event = port.transfer_event(env, 10 ** 6)  # 0.1 s on the wire
+            assert event is not None
+            try:
+                yield event
+            except Interrupt:
+                pass
+
+        victim = env.process(sender(env))
+
+        def interrupter(env):
+            yield env.timeout(0.01)
+            victim.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert bus.count == 0
+        # A fresh transfer finds the bus free again.
+        event = port.transfer_event(env, 1000)
+        assert event is not None
+
+
+class TestInterruptReentry:
+    def test_double_interrupt_delivered_twice(self):
+        env = Environment()
+        hits = []
+
+        def stoic(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(10.0)
+                except Interrupt as interrupt:
+                    hits.append(interrupt.cause)
+            return "survived"
+
+        victim = env.process(stoic(env))
+        victim.interrupt("first")
+        victim.interrupt("second")
+        result = env.run(victim)
+        assert hits == ["first", "second"]
+        assert result == "survived"
+
+    def test_interrupt_after_completion_is_an_error(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.1)
+
+        proc = env.process(quick(env))
+        env.run(proc)
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupt_raced_with_completion_is_dropped(self):
+        """Interrupt scheduled while alive but delivered after the process
+        finished in the same instant: delivery notices the corpse and does
+        nothing (the process keeps its return value)."""
+        env = Environment()
+        gate = env.event()
+
+        def quick(env):
+            yield gate
+            return "done"
+
+        proc = env.process(quick(env))
+
+        def racer(env):
+            yield env.timeout(0.1)
+            # Both scheduled at t=0.1: the gate resume (first) finishes the
+            # process, then the interruption finds it already dead.
+            gate.succeed()
+            proc.interrupt()
+
+        env.process(racer(env))
+        env.run()
+        assert proc.triggered and proc._value == "done"
+
+    def test_unhandled_interrupt_fails_the_process(self):
+        env = Environment()
+
+        def oblivious(env):
+            yield env.timeout(10.0)
+
+        victim = env.process(oblivious(env))
+        victim.interrupt("wake up")
+        with pytest.raises(Interrupt):
+            env.run(victim)

@@ -1,5 +1,7 @@
 """Tests for the docs dead-link / staleness checker CI guard."""
 
+import json
+
 from tools.check_doc_links import (
     dead_links,
     default_files,
@@ -10,6 +12,7 @@ from tools.check_doc_links import (
     main,
     module_resolves,
     stale_references,
+    stale_tables,
     tree_path_exists,
 )
 
@@ -167,6 +170,114 @@ class TestStalenessHelpers:
         assert figure_names(tmp_path) == set()
 
 
+def write_artifact(tmp_path, payload):
+    return write(tmp_path / "docs" / "data" / "grid.json",
+                 json.dumps(payload))
+
+
+#: A two-record artifact under a ``rows`` key (the default select).
+GRID = {"rows": [
+    {"K": 1, "scheduler": "fcfs", "throughput_mb": 5.048},
+    {"K": 1, "scheduler": "shared-cscan", "throughput_mb": 5.071},
+]}
+
+MARKER = ("<!-- doctable source=data/grid.json "
+          "row={K}|{scheduler}|{throughput_mb:.2f} -->\n")
+
+TABLE = ("| K | scheduler | MB/s |\n"
+         "|---|---|---|\n"
+         "| 1 | fcfs | 5.05 |\n"
+         "| 1 | shared-cscan | 5.07 |\n")
+
+
+class TestDoctables:
+    def test_matching_table_passes(self, tmp_path):
+        write_artifact(tmp_path, GRID)
+        doc = write(tmp_path / "docs" / "a.md", MARKER + "\n" + TABLE)
+        assert stale_tables(doc) == []
+
+    def test_doc_may_quote_a_subset_of_records(self, tmp_path):
+        write_artifact(tmp_path, GRID)
+        doc = write(tmp_path / "docs" / "a.md",
+                    MARKER + "\n| K | scheduler | MB/s |\n|---|---|---|\n"
+                             "| 1 | fcfs | 5.05 |\n")
+        assert stale_tables(doc) == []
+
+    def test_bold_and_whitespace_ignored(self, tmp_path):
+        write_artifact(tmp_path, GRID)
+        doc = write(tmp_path / "docs" / "a.md",
+                    MARKER + "\n| K | scheduler | MB/s |\n|---|---|---|\n"
+                             "| 1 | fcfs     | **5.05** |\n")
+        assert stale_tables(doc) == []
+
+    def test_stale_row_reported_with_line_number(self, tmp_path):
+        write_artifact(tmp_path, GRID)
+        doc = write(tmp_path / "docs" / "a.md",
+                    MARKER + "\n| K | scheduler | MB/s |\n|---|---|---|\n"
+                             "| 1 | fcfs | 9.99 |\n")
+        assert stale_tables(doc) == \
+            [(5, "table-row", "| 1 | fcfs | 9.99 |")]
+
+    def test_missing_artifact_reported(self, tmp_path):
+        doc = write(tmp_path / "docs" / "a.md", MARKER + "\n" + TABLE)
+        assert stale_tables(doc) == \
+            [(1, "doctable", "missing data/grid.json")]
+
+    def test_bad_select_path_reported(self, tmp_path):
+        write_artifact(tmp_path, GRID)
+        doc = write(tmp_path / "docs" / "a.md",
+                    MARKER.replace("doctable ", "doctable select=gone ")
+                    + "\n" + TABLE)
+        failures = stale_tables(doc)
+        assert len(failures) == 1
+        assert failures[0][1] == "doctable"
+
+    def test_template_field_absent_from_record_reported(self, tmp_path):
+        write_artifact(tmp_path, GRID)
+        doc = write(tmp_path / "docs" / "a.md",
+                    "<!-- doctable source=data/grid.json row={nope} -->\n\n"
+                    + TABLE)
+        failures = stale_tables(doc)
+        assert len(failures) == 1
+        assert failures[0][1] == "doctable"
+
+    def test_marker_without_row_reported(self, tmp_path):
+        doc = write(tmp_path / "docs" / "a.md",
+                    "<!-- doctable source=data/grid.json -->\n\n" + TABLE)
+        assert stale_tables(doc) == \
+            [(1, "doctable", "marker needs source= and row=")]
+
+    def test_dangling_marker_reported(self, tmp_path):
+        write_artifact(tmp_path, GRID)
+        doc = write(tmp_path / "docs" / "a.md",
+                    MARKER + "\nprose\nmore prose\nstill prose\nyet more\n"
+                             "and more\nno table anywhere\n")
+        assert stale_tables(doc) == \
+            [(1, "doctable", "no table follows the marker")]
+
+    def test_multiline_marker_with_pivot_mode(self, tmp_path):
+        payload = {"rows": [
+            {"load": 4, "method": "disk-directed", "mb": 4.54},
+            {"load": 4, "method": "traditional", "mb": 3.83},
+            {"load": 8, "method": "disk-directed", "mb": 8.84},
+            {"load": 8, "method": "traditional", "mb": 4.84},
+        ]}
+        write_artifact(tmp_path, payload)
+        doc = write(tmp_path / "docs" / "a.md",
+                    "<!-- doctable source=data/grid.json\n"
+                    "     group=load pivot=method\n"
+                    "     row={load:g}|{disk_directed__mb:.2f}"
+                    "|{traditional__mb:.2f} -->\n\n"
+                    "| load | DDIO | TC |\n|---|---|---|\n"
+                    "| 4 | 4.54 | 3.83 |\n"
+                    "| 8 | 8.84 | 4.84 |\n")
+        assert stale_tables(doc) == []
+
+    def test_file_without_markers_has_no_failures(self, tmp_path):
+        doc = write(tmp_path / "docs" / "a.md", "# no tables here\n" + TABLE)
+        assert stale_tables(doc) == []
+
+
 class TestMain:
     def test_default_file_set(self, tmp_path):
         write(tmp_path / "README.md", "[d](docs/a.md)")
@@ -195,6 +306,20 @@ class TestMain:
     def test_links_only_skips_staleness(self, tmp_path):
         root = make_repo(tmp_path)
         doc = write(root / "docs" / "a.md", "`src/repro/gone.py`")
+        assert main([str(doc), "--root", str(root), "--links-only"]) == 0
+
+    def test_exit_one_on_stale_table_row(self, tmp_path, capsys):
+        root = make_repo(tmp_path)
+        write_artifact(root, GRID)
+        doc = write(root / "docs" / "a.md",
+                    MARKER + "\n| K | scheduler | MB/s |\n|---|---|---|\n"
+                             "| 1 | fcfs | 9.99 |\n")
+        assert main([str(doc), "--root", str(root)]) == 1
+        assert "stale table-row" in capsys.readouterr().out
+
+    def test_links_only_skips_doctables_too(self, tmp_path):
+        root = make_repo(tmp_path)
+        doc = write(root / "docs" / "a.md", MARKER + "\n" + TABLE)
         assert main([str(doc), "--root", str(root), "--links-only"]) == 0
 
     def test_repo_docs_are_clean(self):

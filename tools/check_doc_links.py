@@ -27,6 +27,24 @@ tree (no imports, so it runs in a bare CI image):
   every ``ddio-figures NAME`` command must name a key of the ``FIGURES``
   registry (parsed textually from ``src/repro/experiments/figures.py``).
 
+**Quoted numbers.**  Markdown tables that quote measured results carry a
+``doctable`` marker tying them to their ``docs/data/*.json`` artifact::
+
+    <!-- doctable source=data/service_sched.json select=policy_grid
+         row={K}|{scheduler}|{load_req_s:g}|{throughput_mb:.2f}|{p99_ms:.0f} -->
+
+At check time every data row of the table that follows is re-rendered from
+the JSON via the ``row`` template (``str.format`` specs per cell, cells
+joined with ``|``); a doc row that matches no JSON record fails the check —
+so editing the model without regenerating the artifact, or hand-tweaking a
+quoted number, is caught in CI.  The doc may quote a *subset* of the
+records (rows are matched set-wise, ``**bold**`` and whitespace ignored).
+Pivoted tables (one doc row spanning several JSON records) declare
+``group=<field> pivot=<field>``: records are grouped by the ``group`` field
+and each group member's fields are exposed to the template as
+``{<pivot-value>__<field>}`` with ``-`` mapped to ``_`` (e.g.
+``{disk_directed__throughput_mb:.2f}``).
+
 CI runs this on every pull request::
 
     python tools/check_doc_links.py
@@ -36,6 +54,7 @@ reported as ``file:line: kind -> reference``).
 """
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -219,6 +238,129 @@ def stale_references(markdown_path, root=".", flags=None, figures=None):
     return stale
 
 
+# -- doctable markers ---------------------------------------------------------------
+
+#: ``<!-- doctable key=value ... -->`` markers (may span lines).
+_DOCTABLE_RE = re.compile(r"<!--\s*doctable\s+(.*?)-->", re.DOTALL)
+
+#: ``key=value`` attributes inside a marker (value quoted when it has spaces).
+_DOCTABLE_ATTR_RE = re.compile(r"(\w+)=(\"[^\"]*\"|\S+)")
+
+
+def _doctable_attrs(body):
+    return {key: value.strip('"')
+            for key, value in _DOCTABLE_ATTR_RE.findall(body)}
+
+
+def _normalize_row(line):
+    """A table line as comparable text: cells stripped of bold and spaces."""
+    cells = [cell.strip().replace("**", "")
+             for cell in line.strip().strip("|").split("|")]
+    return "|".join(cells)
+
+
+def _select_records(data, path):
+    """Follow a dotted *path* (e.g. ``pool_sweep.rows``) into loaded JSON."""
+    for part in path.split("."):
+        data = data[part]
+    if not isinstance(data, list):
+        raise KeyError(path)
+    return data
+
+
+def _render_expected(records, template, group=None, pivot=None):
+    """The set of normalized rows the JSON can produce under *template*.
+
+    Plain mode formats each record directly.  Group/pivot mode first groups
+    records by the *group* field, then exposes each member's fields as
+    ``<pivot-value>__<field>`` (dashes mapped to underscores so the names
+    are valid format fields) alongside the shared group field.
+    """
+    if group is None:
+        contexts = records
+    else:
+        grouped = {}
+        for record in records:
+            grouped.setdefault(record[group], []).append(record)
+        contexts = []
+        for value, members in grouped.items():
+            context = {group: value}
+            for member in members:
+                prefix = str(member[pivot]).replace("-", "_")
+                for field, field_value in member.items():
+                    context[f"{prefix}__{field}"] = field_value
+            contexts.append(context)
+    return {_normalize_row(template.format_map(context))
+            for context in contexts}
+
+
+def _table_after(lines, start_index):
+    """``(line_number, row)`` data rows of the first table at/after *start_index*.
+
+    Skips blank and prose lines, then consumes header + separator + data
+    rows.  Returns an empty list when no table starts within a few lines
+    (the marker is then dangling — reported by the caller).
+    """
+    index = start_index
+    while index < len(lines) and not lines[index].lstrip().startswith("|"):
+        if index - start_index > 5 and lines[index].strip():
+            return []  # wandered into prose: no table follows the marker
+        index += 1
+    index += 2  # header + |---| separator
+    rows = []
+    while index < len(lines) and lines[index].lstrip().startswith("|"):
+        rows.append((index + 1, lines[index]))
+        index += 1
+    return rows
+
+
+def stale_tables(markdown_path):
+    """``(line, kind, reference)`` failures for every doctable in the file.
+
+    Each marker's table is re-rendered from its JSON artifact; any doc row
+    the JSON cannot produce is stale (model changed without regenerating,
+    or a hand-edited number).
+    """
+    markdown_path = Path(markdown_path)
+    text = markdown_path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    failures = []
+    for match in _DOCTABLE_RE.finditer(text):
+        marker_line = text[:match.start()].count("\n") + 1
+        attrs = _doctable_attrs(match.group(1))
+        source = attrs.get("source")
+        template = attrs.get("row")
+        if not source or not template:
+            failures.append((marker_line, "doctable",
+                             "marker needs source= and row="))
+            continue
+        source_path = markdown_path.parent / source
+        try:
+            data = json.loads(source_path.read_text(encoding="utf-8"))
+            records = _select_records(data, attrs.get("select", "rows"))
+            expected = _render_expected(records, template,
+                                        group=attrs.get("group"),
+                                        pivot=attrs.get("pivot"))
+        except OSError:
+            failures.append((marker_line, "doctable", f"missing {source}"))
+            continue
+        except (KeyError, IndexError, ValueError) as error:
+            failures.append((marker_line, "doctable",
+                             f"{source}: {error!r}"))
+            continue
+        end_line = text[:match.end()].count("\n") + 1
+        rows = _table_after(lines, end_line)
+        if not rows:
+            failures.append((marker_line, "doctable",
+                             "no table follows the marker"))
+            continue
+        for line_number, row in rows:
+            if _normalize_row(row) not in expected:
+                failures.append((line_number, "table-row",
+                                 row.strip()))
+    return failures
+
+
 def default_files(root):
     """README.md plus every Markdown file under docs/."""
     root = Path(root)
@@ -257,6 +399,9 @@ def main(argv=None):
             continue
         for line_number, kind, reference in stale_references(
                 markdown, root=args.root, flags=flags, figures=figures):
+            print(f"{markdown}:{line_number}: stale {kind} -> {reference}")
+            failures += 1
+        for line_number, kind, reference in stale_tables(markdown):
             print(f"{markdown}:{line_number}: stale {kind} -> {reference}")
             failures += 1
     if failures:
