@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI memory gate: the streaming driver must be O(1) in the session count.
+
+Runs a 100,000-session open-loop stream through the constant-memory service
+driver (``retain_requests=False``) under ``tracemalloc`` and fails when the
+driver-side allocation peak exceeds a fixed ceiling.  The ceiling (default
+8 MB) is ~20x the measured steady-state peak (~0.4 MB) and ~15x *below*
+what per-request record retention costs at this scale — so the gate trips on
+any change that silently reintroduces O(n) state (a record list, an unfolded
+response-time array, a handler leak) long before it trips on noise.
+
+A second, 10x-smaller run pins the *shape*: the full run's peak must stay
+within a small factor of the small run's, which asserts O(1) directly
+instead of trusting one absolute number.
+
+Run from the repository root::
+
+    python benchmarks/perf_memory.py                 # the CI gate
+    python benchmarks/perf_memory.py --sessions 20000 --ceiling-mb 8
+
+Appends a record to ``BENCH_memory.json`` so the memory trajectory is
+visible across PRs, next to the wall-clock trajectories.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.machine import MachineConfig  # noqa: E402
+from repro.workload import ServiceWorkload, run_service  # noqa: E402
+
+#: The gate workload: the smallest useful session (one 8 KB record), deep
+#: overload, a tiny machine — per-session simulation cost is minimal, so
+#: 100k sessions fit a CI smoke budget, and every byte of driver-side
+#: growth is visible against the small baseline.
+WORKLOAD = dict(arrival="poisson", arrival_rate=5000.0, concurrency=8,
+                n_files=8, file_size=8 * 1024, layout="contiguous",
+                read_fraction=0.7, pattern_specs=("b",), record_size=8192,
+                seed=0)
+
+MACHINE = dict(n_cps=2, n_iops=1, n_disks=2)
+
+#: Peak-allocation ceiling for the full run, bytes.
+DEFAULT_CEILING_MB = 8.0
+
+#: The full run's peak may exceed the 10x-smaller run's by at most this
+#: factor (plus the fixed slack) before we call the driver O(n) again.
+SHAPE_FACTOR = 3.0
+SHAPE_SLACK_MB = 2.0
+
+
+def measure(sessions):
+    """Peak traced allocation (bytes) and wall seconds for one streaming run."""
+    workload = ServiceWorkload(n_requests=sessions, **WORKLOAD)
+    machine_config = MachineConfig(**MACHINE)
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = run_service("traditional", workload,
+                         machine_config=machine_config,
+                         retain_requests=False)
+    wall = time.perf_counter() - start
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    if not result.conserves_bytes():
+        raise AssertionError("byte conservation violated in the memory gate")
+    if result.aggregates["completed"] != sessions:
+        raise AssertionError(
+            f"only {result.aggregates['completed']} of {sessions} sessions "
+            f"completed")
+    return peak, wall
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=100_000,
+                        help="sessions in the full run (default: 100000)")
+    parser.add_argument("--ceiling-mb", type=float,
+                        default=DEFAULT_CEILING_MB,
+                        help="peak-allocation ceiling for the full run")
+    parser.add_argument("--label", default="",
+                        help="free-form label recorded with the result")
+    parser.add_argument("--no-append", action="store_true",
+                        help="don't append to BENCH_memory.json")
+    args = parser.parse_args(argv)
+
+    small_sessions = max(args.sessions // 10, 1)
+    small_peak, small_wall = measure(small_sessions)
+    print(f"{small_sessions} sessions: peak {small_peak / 1e6:.2f} MB "
+          f"({small_wall:.1f}s)")
+    full_peak, full_wall = measure(args.sessions)
+    rate = args.sessions / full_wall if full_wall else 0.0
+    print(f"{args.sessions} sessions: peak {full_peak / 1e6:.2f} MB "
+          f"({full_wall:.1f}s, {rate:.0f} sessions/s traced)")
+
+    ceiling = args.ceiling_mb * 1e6
+    shape_limit = small_peak * SHAPE_FACTOR + SHAPE_SLACK_MB * 1e6
+    failures = []
+    if full_peak > ceiling:
+        failures.append(
+            f"peak {full_peak / 1e6:.2f} MB exceeds the "
+            f"{args.ceiling_mb:g} MB ceiling")
+    if full_peak > shape_limit:
+        failures.append(
+            f"peak grew from {small_peak / 1e6:.2f} MB "
+            f"({small_sessions} sessions) to {full_peak / 1e6:.2f} MB "
+            f"({args.sessions} sessions): the driver is no longer O(1)")
+
+    if not args.no_append:
+        record = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "label": args.label,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "sessions": args.sessions,
+            "peak_bytes": full_peak,
+            "small_sessions": small_sessions,
+            "small_peak_bytes": small_peak,
+            "wall_s": round(full_wall, 2),
+            "ceiling_mb": args.ceiling_mb,
+            "ok": not failures,
+        }
+        path = REPO_ROOT / "BENCH_memory.json"
+        history = json.loads(path.read_text()) if path.exists() else []
+        history.append(record)
+        path.write_text(json.dumps(history, indent=2) + "\n")
+
+    if failures:
+        for failure in failures:
+            print(f"MEMORY GATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"memory gate ok: {full_peak / 1e6:.2f} MB peak for "
+          f"{args.sessions} streaming sessions "
+          f"(ceiling {args.ceiling_mb:g} MB)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from repro.experiments.runner import run_trials, sweep, sweep_parallel
 from repro.experiments.service import (
     service_faults_figure,
     service_figure,
+    service_millions_figure,
     service_overload_figure,
     service_scheduler_figure,
 )
@@ -229,6 +230,10 @@ def table1():
 #: ``service-faults`` injects deterministic disk faults (transient errors,
 #: a fail-slow drive, one fail-stop drive out of 32) and compares goodput
 #: and tail latency under bounded retry (docs/faults.md).
+#: ``service-millions`` measures the overload asymptote directly: a million
+#: 8 KB sessions per headline row through the constant-memory streaming
+#: driver on a 128-disk machine (docs/workloads.md) — slow (tens of
+#: minutes); pass ``--json`` to refresh its docs/data artifact.
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -241,6 +246,7 @@ FIGURES = {
     "service-sched": service_scheduler_figure,
     "service-overload": service_overload_figure,
     "service-faults": service_faults_figure,
+    "service-millions": service_millions_figure,
 }
 
 
@@ -275,6 +281,9 @@ def main(argv=None):
     parser.add_argument("--cache", type=str, default=None, metavar="DIR",
                         help="cache trial results on disk so re-running a "
                              "figure only simulates changed data points")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="also write the figure's docs/data JSON "
+                             "artifact (service-millions only)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
 
@@ -291,10 +300,12 @@ def main(argv=None):
         if name == "table1":
             _rows, text = generator()
         elif name in ("service", "service-sched", "service-overload",
-                      "service-faults"):
+                      "service-faults", "service-millions"):
+            extra = {"json_path": args.json} \
+                if name == "service-millions" and args.json else {}
             summaries, text = generator(
                 trials=args.trials, progress=progress,
-                workers=args.workers, cache=args.cache)
+                workers=args.workers, cache=args.cache, **extra)
             collected.extend(summaries)
         elif name in ("figure3", "figure4"):
             summaries, text = generator(

@@ -58,7 +58,13 @@ from repro.patterns import make_pattern
 #:     (all-defaults == healthy, verified bit-identical) and ServiceResult
 #:     records grew per-request fault counters; cached envelopes from
 #:     schema 5 lack those keys, so they must not be replayed.
-CACHE_SCHEMA_VERSION = 6
+#: 7 — constant-memory streaming driver (PR 7).  ServiceResult percentiles
+#:     moved from sorted record lists to mergeable quantile sketches
+#:     (``response_sketch``/``service_sketch``/``aggregates`` fields;
+#:     ``retain_requests``/``streaming`` joined the service config and cache
+#:     key), and cache entries grew a ``content_hash`` integrity stamp for
+#:     the shared multi-host store; schema-6 envelopes lack all of these.
+CACHE_SCHEMA_VERSION = 7
 
 
 # -- experiment families --------------------------------------------------------
@@ -145,18 +151,42 @@ def trial_cache_key(config, seed):
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
-class ResultCache:
-    """On-disk cache of single-trial result objects.
+def _payload_hash(fields):
+    """Canonical content hash of a result's fields (envelope excluded)."""
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"),
+                      default=list)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
-    One JSON file per trial, named by :func:`trial_cache_key`.  Entries are
-    self-describing: alongside the result's fields they carry a ``schema``
-    stamp and the ``result_type`` to reconstruct.  Writes go through a temp
-    file + atomic rename so concurrent sweeps sharing a cache directory never
-    observe torn entries.
+
+class ResultCache:
+    """Content-addressed shared store of single-trial result objects.
+
+    One JSON file per trial, named by :func:`trial_cache_key` and sharded
+    into 256 two-hex-digit subdirectories (a million-trial sweep must not
+    produce a million-entry flat directory).  Entries are self-describing:
+    alongside the result's fields they carry a ``schema`` stamp, the
+    ``result_type`` to reconstruct, and a ``content_hash`` over the result
+    payload, verified on every read.
+
+    The store is safe to *share* — between the processes of one parallel
+    sweep and between N hosts cooperating on one figure over a shared
+    directory (NFS or synced):
+
+    * Writes go through a temp file + atomic rename, so readers never
+      observe torn entries and racing writers of the same key leave one
+      complete entry (the key is a pure function of the config and seed, so
+      both writers carry identical bytes of meaning).
+    * Reads verify ``content_hash``; an entry corrupted in transit or on a
+      shared filesystem degrades to a counted miss (``corrupt``) instead of
+      poisoning a figure.
+    * Entries whose ``schema`` differs from :data:`CACHE_SCHEMA_VERSION`
+      are rejected and counted in ``stale`` — hosts running different model
+      versions can share a directory without serving each other stale
+      results.
     """
 
     #: entry keys reserved for the envelope (never result dataclass fields)
-    _ENVELOPE_KEYS = ("schema", "result_type")
+    _ENVELOPE_KEYS = ("schema", "result_type", "content_hash")
 
     def __init__(self, directory):
         self.directory = Path(directory)
@@ -165,15 +195,18 @@ class ResultCache:
         self.misses = 0
         #: entries rejected because their schema stamp is not current
         self.stale = 0
+        #: entries rejected because their content hash did not verify
+        self.corrupt = 0
 
     def _path(self, key):
-        return self.directory / f"{key}.json"
+        return self.directory / key[:2] / f"{key}.json"
 
     def get(self, key):
         """The cached result object for *key*, or ``None``.
 
-        Unreadable or corrupt entries degrade to a miss.  Entries whose
-        ``schema`` stamp differs from :data:`CACHE_SCHEMA_VERSION` (including
+        Unreadable or corrupt entries degrade to a miss (hash failures are
+        additionally counted in ``corrupt``).  Entries whose ``schema``
+        stamp differs from :data:`CACHE_SCHEMA_VERSION` (including
         pre-envelope entries with no stamp at all) are *rejected* — a model
         change must never serve stale figures — and counted in ``stale``.
         """
@@ -192,6 +225,10 @@ class ResultCache:
         result_class = _RESULT_TYPES.get(data.get("result_type"))
         fields = {name: value for name, value in data.items()
                   if name not in self._ENVELOPE_KEYS}
+        if data.get("content_hash") != _payload_hash(fields):
+            self.corrupt += 1
+            self.misses += 1
+            return None
         try:
             result = result_class(**fields)
         except TypeError:
@@ -201,12 +238,20 @@ class ResultCache:
         return result
 
     def put(self, key, result):
-        """Persist *result* under *key* (with schema + type envelope)."""
-        data = asdict(result)
+        """Persist *result* under *key* (schema + type + hash envelope).
+
+        Atomic (temp file + rename): a concurrent reader sees either nothing
+        or a complete, hash-verified entry, never a prefix.
+        """
+        fields = asdict(result)
+        data = dict(fields)
         data["schema"] = CACHE_SCHEMA_VERSION
         data["result_type"] = type(result).__name__
+        data["content_hash"] = _payload_hash(fields)
+        shard = self.directory / key[:2]
+        shard.mkdir(parents=True, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json")
+            dir=shard, prefix=".tmp-", suffix=".json")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(data, handle)
@@ -219,9 +264,10 @@ class ResultCache:
             raise
 
     def clear(self):
-        """Delete every cached entry."""
-        for path in self.directory.glob("*.json"):
-            path.unlink(missing_ok=True)
+        """Delete every cached entry (sharded and legacy flat layout)."""
+        for pattern in ("*.json", "??/*.json"):
+            for path in self.directory.glob(pattern):
+                path.unlink(missing_ok=True)
 
 
 def _as_cache(cache):

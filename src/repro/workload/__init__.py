@@ -5,18 +5,35 @@
 * :mod:`repro.workload.sizes` — heavy-tailed (Pareto/lognormal) per-file size
   sampling with per-(seed, file) deterministic randomness.
 * :mod:`repro.workload.driver` — the :class:`ServiceDriver`: multiple open
-  files, a K-slot admission scheduler, per-request response-time accounting.
+  files, a K-slot admission scheduler, streaming per-session accounting
+  (constant memory in the session count).
+* :mod:`repro.workload.aggregate` — the mergeable quantile sketch and
+  running stats the driver folds each completed session into.
+* :mod:`repro.workload.checkpoint` — checkpoint/restart of the fold state
+  for long (million-session) runs.
 
 See ``docs/workloads.md`` for how this maps onto (and extends) the paper's
 single-collective experiments.
 """
 
+from repro.workload.aggregate import (
+    DEFAULT_PRECISION,
+    QuantileSketch,
+    RunningStats,
+    relative_error_bound,
+)
 from repro.workload.arrival import (
     ArrivalProcess,
     ClosedLoopArrivals,
     PoissonArrivals,
     make_arrival,
     request_rng,
+)
+from repro.workload.checkpoint import (
+    CheckpointError,
+    IndexRanges,
+    RunCheckpoint,
+    run_fingerprint,
 )
 from repro.workload.driver import (
     ServiceDriver,
@@ -35,8 +52,14 @@ from repro.workload.sizes import (
 
 __all__ = [
     "ArrivalProcess",
+    "CheckpointError",
     "ClosedLoopArrivals",
+    "DEFAULT_PRECISION",
+    "IndexRanges",
     "PoissonArrivals",
+    "QuantileSketch",
+    "RunCheckpoint",
+    "RunningStats",
     "SIZE_DISTRIBUTIONS",
     "ServiceDriver",
     "ServiceResult",
@@ -45,7 +68,9 @@ __all__ = [
     "file_size_rng",
     "make_arrival",
     "percentile",
+    "relative_error_bound",
     "request_rng",
+    "run_fingerprint",
     "run_service",
     "sample_file_size",
     "sample_file_sizes",

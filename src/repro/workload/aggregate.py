@@ -1,0 +1,330 @@
+"""Mergeable streaming aggregates for constant-memory service runs.
+
+The service driver used to keep every response time in a list and sort it for
+percentiles — O(n) memory in the session count, which caps a run at thousands
+of requests.  This module provides the constant-memory replacement: a
+log-bucketed quantile sketch (HDR-histogram style) whose merge is *exact*
+(bucket-count addition), so per-session measurements can be folded in at
+completion, checkpointed, restored, and combined across shards in any order
+without changing the answer.
+
+Why log buckets instead of t-digest or P²:
+
+* **Merge is associative, commutative and identity-respecting by
+  construction** — merging is integer addition per bucket, so any fold order
+  (streaming, checkpoint/restart, multi-host shard merge) yields the same
+  sketch bit for bit.  t-digest merges are order-sensitive; P² is not
+  mergeable at all.
+* **The error bound is a priori and distribution-free.**  A value ``v``
+  lands in a bucket whose relative width is ``2**-precision``, so any
+  quantile estimate is within relative error ``2**-(precision + 1)`` of some
+  order statistic at the queried rank — heavy tails, adversarial (sorted,
+  reversed, constant) inputs and all.  Rank-based sketches only bound *rank*
+  error, which a heavy tail turns into unbounded value error.
+
+Domain: non-negative finite floats (response times, service times, byte
+counts).  Memory is O(buckets touched): ``2**precision`` buckets per binary
+order of magnitude actually observed — a few KB for realistic latency data —
+independent of how many values were added.
+
+The sketch carries count/sum/min/max alongside the buckets, so one object is
+the complete mergeable aggregate for a metric; quantile estimates are clamped
+into [min, max], making constant streams exact.
+"""
+
+import math
+
+#: Default sub-bucket resolution: relative quantile error <= 2**-(7+1) ~ 0.4%.
+DEFAULT_PRECISION = 7
+
+#: Serialised-form version; bump when the dict layout changes.
+SKETCH_FORMAT_VERSION = 1
+
+
+def relative_error_bound(precision=DEFAULT_PRECISION):
+    """The sketch's guaranteed relative value error on any quantile."""
+    return 2.0 ** -(precision + 1)
+
+
+def _add_partial(partials, value):
+    """Fold *value* into a Shewchuk non-overlapping partials list, exactly.
+
+    The math.fsum inner loop: every two-float add is replaced by an exact
+    (hi, lo) pair, so the list always represents the *exact* real sum of
+    everything folded so far.  This is what makes ``total`` independent of
+    fold order — plain float accumulation rounds at every step, and merge
+    order would leak into the last ulp, breaking the monoid laws the
+    streaming driver and shard merge rely on.
+    """
+    index = 0
+    for partial in partials:
+        if abs(value) < abs(partial):
+            value, partial = partial, value
+        high = value + partial
+        low = partial - (high - value)
+        if low:
+            partials[index] = low
+            index += 1
+        value = high
+    partials[index:] = [value]
+
+
+class RunningStats:
+    """Mergeable count/sum/min/max (no samples retained).
+
+    The sum is kept exact (Shewchuk partials), so ``total`` — the exact sum
+    correctly rounded once — is identical however the adds and merges were
+    ordered.  Equality compares the represented values (count, rounded
+    total, extremes), not the internal partials, whose layout may legally
+    differ between two orderings of the same fold.
+    """
+
+    __slots__ = ("count", "minimum", "maximum", "_partials")
+
+    def __init__(self, count=0, total=0.0, minimum=math.inf,
+                 maximum=-math.inf):
+        self.count = count
+        self.minimum = minimum
+        self.maximum = maximum
+        self._partials = [float(total)] if total else []
+
+    def add(self, value):
+        self.count += 1
+        _add_partial(self._partials, value)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other):
+        self.count += other.count
+        for partial in other._partials:
+            _add_partial(self._partials, partial)
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
+    @property
+    def total(self):
+        """The exact sum of everything added, rounded once."""
+        return math.fsum(self._partials)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self):
+        """Canonical form: the *partials* carry the sum exactly (JSON floats
+        round-trip exactly in Python), so restore-then-continue folds are
+        bit-identical to never having stopped; ``total`` is quoted for
+        readers."""
+        return {"count": self.count, "total": self.total,
+                "partials": list(self._partials),
+                "min": self.minimum if self.count else None,
+                "max": self.maximum if self.count else None}
+
+    @classmethod
+    def from_dict(cls, data):
+        stats = cls(count=int(data["count"]))
+        stats._partials = [float(partial) for partial
+                           in data.get("partials", (data["total"],))]
+        if stats.count:
+            stats.minimum = float(data["min"])
+            stats.maximum = float(data["max"])
+        return stats
+
+    def __eq__(self, other):
+        if not isinstance(other, RunningStats):
+            return NotImplemented
+        return (self.count, self.total, self.minimum, self.maximum) == \
+            (other.count, other.total, other.minimum, other.maximum)
+
+    def __repr__(self):
+        return (f"RunningStats(count={self.count}, total={self.total}, "
+                f"minimum={self.minimum}, maximum={self.maximum})")
+
+
+class QuantileSketch:
+    """Mergeable log-bucketed quantile sketch over non-negative floats.
+
+    A positive value ``v = m * 2**e`` (``m`` in [0.5, 1)) is assigned to
+    bucket ``(e, floor((m - 0.5) * 2**(precision + 1)))``; zero has its own
+    bucket.  Bucket relative width is ``2**-precision``, so estimating with
+    the bucket midpoint gives relative error at most
+    :func:`relative_error_bound` — for any input distribution.
+
+    Merging two sketches of equal precision adds bucket counts: exactly
+    associative, commutative, and respecting the empty sketch as identity
+    (property-tested in ``tests/workload/test_aggregate.py``).
+    """
+
+    __slots__ = ("precision", "stats", "_zero", "_buckets")
+
+    def __init__(self, precision=DEFAULT_PRECISION):
+        if not 1 <= int(precision) <= 20:
+            raise ValueError(f"precision must be in [1, 20], got {precision}")
+        self.precision = int(precision)
+        self.stats = RunningStats()
+        self._zero = 0
+        #: (exponent, sub-bucket) -> count
+        self._buckets = {}
+
+    # -- ingest ------------------------------------------------------------------
+    def add(self, value, count=1):
+        """Fold *count* occurrences of *value* into the sketch."""
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"sketch domain is non-negative finite floats, got {value!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        stats = self.stats
+        stats.count += count
+        # Fold each occurrence separately: ``value * count`` would round the
+        # product, making a weighted add differ from *count* plain adds.
+        for _ in range(count):
+            _add_partial(stats._partials, value)
+        if value < stats.minimum:
+            stats.minimum = value
+        if value > stats.maximum:
+            stats.maximum = value
+        if value == 0.0:
+            self._zero += count
+            return
+        mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+        sub = int((mantissa - 0.5) * (1 << (self.precision + 1)))
+        key = (exponent, sub)
+        self._buckets[key] = self._buckets.get(key, 0) + count
+
+    # -- merge -------------------------------------------------------------------
+    def merge(self, other):
+        """Fold *other* into this sketch (exact: bucket-count addition)."""
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"cannot merge {type(other).__name__} into a sketch")
+        if other.precision != self.precision:
+            raise ValueError(
+                f"cannot merge sketches of different precision "
+                f"({self.precision} vs {other.precision})")
+        self.stats.merge(other.stats)
+        self._zero += other._zero
+        for key, count in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + count
+        return self
+
+    def copy(self):
+        clone = QuantileSketch(self.precision)
+        clone.merge(self)
+        return clone
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def count(self):
+        return self.stats.count
+
+    @property
+    def total(self):
+        return self.stats.total
+
+    @property
+    def mean(self):
+        return self.stats.mean
+
+    @property
+    def minimum(self):
+        return self.stats.minimum if self.count else 0.0
+
+    @property
+    def maximum(self):
+        return self.stats.maximum if self.count else 0.0
+
+    def _bucket_midpoint(self, key):
+        exponent, sub = key
+        width = 2.0 ** (exponent - self.precision - 1)
+        low = (0.5 + sub / (1 << (self.precision + 1))) * 2.0 ** exponent
+        return low + width / 2.0
+
+    def _value_at_rank(self, rank):
+        """Midpoint estimate of the 0-based order statistic at *rank*.
+
+        The extreme order statistics are known exactly (the stats track
+        min/max), so p0 and p100 are exact, not bucket estimates.
+        """
+        if rank <= 0:
+            return self.minimum
+        if rank >= self.count - 1:
+            return self.maximum
+        if rank < self._zero:
+            return 0.0
+        remaining = rank - self._zero
+        for key in sorted(self._buckets):
+            count = self._buckets[key]
+            if remaining < count:
+                return self._bucket_midpoint(key)
+            remaining -= count
+        return self.maximum  # rank beyond the population: clamp to max
+
+    def quantile(self, fraction):
+        """Estimate of the *fraction* quantile (numpy linear-interpolation
+        convention: rank ``fraction * (count - 1)``, interpolated between the
+        two adjacent order statistics).
+
+        The estimate is within :func:`relative_error_bound` relative error of
+        the exact sorted-list answer, and is monotone non-decreasing in
+        *fraction* (both property-tested).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.count:
+            return 0.0
+        position = fraction * (self.count - 1)
+        low_rank = math.floor(position)
+        frac = position - low_rank
+        low = self._value_at_rank(low_rank)
+        value = low if frac == 0.0 \
+            else low + (self._value_at_rank(low_rank + 1) - low) * frac
+        # Clamp into the exact observed envelope: p0/p100 are exact, and a
+        # constant stream answers exactly at every quantile.
+        return min(max(value, self.minimum), self.maximum)
+
+    # -- serialisation -----------------------------------------------------------
+    def as_dict(self):
+        """JSON-friendly canonical form (buckets sorted, counts exact)."""
+        return {
+            "format": SKETCH_FORMAT_VERSION,
+            "precision": self.precision,
+            "zero": self._zero,
+            "buckets": [[exponent, sub, self._buckets[(exponent, sub)]]
+                        for exponent, sub in sorted(self._buckets)],
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict) \
+                or data.get("format") != SKETCH_FORMAT_VERSION:
+            raise ValueError(f"not a serialised quantile sketch: {data!r}")
+        sketch = cls(precision=data["precision"])
+        sketch._zero = int(data["zero"])
+        sketch._buckets = {(int(exponent), int(sub)): int(count)
+                           for exponent, sub, count in data["buckets"]}
+        sketch.stats = RunningStats.from_dict(data["stats"])
+        return sketch
+
+    def _canonical(self):
+        """The serialised form minus the stats partials, whose internal
+        layout may legally differ between two orderings of the same fold."""
+        data = self.as_dict()
+        data["stats"] = {key: data["stats"][key]
+                         for key in ("count", "total", "min", "max")}
+        return data
+
+    def __eq__(self, other):
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return self._canonical() == other._canonical()
+
+    def __repr__(self):
+        return (f"<QuantileSketch n={self.count} precision={self.precision} "
+                f"buckets={len(self._buckets)}>")

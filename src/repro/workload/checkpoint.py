@@ -1,0 +1,200 @@
+"""Checkpoint/restart for long service-driver runs.
+
+A million-session run is cheap to *measure* (constant-memory aggregates, see
+:mod:`repro.workload.aggregate`) but expensive to *lose*: the fold state is
+the only copy of the run's results.  A :class:`RunCheckpoint` serialises the
+driver's measurement layer — the folded quantile sketches, the scalar totals,
+and the set of request indices already folded — so an interrupted run can be
+resumed and produce **exactly** the envelope the uninterrupted run would
+have.
+
+Why this is sound without serialising the simulator: every source of
+randomness in a trial is a pure function of ``(trial_seed, index)`` (see
+:mod:`repro.workload.arrival`) and the simulator is deterministic, so a
+resumed run *replays* the simulation from the start — bit-identical — while
+the driver skips re-folding the sessions the checkpoint already accounted
+for and restores their aggregate contribution from the checkpoint.  The
+result is the uninterrupted envelope, whatever event count (including
+mid-session, with collectives in flight) the checkpoint was taken at.
+Checkpoints may be taken at any fold boundary; nothing about the machine
+state needs to be saved, which is what makes the format a few KB at any
+scale.
+
+Integrity: a checkpoint embeds a ``fingerprint`` of the run it belongs to
+(workload, machine shape, method, scheduler, seed) and a ``payload_hash``
+over its own content.  Loading a corrupted file, a different run's
+checkpoint, or a checkpoint from an older schema raises
+:class:`CheckpointError` — a stale checkpoint must never silently seed a new
+run's aggregates.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from bisect import bisect_right
+
+#: Bump when the checkpoint layout changes; older files are rejected.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt, stale, or belongs to a different run."""
+
+
+class IndexRanges:
+    """A set of non-negative ints stored as sorted half-open ranges.
+
+    Completion indices arrive nearly in order, so the ranges stay few and
+    membership/insert stay O(log r) — constant memory in the session count.
+    """
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges=()):
+        self._ranges = [[int(start), int(stop)] for start, stop in ranges]
+        if any(start >= stop for start, stop in self._ranges):
+            raise ValueError(f"empty or inverted range in {ranges!r}")
+        if any(self._ranges[i][1] > self._ranges[i + 1][0]
+               for i in range(len(self._ranges) - 1)):
+            raise ValueError(f"overlapping or unsorted ranges in {ranges!r}")
+
+    def add(self, index):
+        """Insert *index*, merging with adjacent ranges."""
+        index = int(index)
+        ranges = self._ranges
+        position = bisect_right(ranges, index, key=lambda r: r[0])
+        before = ranges[position - 1] if position else None
+        after = ranges[position] if position < len(ranges) else None
+        if before is not None and index < before[1]:
+            return  # already present
+        touches_before = before is not None and index == before[1]
+        touches_after = after is not None and index == after[0] - 1
+        if touches_before and touches_after:
+            before[1] = after[1]
+            del ranges[position]
+        elif touches_before:
+            before[1] = index + 1
+        elif touches_after:
+            after[0] = index
+        else:
+            ranges.insert(position, [index, index + 1])
+
+    def __contains__(self, index):
+        position = bisect_right(self._ranges, index, key=lambda r: r[0])
+        return position > 0 and index < self._ranges[position - 1][1]
+
+    def __len__(self):
+        return sum(stop - start for start, stop in self._ranges)
+
+    def as_list(self):
+        return [list(pair) for pair in self._ranges]
+
+    def __repr__(self):
+        return f"<IndexRanges n={len(self)} ranges={len(self._ranges)}>"
+
+
+def _canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def run_fingerprint(workload_dict, method, machine_dict, trial_seed,
+                    disk_scheduler="fcfs", shared_queue_workers=2,
+                    fault_description=None):
+    """Stable hash naming one run: its workload, machine, method and seed.
+
+    Two runs with the same fingerprint replay identically, so a checkpoint
+    may only be restored into a driver whose fingerprint matches.
+    """
+    payload = {
+        "workload": workload_dict,
+        "method": method,
+        "machine": machine_dict,
+        "trial_seed": trial_seed,
+        "disk_scheduler": disk_scheduler,
+        "shared_queue_workers": shared_queue_workers,
+        "faults": fault_description,
+    }
+    return hashlib.sha256(
+        _canonical(payload).encode("utf-8")).hexdigest()[:32]
+
+
+class RunCheckpoint:
+    """The driver's folded measurement state at one fold boundary."""
+
+    __slots__ = ("fingerprint", "folded", "response_sketch", "service_sketch",
+                 "aggregates", "max_in_flight")
+
+    def __init__(self, fingerprint, folded, response_sketch, service_sketch,
+                 aggregates, max_in_flight):
+        self.fingerprint = fingerprint
+        self.folded = folded                  # IndexRanges
+        self.response_sketch = response_sketch  # serialised dict
+        self.service_sketch = service_sketch    # serialised dict
+        self.aggregates = aggregates            # scalar totals dict
+        self.max_in_flight = max_in_flight
+
+    def _payload(self):
+        return {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "folded": self.folded.as_list(),
+            "response_sketch": self.response_sketch,
+            "service_sketch": self.service_sketch,
+            "aggregates": self.aggregates,
+            "max_in_flight": self.max_in_flight,
+        }
+
+    def save(self, path):
+        """Atomically write the checkpoint (temp file + rename)."""
+        payload = self._payload()
+        payload["payload_hash"] = hashlib.sha256(
+            _canonical(payload).encode("utf-8")).hexdigest()
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".ckpt-",
+                                        suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path):
+        """Read and validate a checkpoint; raises :class:`CheckpointError`."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CheckpointError(f"unreadable checkpoint {path!r}: {error}")
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"not a checkpoint: {path!r}")
+        claimed_hash = payload.pop("payload_hash", None)
+        actual_hash = hashlib.sha256(
+            _canonical(payload).encode("utf-8")).hexdigest()
+        if claimed_hash != actual_hash:
+            raise CheckpointError(
+                f"checkpoint {path!r} failed its integrity hash "
+                f"(corrupt or tampered)")
+        if payload.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path!r} has schema {payload.get('schema')!r}; "
+                f"this build reads schema {CHECKPOINT_SCHEMA_VERSION}")
+        try:
+            return cls(
+                fingerprint=payload["fingerprint"],
+                folded=IndexRanges(payload["folded"]),
+                response_sketch=payload["response_sketch"],
+                service_sketch=payload["service_sketch"],
+                aggregates=dict(payload["aggregates"]),
+                max_in_flight=int(payload["max_in_flight"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing or mangles required "
+                f"fields: {error}")

@@ -48,7 +48,8 @@ bleed into each other's metrics.
 """
 
 import math
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -59,7 +60,14 @@ from repro.machine import Machine, MachineConfig
 from repro.patterns import make_pattern
 from repro.sim.events import AllOf
 from repro.sim.resources import Resource
+from repro.workload.aggregate import QuantileSketch
 from repro.workload.arrival import make_arrival, request_rng
+from repro.workload.checkpoint import (
+    CheckpointError,
+    IndexRanges,
+    RunCheckpoint,
+    run_fingerprint,
+)
 from repro.workload.sizes import SIZE_DISTRIBUTIONS, sample_file_sizes
 
 MEGABYTE = float(2 ** 20)
@@ -189,9 +197,13 @@ def percentile(values, fraction):
 class ServiceResult:
     """Outcome of one service-driver run.
 
-    ``requests`` holds one plain dictionary per request (JSON-friendly, so
-    results cache and round-trip losslessly): index, file, pattern, arrival /
-    admitted / completed times, bytes requested and bytes actually moved.
+    Percentiles and fault totals are carried by *mergeable aggregates* —
+    log-bucketed quantile sketches (:mod:`repro.workload.aggregate`) and
+    scalar totals folded in as each session completes — so a result is O(1)
+    in the request count.  ``requests`` additionally holds one plain
+    dictionary per request (index, file, pattern, arrival / admitted /
+    completed times, bytes requested and moved) when the driver runs with
+    ``retain_requests=True``; streaming runs leave it empty.
     """
 
     method: str
@@ -215,6 +227,14 @@ class ServiceResult:
     #: faulted drive (empty on a healthy machine), so the result envelope
     #: pins exactly which faults a trial injected
     fault_plans: list = field(default_factory=list)
+    #: serialised :class:`~repro.workload.aggregate.QuantileSketch` of
+    #: arrival-to-completion response times (the percentile source)
+    response_sketch: dict = field(default_factory=dict)
+    #: serialised sketch of admission-to-completion service times
+    service_sketch: dict = field(default_factory=dict)
+    #: scalar fold totals: completed count, bytes requested/failed/lost,
+    #: retries, degraded completions, and the running conservation check
+    aggregates: dict = field(default_factory=dict)
 
     # -- whole-run metrics -------------------------------------------------------
     @property
@@ -237,45 +257,83 @@ class ServiceResult:
     # -- per-request metrics -----------------------------------------------------
     @property
     def response_times(self):
-        """Arrival-to-completion time of every request, in request order."""
+        """Arrival-to-completion time of every retained request, in request
+        order.  Empty for streaming runs — use the sketch instead."""
         return [record["completed_time"] - record["arrival_time"]
                 for record in self.requests]
 
     @property
     def service_times(self):
-        """Admission-to-completion time of every request, in request order."""
+        """Admission-to-completion time of every retained request, in request
+        order.  Empty for streaming runs — use the sketch instead."""
         return [record["completed_time"] - record["admitted_time"]
                 for record in self.requests]
 
+    def _sketch(self, attribute):
+        """Deserialise (and memoise) one of the two quantile sketches."""
+        cache_name = f"_{attribute}_obj"
+        sketch = getattr(self, cache_name, None)
+        if sketch is None:
+            data = getattr(self, attribute)
+            sketch = QuantileSketch.from_dict(data) if data \
+                else QuantileSketch()
+            object.__setattr__(self, cache_name, sketch)
+        return sketch
+
     def response_percentile(self, fraction):
-        """Response-time percentile, e.g. ``response_percentile(0.99)``."""
+        """Response-time percentile, e.g. ``response_percentile(0.99)``.
+
+        Estimated from the mergeable quantile sketch — within the documented
+        relative error bound (:func:`repro.workload.aggregate.
+        relative_error_bound`) of the sorted-list answer, at O(1) memory in
+        the request count.  Results built without a sketch (e.g. assembled by
+        hand in tests) fall back to the exact sorted-list percentile of the
+        retained records.
+        """
+        if self.response_sketch:
+            return self._sketch("response_sketch").quantile(fraction)
         return percentile(self.response_times, fraction)
+
+    def service_percentile(self, fraction):
+        """Admission-to-completion time percentile, from the sketch."""
+        if self.service_sketch:
+            return self._sketch("service_sketch").quantile(fraction)
+        return percentile(self.service_times, fraction)
 
     @property
     def mean_response_time(self):
+        if self.response_sketch:
+            return self._sketch("response_sketch").mean
         times = self.response_times
         return sum(times) / len(times) if times else 0.0
 
     # -- fault accounting --------------------------------------------------------
+    def _aggregate(self, name, record_key):
+        """A fold total, falling back to summing retained records for
+        results assembled without aggregates (e.g. by hand in tests)."""
+        if self.aggregates:
+            return self.aggregates.get(name, 0)
+        return sum(record.get(record_key, 0) for record in self.requests)
+
     @property
     def failed_bytes(self):
         """Read bytes requested but never delivered (given up under faults)."""
-        return sum(record.get("bytes_failed", 0) for record in self.requests)
+        return self._aggregate("bytes_failed", "bytes_failed")
 
     @property
     def lost_bytes(self):
         """Write bytes shipped over the wire but never made durable."""
-        return sum(record.get("bytes_lost", 0) for record in self.requests)
+        return self._aggregate("bytes_lost", "bytes_lost")
 
     @property
     def total_retries(self):
         """Disk requests re-submitted by the retry policy, whole run."""
-        return sum(record.get("retries", 0) for record in self.requests)
+        return self._aggregate("retries", "retries")
 
     @property
     def degraded_requests(self):
         """Number of requests that completed degraded (partial data)."""
-        return sum(record.get("degraded", 0) for record in self.requests)
+        return self._aggregate("degraded", "degraded")
 
     @property
     def goodput(self):
@@ -295,8 +353,13 @@ class ServiceResult:
         """True when every requested byte is delivered or accounted failed.
 
         On a healthy machine ``bytes_failed`` is always zero and this reduces
-        to the original ``bytes_moved == bytes_requested`` invariant.
+        to the original ``bytes_moved == bytes_requested`` invariant.  The
+        check is folded per session at completion (so streaming runs keep
+        it without retaining records); results assembled without aggregates
+        fall back to checking the retained records.
         """
+        if self.aggregates:
+            return bool(self.aggregates.get("conserved", False))
         return all(record["bytes_moved"] + record.get("bytes_failed", 0)
                    == record["bytes_requested"]
                    for record in self.requests)
@@ -308,6 +371,16 @@ class ServiceResult:
                 f"p99={self.response_percentile(0.99) * 1e3:7.2f} ms")
 
 
+#: Handler-spawn window for streaming open-loop runs: how many arrived
+#: requests may exist as live (pending-unadmitted) simulator processes at
+#: once.  The window only has to exceed the number of admission slots that
+#: can free at one simulated instant (at most ``concurrency``) for admission
+#: instants to match the materialised reference exactly; it is generous
+#: because handlers are small and the backlog itself stays implicit in the
+#: arrival cursor.
+STREAM_SPAWN_WINDOW = 64
+
+
 class ServiceDriver:
     """Streams a :class:`ServiceWorkload` through one machine.
 
@@ -316,19 +389,68 @@ class ServiceDriver:
     are spread over.  The driver owns the admission scheduler: a counting
     semaphore of ``workload.concurrency`` slots, acquired before
     ``begin_transfer`` and released at completion.
+
+    Measurement is *streaming*: each session's response/service time and
+    byte/fault counters are folded into mergeable aggregates
+    (:mod:`repro.workload.aggregate`) the moment it completes, so driver-side
+    memory is O(1) in the request count.  With ``retain_requests=True`` (the
+    default, for small runs and the differential reference) the driver
+    additionally keeps the per-request record list and uses the exact
+    handler-per-arrival open-loop generator; ``retain_requests=False`` keeps
+    only the aggregates and bounds live open-loop handlers by a spawn window
+    driven from the (deterministic) arrival cursor.
+
+    ``checkpoint_every``/``checkpoint_path`` write a
+    :class:`~repro.workload.checkpoint.RunCheckpoint` of the fold state every
+    N completions; ``resume_from`` (a checkpoint object or path) restores one
+    — the resumed replay skips re-folding already-accounted sessions and
+    reproduces the uninterrupted run's envelope exactly (see
+    :mod:`repro.workload.checkpoint` for why that is sound).
     """
 
-    def __init__(self, machine, implementation, files, workload):
+    def __init__(self, machine, implementation, files, workload,
+                 retain_requests=True, checkpoint_every=0,
+                 checkpoint_path=None, resume_from=None):
         self.machine = machine
         self.env = machine.env
         self.implementation = implementation
         self.files = list(files)
         self.workload = workload
+        self.retain_requests = retain_requests
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        if isinstance(resume_from, (str, os.PathLike)):
+            resume_from = RunCheckpoint.load(resume_from)
+        self._resume = resume_from
         self.admission = Resource(machine.env, capacity=workload.concurrency,
                                   name="service-admission")
         self._in_flight = 0
         self.max_in_flight = 0
         self._records = []
+        self._reset_fold_state()
+
+    def _reset_fold_state(self):
+        self._response_sketch = QuantileSketch()
+        self._service_sketch = QuantileSketch()
+        self._folded = IndexRanges()
+        self._totals = {
+            "completed": 0,
+            "bytes_requested": 0,
+            "bytes_moved": 0,
+            "bytes_failed": 0,
+            "bytes_lost": 0,
+            "retries": 0,
+            "degraded": 0,
+            "conserved": True,
+            "first_arrival": None,
+            "last_completion": None,
+        }
+        self._fingerprint = None
+        self._completions = 0
+        self._complete_event = None
+        self._window = None
+        self._window_pending = None
+        self._window_waiter = None
 
     # -- request planning --------------------------------------------------------
     def plan_request(self, trial_seed, index):
@@ -377,9 +499,14 @@ class ServiceDriver:
         workload = self.workload
         seed = workload.seed if trial_seed is None else trial_seed
         arrival = workload.make_arrival_process()
-        self._records = [None] * workload.n_requests
+        self._records = [None] * workload.n_requests if self.retain_requests \
+            else None
         self._in_flight = 0
         self.max_in_flight = 0
+        self._reset_fold_state()
+        self._fingerprint = self.run_fingerprint(seed)
+        if self._resume is not None:
+            self._restore(self._resume)
         run_start = self.env.now
 
         if arrival.closed_loop:
@@ -390,18 +517,26 @@ class ServiceDriver:
             done = AllOf(self.env, streams)
         else:
             handlers_done = self.env.event()
-            self.env.process(self._open_loop_generator(seed, arrival, handlers_done))
+            if self.retain_requests:
+                self.env.process(
+                    self._open_loop_generator(seed, arrival, handlers_done))
+            else:
+                # Streaming: bound live handlers by the spawn window; the
+                # backlog stays implicit in the deterministic arrival cursor.
+                self._window = max(2 * workload.concurrency,
+                                   STREAM_SPAWN_WINDOW)
+                self._window_pending = 0
+                self._complete_event = handlers_done
+                self.env.process(self._open_loop_streaming(seed, arrival))
             done = handlers_done
         self.env.run(done, watchdog=watchdog)
 
-        total_bytes = sum(record["bytes_moved"] for record in self._records)
-        end_time = max((record["completed_time"] for record in self._records),
-                       default=run_start)
+        totals = self._totals
         # The makespan runs from the *first arrival* to the last completion:
         # an open-loop run's idle lead-in (the first interarrival gap) is not
         # service time and must not deflate throughput.
-        first_arrival = min((record["arrival_time"] for record in self._records),
-                            default=run_start)
+        first_arrival = totals["first_arrival"]
+        end_time = totals["last_completion"]
         return ServiceResult(
             method=self.implementation.method_name,
             arrival=arrival.describe(),
@@ -411,18 +546,68 @@ class ServiceDriver:
             n_iops=self.machine.config.n_iops,
             n_disks=self.machine.config.n_disks,
             seed=seed,
-            start_time=first_arrival,
-            end_time=end_time,
-            total_bytes=total_bytes,
+            start_time=run_start if first_arrival is None else first_arrival,
+            end_time=run_start if end_time is None else end_time,
+            total_bytes=totals["bytes_moved"],
             max_in_flight=self.max_in_flight,
-            requests=list(self._records),
+            requests=list(self._records) if self._records is not None else [],
             counters={name: counter.value
                       for name, counter in self.implementation.counters.items()},
             file_sizes=[striped.size_bytes for striped in self.files],
             fault_plans=[plan.describe()
                          for plan in getattr(self.machine, "fault_plans", [])
                          if plan is not None],
+            response_sketch=self._response_sketch.as_dict(),
+            service_sketch=self._service_sketch.as_dict(),
+            aggregates=dict(totals),
         )
+
+    # -- checkpoint/restart ------------------------------------------------------
+    def run_fingerprint(self, trial_seed):
+        """The identity a checkpoint of this run carries (see
+        :func:`repro.workload.checkpoint.run_fingerprint`)."""
+        machine = self.machine
+        return run_fingerprint(
+            workload_dict=asdict(self.workload),
+            method=self.implementation.method_name,
+            machine_dict=asdict(machine.config),
+            trial_seed=trial_seed,
+            disk_scheduler=machine.disk_scheduler,
+            shared_queue_workers=machine.shared_queue_workers,
+            fault_description=[plan.describe()
+                               for plan in getattr(machine, "fault_plans", [])
+                               if plan is not None],
+        )
+
+    def write_checkpoint(self, path=None):
+        """Snapshot the fold state (atomic write); see :class:`RunCheckpoint`."""
+        target = self.checkpoint_path if path is None else path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        RunCheckpoint(
+            fingerprint=self._fingerprint,
+            folded=self._folded,
+            response_sketch=self._response_sketch.as_dict(),
+            service_sketch=self._service_sketch.as_dict(),
+            aggregates=dict(self._totals),
+            max_in_flight=self.max_in_flight,
+        ).save(target)
+
+    def _restore(self, checkpoint):
+        if checkpoint.fingerprint != self._fingerprint:
+            raise CheckpointError(
+                f"checkpoint fingerprint {checkpoint.fingerprint} does not "
+                f"match this run ({self._fingerprint}): it belongs to a "
+                f"different workload, machine, method or seed")
+        self._folded = IndexRanges(checkpoint.folded.as_list())
+        if checkpoint.response_sketch:
+            self._response_sketch = QuantileSketch.from_dict(
+                checkpoint.response_sketch)
+        if checkpoint.service_sketch:
+            self._service_sketch = QuantileSketch.from_dict(
+                checkpoint.service_sketch)
+        self._totals.update(checkpoint.aggregates)
+        self.max_in_flight = max(self.max_in_flight, checkpoint.max_in_flight)
 
     def _closed_loop_client(self, trial_seed, arrival, client_index):
         """One closed-loop client: its share of the stream, one at a time.
@@ -460,38 +645,125 @@ class ServiceDriver:
         yield AllOf(self.env, handlers)
         handlers_done.succeed()
 
-    def _handle_request(self, trial_seed, index):
-        """Admit, run and account one collective request."""
+    def _open_loop_streaming(self, trial_seed, arrival):
+        """Constant-memory open loop: spawn handlers from an arrival cursor.
+
+        The cursor walks arrival times in index order (the same cumulative
+        interarrival sums the reference generator produces) but only keeps
+        ``self._window`` handlers alive at once: the next handler is spawned
+        when a handler is *admitted* (freeing a window slot) and its arrival
+        time has been reached.  Because the window always holds the
+        earliest-index pending requests and exceeds the number of admission
+        slots that can free at one instant, every admission grant finds the
+        same request at the same simulated time as the materialised
+        reference — the backlog beyond the window exists only as the
+        not-yet-advanced cursor, at zero memory.
+        """
+        workload = self.workload
+        clock = self.env.now
+        for index in range(workload.n_requests):
+            clock += arrival.interarrival(trial_seed, index)
+            while self._window_pending >= self._window:
+                self._window_waiter = self.env.event()
+                yield self._window_waiter
+            delay = clock - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._window_pending += 1
+            self.env.process(self._handle_request(trial_seed, index,
+                                                  arrival_time=clock))
+        # Completion of the last handler fires self._complete_event.
+
+    def _note_admitted(self):
+        """Streaming-mode bookkeeping: an admission frees a window slot."""
+        if self._window_pending is None:
+            return
+        self._window_pending -= 1
+        waiter = self._window_waiter
+        if waiter is not None and self._window_pending < self._window:
+            self._window_waiter = None
+            waiter.succeed()
+
+    def _fold_session(self, arrival_time, admitted_time, completed_time,
+                      session):
+        """Fold one completed session into the mergeable aggregates."""
+        counters = session.result.counters
+        moved = session.bytes_moved
+        requested = session.bytes_requested
+        failed = counters.get("failed_bytes", 0)
+        totals = self._totals
+        totals["completed"] += 1
+        totals["bytes_requested"] += requested
+        totals["bytes_moved"] += moved
+        totals["bytes_failed"] += failed
+        totals["bytes_lost"] += counters.get("lost_bytes", 0)
+        totals["retries"] += counters.get("retries", 0)
+        totals["degraded"] += counters.get("degraded", 0)
+        if moved + failed != requested:
+            totals["conserved"] = False
+        if totals["first_arrival"] is None \
+                or arrival_time < totals["first_arrival"]:
+            totals["first_arrival"] = arrival_time
+        if totals["last_completion"] is None \
+                or completed_time > totals["last_completion"]:
+            totals["last_completion"] = completed_time
+        self._response_sketch.add(completed_time - arrival_time)
+        self._service_sketch.add(completed_time - admitted_time)
+        if self.checkpoint_every and self.checkpoint_path \
+                and totals["completed"] % self.checkpoint_every == 0:
+            self.write_checkpoint()
+
+    def _handle_request(self, trial_seed, index, arrival_time=None):
+        """Admit, run and account one collective request.
+
+        *arrival_time* is passed by the streaming open loop (whose handlers
+        may be spawned after their planned arrival when the window is full);
+        when ``None`` the request arrives the moment the handler starts.
+        """
         striped_file, pattern = self.plan_request(trial_seed, index)
-        arrival_time = self.env.now
+        if arrival_time is None:
+            arrival_time = self.env.now
         slot = self.admission.request()
         yield slot
         admitted_time = self.env.now
         self._in_flight += 1
         self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        self._note_admitted()
         session = self.implementation.begin_transfer(pattern, striped_file)
         yield session.done
         self._in_flight -= 1
         self.admission.release(slot)
-        self._records[index] = {
-            "index": index,
-            "file": striped_file.name,
-            "pattern": pattern.name,
-            "mode": pattern.mode,
-            "arrival_time": arrival_time,
-            "admitted_time": admitted_time,
-            "completed_time": self.env.now,
-            "record_size": pattern.record_size,
-            "bytes_requested": session.bytes_requested,
-            "bytes_moved": session.bytes_moved,
-            # Fault accounting (all zero on a healthy machine), snapshotted
-            # from the completed session's result so concurrent requests
-            # cannot bleed into each other's tallies.
-            "bytes_failed": session.result.counters.get("failed_bytes", 0),
-            "bytes_lost": session.result.counters.get("lost_bytes", 0),
-            "retries": session.result.counters.get("retries", 0),
-            "degraded": session.result.counters.get("degraded", 0),
-        }
+        completed_time = self.env.now
+        if index not in self._folded:
+            # Resumed replays skip sessions the checkpoint already folded;
+            # their aggregate contribution was restored from the checkpoint.
+            self._folded.add(index)
+            self._fold_session(arrival_time, admitted_time, completed_time,
+                               session)
+        if self._records is not None:
+            self._records[index] = {
+                "index": index,
+                "file": striped_file.name,
+                "pattern": pattern.name,
+                "mode": pattern.mode,
+                "arrival_time": arrival_time,
+                "admitted_time": admitted_time,
+                "completed_time": completed_time,
+                "record_size": pattern.record_size,
+                "bytes_requested": session.bytes_requested,
+                "bytes_moved": session.bytes_moved,
+                # Fault accounting (all zero on a healthy machine),
+                # snapshotted from the completed session's result so
+                # concurrent requests cannot bleed into each other's tallies.
+                "bytes_failed": session.result.counters.get("failed_bytes", 0),
+                "bytes_lost": session.result.counters.get("lost_bytes", 0),
+                "retries": session.result.counters.get("retries", 0),
+                "degraded": session.result.counters.get("degraded", 0),
+            }
+        self._completions += 1
+        if self._complete_event is not None \
+                and self._completions == self.workload.n_requests:
+            self._complete_event.succeed()
 
 
 def build_service_machine(workload, machine_config=None, seed=None,
@@ -537,7 +809,8 @@ def build_service_machine(workload, machine_config=None, seed=None,
 def run_service(method, workload, machine_config=None, seed=None,
                 disk_scheduler="fcfs", shared_queue_workers=2,
                 fault_config=None, on_fault="retry", watchdog=None,
-                **fs_kwargs):
+                retain_requests=True, checkpoint_every=0,
+                checkpoint_path=None, resume_from=None, **fs_kwargs):
     """Build a machine, drive *workload* through it, return the :class:`ServiceResult`.
 
     Extra keyword arguments are forwarded to the file-system implementation
@@ -546,12 +819,22 @@ def run_service(method, workload, machine_config=None, seed=None,
     ``fault_config`` / ``on_fault`` inject deterministic drive faults and
     pick the client response (see :func:`build_service_machine`);
     ``watchdog`` bounds wall time without simulated progress.
+
+    ``retain_requests=False`` runs the driver in constant-memory streaming
+    mode (no per-request records; percentiles come from the mergeable
+    sketch — they always do).  ``checkpoint_every``/``checkpoint_path``
+    write periodic fold-state checkpoints and ``resume_from`` restores one
+    (see :mod:`repro.workload.checkpoint`).
     """
     machine, implementation, files = build_service_machine(
         workload, machine_config=machine_config, seed=seed, method=method,
         disk_scheduler=disk_scheduler,
         shared_queue_workers=shared_queue_workers,
         fault_config=fault_config, on_fault=on_fault, **fs_kwargs)
-    driver = ServiceDriver(machine, implementation, files, workload)
+    driver = ServiceDriver(machine, implementation, files, workload,
+                           retain_requests=retain_requests,
+                           checkpoint_every=checkpoint_every,
+                           checkpoint_path=checkpoint_path,
+                           resume_from=resume_from)
     return driver.run(trial_seed=workload.seed if seed is None else seed,
                       watchdog=watchdog)

@@ -26,7 +26,10 @@ def tiny_config(**overrides):
 
 
 def _entry_path(cache, config):
-    return cache.directory / f"{trial_cache_key(config, config.seed)}.json"
+    # Pins the shared store's on-disk contract: entries are sharded by the
+    # first two hex digits of their content-addressed key.
+    key = trial_cache_key(config, config.seed)
+    return cache.directory / key[:2] / f"{key}.json"
 
 
 class TestSchemaStamp:

@@ -23,7 +23,7 @@ class TestFigureGenerators:
         assert set(FIGURES) == {"table1", "figure3", "figure4", "figure5",
                                 "figure6", "figure7", "figure8", "service",
                                 "service-sched", "service-overload",
-                                "service-faults"}
+                                "service-faults", "service-millions"}
 
     def test_figure3_runs_subset(self):
         summaries, text = figure3(record_sizes=(8192,), patterns=("rb", "rc"), **FAST)

@@ -24,6 +24,11 @@ def results_as_dicts(summary):
     return [dataclasses.asdict(result) for result in summary.results]
 
 
+def entry_path(directory, key):
+    """Where the shared store files *key*: sharded by its first two digits."""
+    return directory / key[:2] / f"{key}.json"
+
+
 @pytest.fixture
 def config_list():
     return [tiny_config(method=method, pattern=pattern, label=method)
@@ -131,7 +136,7 @@ class TestResultCache:
         config = tiny_config()
         run_trials(config, trials=1, cache=cache)
         key = trial_cache_key(config, config.seed)
-        (tmp_path / f"{key}.json").write_text("{not json")
+        entry_path(tmp_path, key).write_text("{not json")
         assert cache.get(key) is None
 
     def test_stale_schema_entry_treated_as_miss(self, tmp_path):
@@ -141,7 +146,7 @@ class TestResultCache:
         config = tiny_config()
         run_trials(config, trials=1, cache=cache)
         key = trial_cache_key(config, config.seed)
-        (tmp_path / f"{key}.json").write_text('{"obsolete_field": 1}')
+        entry_path(tmp_path, key).write_text('{"obsolete_field": 1}')
         assert cache.get(key) is None
         summary = run_trials(config, trials=1, cache=cache)  # re-simulates
         assert summary.results
@@ -149,19 +154,19 @@ class TestResultCache:
     def test_clear_removes_entries(self, tmp_path):
         cache = ResultCache(tmp_path)
         run_trials(tiny_config(), trials=1, cache=cache)
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.rglob("*.json"))
         cache.clear()
-        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.rglob("*.json"))
 
     def test_cache_accepts_plain_path(self, tmp_path):
         directory = tmp_path / "cache-dir"
         sweep_parallel([tiny_config()], trials=1, cache=str(directory))
-        assert list(directory.glob("*.json"))
+        assert list(directory.rglob("*.json"))
 
     def test_entries_are_valid_json(self, tmp_path):
         cache = ResultCache(tmp_path)
         run_trials(tiny_config(), trials=1, cache=cache)
-        for path in tmp_path.glob("*.json"):
+        for path in tmp_path.rglob("*.json"):
             data = json.loads(path.read_text())
             assert "bytes_transferred" in data
 

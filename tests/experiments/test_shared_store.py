@@ -1,0 +1,181 @@
+"""Concurrency and integrity tests for the content-addressed shared store.
+
+The :class:`ResultCache` is shared between the processes of one parallel
+sweep and between N hosts cooperating over one directory.  These tests pin
+the properties that make that safe: racing writers never corrupt an entry or
+serve a partial envelope (atomic temp-file + rename), every read verifies
+the ``content_hash``, schema-version mismatches are rejected and counted,
+and two independent cache handles over the same directory behave as one
+store.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments import ResultCache
+from repro.experiments.runner import CACHE_SCHEMA_VERSION, _RESULT_TYPES
+
+TransferResult = _RESULT_TYPES["TransferResult"]
+
+
+def make_result(marker=0):
+    """A small but real result object (the store reconstructs by type name)."""
+    return TransferResult(
+        method="disk-directed", pattern_name="rb", layout_name="contiguous",
+        file_size=131072, record_size=8192, n_cps=2, n_iops=1, n_disks=1,
+        start_time=0.0, end_time=1.0 + marker, bytes_transferred=131072,
+        counters={"marker": marker})
+
+
+KEY = "ab" + "0" * 30  # shard "ab"
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_complete_entries(self, tmp_path):
+        # Many threads hammer the same key; a concurrent reader must only
+        # ever see a complete, hash-valid entry — one writer's whole payload,
+        # never a torn mix.
+        cache = ResultCache(tmp_path)
+        errors = []
+        stop = threading.Event()
+
+        def writer(marker):
+            try:
+                for _ in range(50):
+                    cache.put(KEY, make_result(marker))
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        def reader():
+            reader_cache = ResultCache(tmp_path)
+            while not stop.is_set():
+                result = reader_cache.get(KEY)
+                if result is not None and \
+                        result.counters["marker"] not in range(4):
+                    errors.append(AssertionError(f"torn entry: {result}"))
+            if reader_cache.corrupt:
+                errors.append(AssertionError(
+                    f"{reader_cache.corrupt} corrupt reads during the race"))
+
+        threads = [threading.Thread(target=writer, args=(marker,))
+                   for marker in range(4)]
+        observer = threading.Thread(target=reader)
+        observer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        observer.join()
+        assert not errors
+        # The survivor is one complete entry, readable and hash-valid.
+        final = ResultCache(tmp_path).get(KEY)
+        assert final is not None
+        assert final.counters["marker"] in range(4)
+
+    def test_no_temp_file_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for marker in range(10):
+            cache.put(KEY, make_result(marker))
+        leftovers = [path for path in tmp_path.rglob("*")
+                     if path.is_file() and not path.name.endswith(".json")]
+        assert leftovers == []
+
+    def test_distinct_keys_shard_independently(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [f"{first}{second}feed" + "0" * 26
+                for first in "0af" for second in "19c"]
+        for index, key in enumerate(keys):
+            cache.put(key, make_result(index))
+        for index, key in enumerate(keys):
+            assert cache.get(key).counters["marker"] == index
+        shards = {path.parent.name for path in tmp_path.rglob("*.json")}
+        assert shards == {key[:2] for key in keys}
+
+
+class TestSharedDirectory:
+    def test_second_host_reads_first_hosts_entry(self, tmp_path):
+        writer_host = ResultCache(tmp_path)
+        writer_host.put(KEY, make_result(7))
+        reader_host = ResultCache(tmp_path)  # N hosts, one directory
+        result = reader_host.get(KEY)
+        assert result is not None
+        assert result.counters["marker"] == 7
+        assert reader_host.hits == 1
+
+    def test_schema_mismatch_between_hosts_rejected(self, tmp_path):
+        # A host running an older model stamped its entry with an older
+        # schema; this host must re-simulate, not serve it.
+        writer_host = ResultCache(tmp_path)
+        writer_host.put(KEY, make_result())
+        path = writer_host._path(KEY)
+        data = json.loads(path.read_text())
+        data["schema"] = CACHE_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(data))
+        reader_host = ResultCache(tmp_path)
+        assert reader_host.get(KEY) is None
+        assert reader_host.stale == 1
+        assert reader_host.misses == 1
+
+
+class TestContentHash:
+    def _entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, make_result())
+        return cache, cache._path(KEY)
+
+    def test_flipped_field_detected(self, tmp_path):
+        cache, path = self._entry(tmp_path)
+        data = json.loads(path.read_text())
+        data["bytes_transferred"] += 1  # silent corruption, valid JSON
+        path.write_text(json.dumps(data))
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1
+
+    def test_hash_of_wrong_entry_detected(self, tmp_path):
+        # Copying another key's (valid) entry over this one is caught too:
+        # the hash travels with the content, so it still verifies — but a
+        # *mutated* hash field itself must fail.
+        cache, path = self._entry(tmp_path)
+        data = json.loads(path.read_text())
+        data["content_hash"] = "0" * len(data["content_hash"])
+        path.write_text(json.dumps(data))
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1
+
+    def test_intact_entry_verifies(self, tmp_path):
+        cache, _path = self._entry(tmp_path)
+        assert cache.get(KEY) is not None
+        assert cache.corrupt == 0
+
+
+class TestEnvelope:
+    def test_missing_envelope_is_stale(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, make_result())
+        path = cache._path(KEY)
+        data = json.loads(path.read_text())
+        for envelope_key in ("schema", "result_type", "content_hash"):
+            data.pop(envelope_key, None)
+        path.write_text(json.dumps(data))
+        assert cache.get(KEY) is None
+        assert cache.stale == 1
+
+    def test_unknown_result_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, make_result())
+        path = cache._path(KEY)
+        data = json.loads(path.read_text())
+        data["result_type"] = "ResultFromTheFuture"
+        path.write_text(json.dumps(data))
+        assert cache.get(KEY) is None
+
+    def test_clear_empties_all_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for marker, key in enumerate(("aa" + "0" * 30, "bb" + "0" * 30)):
+            cache.put(key, make_result(marker))
+        assert len(list(tmp_path.rglob("*.json"))) == 2
+        cache.clear()
+        assert list(tmp_path.rglob("*.json")) == []

@@ -34,6 +34,26 @@ class TestModelFilter:
             "src/repro/workload/driver.py",
         ]
 
+    def test_runner_module_is_model_relevant(self):
+        # The runner defines the cache envelope, content hash and key
+        # derivation for the multi-host shared store: a change there can
+        # make old entries readable-but-wrong on another host, so it must
+        # carry a bump like any model file.
+        assert model_files_changed(["src/repro/experiments/runner.py"]) == \
+            ["src/repro/experiments/runner.py"]
+
+    def test_other_experiment_harness_files_excluded(self):
+        # Only the runner is envelope-defining; figure plumbing and report
+        # formatting stay exempt.
+        changed = ["src/repro/experiments/figures.py",
+                   "src/repro/experiments/report.py",
+                   "src/repro/experiments/service.py"]
+        assert model_files_changed(changed) == []
+
+    def test_runner_change_without_bump_fails(self):
+        assert needs_bump(["src/repro/experiments/runner.py"], 7, 7)
+        assert not needs_bump(["src/repro/experiments/runner.py"], 6, 7)
+
 
 class TestNeedsBump:
     def test_no_model_change_never_needs_bump(self):

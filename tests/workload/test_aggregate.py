@@ -1,0 +1,241 @@
+"""Property tests for the mergeable quantile sketch.
+
+The streaming driver's correctness rests on two claims made in
+``repro.workload.aggregate``: the merge is an exact monoid operation
+(associative, commutative, empty-sketch identity — so fold order,
+checkpoint/restart and multi-host shard merges can never change an answer),
+and every quantile estimate is within the documented relative error bound of
+the exact sorted-list answer, for *any* input distribution.  This module
+pins both, under hypothesis when installed and over a fixed spread of
+seeded distributions (uniform, Pareto, lognormal, adversarial) either way.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.workload.aggregate import (
+    DEFAULT_PRECISION,
+    QuantileSketch,
+    RunningStats,
+    relative_error_bound,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised in minimal CI images
+    HAVE_HYPOTHESIS = False
+
+#: Quantiles every distribution is checked at, the headline p50/p99 included.
+QUANTILES = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def exact_quantile(values, fraction):
+    """The sorted-list reference (numpy linear-interpolation convention)."""
+    ordered = sorted(values)
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    frac = position - low
+    if frac == 0.0:
+        return ordered[low]
+    return ordered[low] + (ordered[low + 1] - ordered[low]) * frac
+
+
+def sketch_of(values, precision=DEFAULT_PRECISION):
+    sketch = QuantileSketch(precision)
+    for value in values:
+        sketch.add(value)
+    return sketch
+
+
+def sample(distribution, n, seed):
+    """Deterministic draws from the named distribution, including the
+    adversarial shapes the error bound must survive."""
+    rng = random.Random(seed)
+    if distribution == "uniform":
+        return [rng.uniform(0.0, 10.0) for _ in range(n)]
+    if distribution == "pareto":
+        return [rng.paretovariate(1.5) for _ in range(n)]
+    if distribution == "lognormal":
+        return [rng.lognormvariate(0.0, 2.0) for _ in range(n)]
+    if distribution == "sorted":
+        return sorted(rng.expovariate(1.0) for _ in range(n))
+    if distribution == "reversed":
+        return sorted((rng.expovariate(1.0) for _ in range(n)), reverse=True)
+    if distribution == "constant":
+        return [3.14159] * n
+    if distribution == "zero-heavy":
+        return [0.0] * (n // 2) + [rng.uniform(0.0, 1.0)
+                                   for _ in range(n - n // 2)]
+    if distribution == "wide-range":
+        return [rng.choice((1e-9, 1e-3, 1.0, 1e3, 1e9)) for _ in range(n)]
+    raise ValueError(distribution)
+
+
+DISTRIBUTIONS = ("uniform", "pareto", "lognormal", "sorted", "reversed",
+                 "constant", "zero-heavy", "wide-range")
+
+
+class TestErrorBound:
+    """p50/p99 (and the rest of QUANTILES) vs the sorted reference."""
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_within_stated_relative_error(self, distribution, seed):
+        values = sample(distribution, 2000, seed)
+        sketch = sketch_of(values)
+        bound = relative_error_bound(sketch.precision)
+        for fraction in QUANTILES:
+            exact = exact_quantile(values, fraction)
+            estimate = sketch.quantile(fraction)
+            assert abs(estimate - exact) <= bound * exact + 1e-12, \
+                f"{distribution} p{fraction * 100:g}: " \
+                f"{estimate} vs exact {exact}"
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_quantiles_monotone_in_fraction(self, distribution):
+        sketch = sketch_of(sample(distribution, 500, seed=7))
+        fractions = [index / 200.0 for index in range(201)]
+        estimates = [sketch.quantile(fraction) for fraction in fractions]
+        assert all(first <= second + 1e-12 for first, second
+                   in zip(estimates, estimates[1:]))
+
+    def test_extremes_are_exact(self):
+        values = sample("pareto", 300, seed=3)
+        sketch = sketch_of(values)
+        assert sketch.quantile(0.0) == min(values)
+        assert sketch.quantile(1.0) == max(values)
+
+    def test_tightening_precision_tightens_the_bound(self):
+        values = sample("lognormal", 2000, seed=5)
+        for precision in (3, 5, 7, 9):
+            sketch = sketch_of(values, precision=precision)
+            bound = relative_error_bound(precision)
+            exact = exact_quantile(values, 0.99)
+            assert abs(sketch.quantile(0.99) - exact) <= bound * exact + 1e-12
+
+
+class TestMergeLaws:
+    """The monoid laws the streaming fold and shard merge rely on."""
+
+    def _parts(self, seed):
+        rng = random.Random(seed)
+        distributions = [rng.choice(DISTRIBUTIONS) for _ in range(3)]
+        return [sketch_of(sample(distribution, rng.randrange(0, 400),
+                                 seed + offset))
+                for offset, distribution in enumerate(distributions)]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_associative(self, seed):
+        a, b, c = self._parts(seed)
+        left = a.copy().merge(b.copy().merge(c))
+        right = a.copy().merge(b).merge(c)
+        assert left == right
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_commutative(self, seed):
+        a, b, _ = self._parts(seed)
+        assert a.copy().merge(b) == b.copy().merge(a)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_empty_sketch_is_identity(self, seed):
+        a, _, _ = self._parts(seed)
+        assert a.copy().merge(QuantileSketch()) == a
+        assert QuantileSketch().merge(a.copy()) == a
+
+    def test_merge_equals_bulk_add(self):
+        first = sample("uniform", 300, seed=11)
+        second = sample("pareto", 300, seed=12)
+        merged = sketch_of(first).merge(sketch_of(second))
+        assert merged == sketch_of(first + second)
+
+    def test_precision_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            QuantileSketch(7).merge(QuantileSketch(8))
+
+    def test_merge_rejects_non_sketch(self):
+        with pytest.raises(TypeError):
+            QuantileSketch().merge([1.0, 2.0])
+
+
+class TestDomainAndSerialisation:
+    def test_rejects_negative_nan_and_inf(self):
+        sketch = QuantileSketch()
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                sketch.add(bad)
+
+    def test_weighted_add_matches_repetition(self):
+        weighted = QuantileSketch()
+        weighted.add(2.5, count=5)
+        repeated = sketch_of([2.5] * 5)
+        assert weighted == repeated
+
+    def test_empty_sketch_answers_zero(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.count == 0
+
+    def test_dict_round_trip(self):
+        sketch = sketch_of(sample("wide-range", 200, seed=9))
+        restored = QuantileSketch.from_dict(sketch.as_dict())
+        assert restored == sketch
+        assert restored.quantile(0.99) == sketch.quantile(0.99)
+
+    def test_from_dict_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            QuantileSketch.from_dict({"format": 999})
+        with pytest.raises(ValueError):
+            QuantileSketch.from_dict("not a sketch")
+
+    def test_running_stats_round_trip(self):
+        stats = RunningStats()
+        for value in sample("uniform", 50, seed=2):
+            stats.add(value)
+        restored = RunningStats.from_dict(stats.as_dict())
+        assert restored == stats
+
+
+if HAVE_HYPOTHESIS:
+    finite_values = st.lists(
+        st.floats(min_value=0.0, max_value=1e12, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=200)
+
+    class TestHypothesisProperties:
+        @given(values=finite_values,
+               fraction=st.floats(min_value=0.0, max_value=1.0))
+        @settings(max_examples=200, deadline=None)
+        def test_any_quantile_within_bound(self, values, fraction):
+            sketch = sketch_of(values)
+            exact = exact_quantile(values, fraction)
+            bound = relative_error_bound(sketch.precision)
+            assert abs(sketch.quantile(fraction) - exact) \
+                <= bound * exact + 1e-12
+
+        @given(first=finite_values, second=finite_values,
+               third=finite_values)
+        @settings(max_examples=100, deadline=None)
+        def test_merge_monoid_laws(self, first, second, third):
+            a, b, c = (sketch_of(part) for part in (first, second, third))
+            assert a.copy().merge(b.copy().merge(c.copy())) == \
+                a.copy().merge(b.copy()).merge(c.copy())
+            assert a.copy().merge(b.copy()) == b.copy().merge(a.copy())
+            assert a.copy().merge(QuantileSketch()) == a
+
+        @given(values=finite_values)
+        @settings(max_examples=100, deadline=None)
+        def test_quantile_monotone(self, values):
+            sketch = sketch_of(values)
+            fractions = [index / 50.0 for index in range(51)]
+            estimates = [sketch.quantile(fraction) for fraction in fractions]
+            assert all(low <= high + 1e-12 for low, high
+                       in zip(estimates, estimates[1:]))
+
+        @given(values=finite_values)
+        @settings(max_examples=100, deadline=None)
+        def test_serialisation_round_trip(self, values):
+            sketch = sketch_of(values)
+            assert QuantileSketch.from_dict(sketch.as_dict()) == sketch

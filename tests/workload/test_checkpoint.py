@@ -1,0 +1,189 @@
+"""Checkpoint/restart determinism for the service driver.
+
+The contract under test (see ``repro.workload.checkpoint``): resuming from a
+checkpoint taken at *any* fold boundary — including with collectives in
+flight mid-session — yields bit-for-bit the envelope of the uninterrupted
+run, and a checkpoint that is corrupted, stale-schema, or belongs to a
+different run is rejected with a clear :class:`CheckpointError`, never
+silently folded in.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.workload import ServiceWorkload, run_service
+from repro.workload.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    IndexRanges,
+    RunCheckpoint,
+    run_fingerprint,
+)
+
+KILOBYTE = 1024
+
+MACHINE = dict(n_cps=2, n_iops=2, n_disks=4)
+
+
+def workload(seed=0, n_requests=30):
+    return ServiceWorkload(n_requests=n_requests, arrival="poisson",
+                           arrival_rate=80.0, concurrency=3, n_files=4,
+                           file_size=96 * KILOBYTE, layout="random",
+                           read_fraction=0.7, pattern_specs=("b", "c"),
+                           record_size=8192, seed=seed)
+
+
+def run_once(seed=0, **kwargs):
+    return run_service("disk-directed", workload(seed),
+                       machine_config=MachineConfig(**MACHINE), seed=seed,
+                       retain_requests=False, **kwargs)
+
+
+def envelope(result):
+    return dataclasses.asdict(result)
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("every", (1, 7, 13))
+    def test_resume_reproduces_uninterrupted_envelope(self, tmp_path, every):
+        # ``checkpoint_every`` counts *completions*; with K=3 admitted there
+        # are almost always sessions in flight at the fold boundary, so every
+        # non-trivial cadence exercises the mid-session case.
+        reference = run_once()
+        path = tmp_path / "run.ckpt"
+        checkpointed = run_once(checkpoint_every=every, checkpoint_path=path)
+        assert envelope(checkpointed) == envelope(reference)
+        assert path.exists()
+        resumed = run_once(resume_from=path)
+        assert envelope(resumed) == envelope(reference)
+
+    def test_resume_from_loaded_object(self, tmp_path):
+        reference = run_once()
+        path = tmp_path / "run.ckpt"
+        run_once(checkpoint_every=11, checkpoint_path=path)
+        resumed = run_once(resume_from=RunCheckpoint.load(path))
+        assert envelope(resumed) == envelope(reference)
+
+    def test_checkpoint_is_partial_state(self, tmp_path):
+        # A mid-run checkpoint must hold strictly fewer folded sessions than
+        # the run total — the resume test above is vacuous otherwise.
+        path = tmp_path / "run.ckpt"
+        run_once(checkpoint_every=13, checkpoint_path=path)
+        checkpoint = RunCheckpoint.load(path)
+        assert 0 < len(checkpoint.folded) < workload().n_requests
+        assert len(checkpoint.folded) % 13 == 0
+
+
+class TestRejection:
+    def _checkpoint(self, tmp_path, seed=0):
+        path = tmp_path / "run.ckpt"
+        run_once(seed=seed, checkpoint_every=11, checkpoint_path=path)
+        return path
+
+    def test_corrupted_file_rejected(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw.replace(b'"completed"', b'"comqleted"', 1))
+        with pytest.raises(CheckpointError, match="integrity"):
+            RunCheckpoint.load(path)
+
+    def test_tampered_value_rejected(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["aggregates"]["bytes_moved"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="integrity"):
+            RunCheckpoint.load(path)
+
+    def test_stale_schema_rejected(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["payload_hash"]
+        payload["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        import hashlib
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        payload["payload_hash"] = hashlib.sha256(
+            canonical.encode("utf-8")).hexdigest()
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="schema"):
+            RunCheckpoint.load(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "nonexistent.ckpt"
+        with pytest.raises(CheckpointError, match="unreadable"):
+            RunCheckpoint.load(path)
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            RunCheckpoint.load(path)
+
+    def test_foreign_run_rejected(self, tmp_path):
+        # A checkpoint from seed 0 must not seed a seed-1 run's aggregates.
+        path = self._checkpoint(tmp_path, seed=0)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            run_once(seed=1, resume_from=path)
+
+    def test_checkpoint_without_path_rejected(self):
+        from repro.workload.driver import ServiceDriver, build_service_machine
+        machine, implementation, files = build_service_machine(workload())
+        driver = ServiceDriver(machine, implementation, files, workload())
+        with pytest.raises(ValueError, match="path"):
+            driver.write_checkpoint()
+
+
+class TestRunFingerprint:
+    BASE = dict(workload_dict={"n_requests": 10}, method="disk-directed",
+                machine_dict={"n_disks": 4}, trial_seed=0)
+
+    def test_stable(self):
+        assert run_fingerprint(**self.BASE) == run_fingerprint(**self.BASE)
+
+    @pytest.mark.parametrize("change", (
+        {"trial_seed": 1},
+        {"method": "traditional"},
+        {"workload_dict": {"n_requests": 11}},
+        {"machine_dict": {"n_disks": 8}},
+        {"disk_scheduler": "shared-cscan"},
+        {"fault_description": [{"disk": 0}]},
+    ))
+    def test_every_axis_changes_it(self, change):
+        assert run_fingerprint(**{**self.BASE, **change}) != \
+            run_fingerprint(**self.BASE)
+
+
+class TestIndexRanges:
+    def test_merges_contiguous_inserts(self):
+        ranges = IndexRanges()
+        for index in (0, 1, 2, 5, 4, 3):
+            ranges.add(index)
+        assert ranges.as_list() == [[0, 6]]
+        assert len(ranges) == 6
+
+    def test_out_of_order_membership(self):
+        ranges = IndexRanges()
+        for index in (10, 2, 7, 2, 11):
+            ranges.add(index)
+        assert len(ranges) == 4
+        for index in (2, 7, 10, 11):
+            assert index in ranges
+        for index in (0, 3, 9, 12):
+            assert index not in ranges
+
+    def test_round_trip(self):
+        ranges = IndexRanges()
+        for index in (3, 1, 4, 1, 5, 9, 2, 6):
+            ranges.add(index)
+        assert IndexRanges(ranges.as_list()).as_list() == ranges.as_list()
+
+    @pytest.mark.parametrize("bad", (
+        [[5, 5]],             # empty
+        [[7, 3]],             # inverted
+        [[0, 4], [2, 6]],     # overlapping
+        [[5, 6], [0, 2]],     # unsorted
+    ))
+    def test_invalid_ranges_rejected(self, bad):
+        with pytest.raises(ValueError):
+            IndexRanges(bad)

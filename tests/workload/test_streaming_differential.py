@@ -1,0 +1,141 @@
+"""Differential pins: the streaming driver against the retained reference.
+
+``retain_requests=False`` must be a *representation* change, not a behaviour
+change: the spawn-window open loop admits every request at the same simulated
+instant as the materialised reference, and the fold-at-completion aggregates
+must equal the reference's — bit-identical where the quantity is exact
+(byte counters, conservation, makespan, sketches, per-method counters), and
+within the sketch's documented error bound where the reference computes the
+exact sorted-list percentile.  The matrix spans seed x arrival process x
+fault config, because each axis changes completion *order* — the thing a
+fold could accidentally depend on.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.disk.faults import FaultConfig
+from repro.machine import MachineConfig
+from repro.workload import ServiceWorkload, run_service
+from repro.workload.aggregate import relative_error_bound
+from repro.workload.driver import percentile
+
+KILOBYTE = 1024
+
+SEEDS = (0, 3)
+
+ARRIVALS = (
+    {"arrival": "poisson", "arrival_rate": 60.0},
+    {"arrival": "closed", "think_time": 0.01},
+)
+
+FAULTS = (
+    ("healthy", None),
+    ("transient", FaultConfig(transient_rate=0.05)),
+    ("fail-slow", FaultConfig(slow_disk=0, slow_factor=4.0,
+                              slow_start=0.0, slow_duration=3600.0)),
+)
+
+
+def tiny_workload(seed, **arrival_kwargs):
+    return ServiceWorkload(n_requests=24, concurrency=3, n_files=4,
+                           file_size=96 * KILOBYTE, layout="random",
+                           read_fraction=0.7, pattern_specs=("b", "c"),
+                           record_size=8192, seed=seed, **arrival_kwargs)
+
+
+def run_pair(seed, arrival_kwargs, fault_config, method="disk-directed"):
+    """The same trial twice: retained reference, then streaming."""
+    results = []
+    for retain in (True, False):
+        workload = tiny_workload(seed, **arrival_kwargs)
+        results.append(run_service(
+            method, workload,
+            machine_config=MachineConfig(n_cps=2, n_iops=2, n_disks=4),
+            seed=seed, fault_config=fault_config,
+            retain_requests=retain))
+    return results
+
+
+def envelope(result):
+    """Everything except the per-request record list (streaming has none)."""
+    data = dataclasses.asdict(result)
+    data.pop("requests")
+    return data
+
+
+@pytest.mark.parametrize("fault_name,fault_config", FAULTS,
+                         ids=[name for name, _ in FAULTS])
+@pytest.mark.parametrize("arrival_kwargs", ARRIVALS,
+                         ids=[spec["arrival"] for spec in ARRIVALS])
+@pytest.mark.parametrize("seed", SEEDS)
+class TestStreamingMatchesRetained:
+    def test_envelope_bit_identical(self, seed, arrival_kwargs, fault_name,
+                                    fault_config):
+        retained, streaming = run_pair(seed, arrival_kwargs, fault_config)
+        assert envelope(streaming) == envelope(retained)
+        assert streaming.requests == []
+        assert len(retained.requests) == retained.n_requests
+
+    def test_conservation_counters_identical(self, seed, arrival_kwargs,
+                                             fault_name, fault_config):
+        retained, streaming = run_pair(seed, arrival_kwargs, fault_config)
+        for result in (retained, streaming):
+            assert result.conserves_bytes()
+        assert streaming.aggregates == retained.aggregates
+        assert streaming.counters == retained.counters
+        # The fold totals agree with summing the retained records — the
+        # aggregates really are the records, compressed.
+        records = retained.requests
+        assert retained.aggregates["bytes_requested"] == \
+            sum(record["bytes_requested"] for record in records)
+        assert retained.aggregates["bytes_moved"] == \
+            sum(record["bytes_moved"] for record in records)
+        assert retained.aggregates["bytes_failed"] == \
+            sum(record["bytes_failed"] for record in records)
+        assert retained.aggregates["retries"] == \
+            sum(record["retries"] for record in records)
+
+    def test_percentiles_within_sketch_bound(self, seed, arrival_kwargs,
+                                             fault_name, fault_config):
+        retained, streaming = run_pair(seed, arrival_kwargs, fault_config)
+        exact_times = retained.response_times
+        bound = relative_error_bound()
+        for fraction in (0.0, 0.5, 0.9, 0.99, 1.0):
+            exact = percentile(exact_times, fraction)
+            estimate = streaming.response_percentile(fraction)
+            assert abs(estimate - exact) <= bound * exact + 1e-12
+
+
+class TestStreamingAcrossMethods:
+    """The equivalence is a driver property, not a disk-directed one."""
+
+    @pytest.mark.parametrize("method", ("disk-directed", "traditional"))
+    def test_both_methods(self, method):
+        retained, streaming = run_pair(
+            1, {"arrival": "poisson", "arrival_rate": 60.0}, None,
+            method=method)
+        assert envelope(streaming) == envelope(retained)
+
+
+class TestStreamingUnderPressure:
+    def test_window_smaller_than_backlog(self):
+        # More requests than the spawn window, arriving far faster than the
+        # server drains them: the window must refill from the cursor without
+        # perturbing admission order.  (window = max(2K, 64) = 64 < 100.)
+        workload = ServiceWorkload(n_requests=100, arrival="poisson",
+                                   arrival_rate=10000.0, concurrency=2,
+                                   n_files=2, file_size=32 * KILOBYTE,
+                                   layout="contiguous",
+                                   pattern_specs=("b",), record_size=8192,
+                                   seed=2)
+        machine_config = MachineConfig(n_cps=2, n_iops=1, n_disks=2)
+        reference = run_service("disk-directed", workload,
+                                machine_config=machine_config, seed=2,
+                                retain_requests=True)
+        streaming = run_service("disk-directed", workload,
+                                machine_config=machine_config, seed=2,
+                                retain_requests=False)
+        assert envelope(streaming) == envelope(reference)
+        assert streaming.max_in_flight == 2

@@ -22,7 +22,11 @@ import sys
 
 #: Source trees whose changes can alter simulated results.  Documentation,
 #: tests, benchmarks and the experiment harness itself (figure plumbing,
-#: report formatting) are deliberately excluded.
+#: report formatting) are deliberately excluded.  The runner module is
+#: included even though it is harness code: it defines the cache-envelope
+#: format, the content hash and the key derivation, and a change to any of
+#: those can make old entries unreadable — or worse, readable-but-wrong —
+#: for the multi-host shared store, so it must carry a bump too.
 MODEL_PATHS = (
     "src/repro/core/",
     "src/repro/disk/",
@@ -32,6 +36,7 @@ MODEL_PATHS = (
     "src/repro/patterns/",
     "src/repro/sim/",
     "src/repro/workload/",
+    "src/repro/experiments/runner.py",
 )
 
 #: The file that declares the version.
