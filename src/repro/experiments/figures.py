@@ -18,6 +18,7 @@ from repro.experiments.config import MEGABYTE, ExperimentConfig
 from repro.experiments.report import format_bar_chart, format_series_table, format_table
 from repro.experiments.runner import run_trials, sweep, sweep_parallel
 from repro.experiments.service import (
+    service_admission_figure,
     service_faults_figure,
     service_figure,
     service_millions_figure,
@@ -234,6 +235,9 @@ def table1():
 #: 8 KB sessions per headline row through the constant-memory streaming
 #: driver on a 128-disk machine (docs/workloads.md) — slow (tens of
 #: minutes); pass ``--json`` to refresh its docs/data artifact.
+#: ``service-admission`` sweeps the admission disciplines (FIFO, SJF,
+#: priority, EDF, adaptive-K SLO controller) over the overload workload
+#: (docs/workloads.md); pass ``--json`` to refresh its docs/data artifact.
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -247,6 +251,7 @@ FIGURES = {
     "service-overload": service_overload_figure,
     "service-faults": service_faults_figure,
     "service-millions": service_millions_figure,
+    "service-admission": service_admission_figure,
 }
 
 
@@ -283,7 +288,8 @@ def main(argv=None):
                              "figure only simulates changed data points")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="also write the figure's docs/data JSON "
-                             "artifact (service-millions only)")
+                             "artifact (service-millions and "
+                             "service-admission only)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
 
@@ -300,9 +306,11 @@ def main(argv=None):
         if name == "table1":
             _rows, text = generator()
         elif name in ("service", "service-sched", "service-overload",
-                      "service-faults", "service-millions"):
+                      "service-faults", "service-millions",
+                      "service-admission"):
             extra = {"json_path": args.json} \
-                if name == "service-millions" and args.json else {}
+                if name in ("service-millions", "service-admission") \
+                and args.json else {}
             summaries, text = generator(
                 trials=args.trials, progress=progress,
                 workers=args.workers, cache=args.cache, **extra)

@@ -64,7 +64,11 @@ from repro.patterns import make_pattern
 #:     ``retain_requests``/``streaming`` joined the service config and cache
 #:     key), and cache entries grew a ``content_hash`` integrity stamp for
 #:     the shared multi-host store; schema-6 envelopes lack all of these.
-CACHE_SCHEMA_VERSION = 7
+#: v8: the admission layer landed — ``ServiceResult`` grew ``admission``,
+#:     ``controller`` and ``class_sketches`` fields plus drop/shed
+#:     aggregates, and the service config grew the admission/controller
+#:     knobs; schema-7 envelopes lack all of these.
+CACHE_SCHEMA_VERSION = 8
 
 
 # -- experiment families --------------------------------------------------------

@@ -103,6 +103,30 @@ class ServiceExperimentConfig:
     #: record list, percentiles from the mergeable sketch only (they come
     #: from the sketch either way) — required for million-session points
     streaming: bool = False
+    # -- admission control (all-defaults == the FIFO counting semaphore,
+    # -- bit-identical to pre-admission builds; see repro.workload.admission
+    # -- and docs/workloads.md) --------------------------------------------
+    #: admission discipline: ``fifo`` | ``sjf`` | ``priority`` | ``edf``
+    admission_policy: str = "fifo"
+    #: SJF aging bound, seconds (0: the policy default)
+    admission_aging: float = 0.0
+    #: EDF meetability estimate, bytes/s (0: deadline-passed only)
+    edf_service_rate: float = 0.0
+    #: static QoS classes stamped per session (1: everyone equal)
+    priority_levels: int = 1
+    #: mean deadline budget, seconds after arrival (0: no deadlines)
+    deadline_slack: float = 0.0
+    #: adaptive-K controller SLO target, seconds (0: controller disabled)
+    controller_target_p99: float = 0.0
+    #: control interval, simulated seconds
+    controller_interval: float = 0.5
+    #: controller's K ceiling (0: 4x the static concurrency)
+    controller_max_k: int = 0
+    #: shed queued sessions older than the SLO target each interval
+    controller_shed: bool = False
+    #: age threshold for shedding, seconds since arrival (0: the target
+    #: itself; set below the target to leave service-time headroom)
+    controller_shed_age: float = 0.0
     seed: int = 0
     label: str = ""
 
@@ -133,8 +157,22 @@ class ServiceExperimentConfig:
             size_alpha=self.size_alpha,
             size_sigma=self.size_sigma,
             max_file_size=self.max_file_size,
+            priority_levels=self.priority_levels,
+            deadline_slack=self.deadline_slack,
             seed=self.seed,
         )
+
+    def controller_config(self):
+        """Controller kwargs for :func:`run_service`, or None when disabled."""
+        if self.controller_target_p99 <= 0:
+            return None
+        return {
+            "target_p99": self.controller_target_p99,
+            "interval": self.controller_interval,
+            "max_k": self.controller_max_k,
+            "shed": self.controller_shed,
+            "shed_age": self.controller_shed_age,
+        }
 
     def fault_config(self):
         """The :class:`FaultConfig` this point injects, or None when healthy.
@@ -189,6 +227,10 @@ def run_service_experiment(config, seed=None):
         fault_config=fault_config,
         on_fault=config.on_fault,
         retain_requests=not config.streaming,
+        admission_policy=config.admission_policy,
+        admission_aging=config.admission_aging,
+        edf_service_rate=config.edf_service_rate,
+        controller=config.controller_config(),
         # Insurance for fault sweeps: a scenario that wedges the protocol
         # raises a diagnosable DeadlockError instead of hanging the sweep.
         watchdog=FAULT_WATCHDOG if fault_config is not None else None,
@@ -834,3 +876,213 @@ def service_faults_figure(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
         + format_series_table(p99_series, x_label="scenario")
     )
     return summaries, text
+
+
+# -- the admission figure ----------------------------------------------------------
+
+#: Offered loads for the admission figure (requests/second): saturation and
+#: the 4x-saturation overload point where FIFO's tail collapses.
+ADMISSION_LOADS = (8.0, 32.0)
+
+#: The admission disciplines compared, in sweep order.  ``controller`` is
+#: FIFO ordering plus the adaptive-K SLO controller with load shedding —
+#: the row that must hold the p99 target no static K can.
+ADMISSION_ROWS = ("fifo", "sjf", "priority", "edf", "controller")
+
+#: The controller row's SLO: p99 response-time target, seconds.  At 4x
+#: saturation the FIFO/static-K p99 sits well above this (the point of the
+#: figure); shedding at ``ADMISSION_SHED_AGE`` leaves service-time headroom
+#: under the target.
+ADMISSION_TARGET_P99 = 2.0
+ADMISSION_SHED_AGE = 1.0
+ADMISSION_CONTROL_INTERVAL = 0.25
+
+#: Mean deadline budget (seconds after arrival) stamped on every session of
+#: the admission figure; the EDF row drops sessions whose deadline has
+#: already passed at grant time.
+ADMISSION_DEADLINE_SLACK = 2.0
+
+
+def service_admission_configs(loads=ADMISSION_LOADS, rows=ADMISSION_ROWS,
+                              **overrides):
+    """The config grid of the admission figure: one point per (load, row).
+
+    Every row runs the *same* workload — the overload machine (Pareto sizes,
+    8-byte record mix, 32 disks, K=4) with two priority classes and ~2 s
+    deadlines stamped on every session — so the only difference between rows
+    is the admission discipline.  Disciplines that ignore a stamp (FIFO/SJF
+    ignore both, priority ignores deadlines, EDF ignores classes) still run
+    the identical request stream, keeping every column comparable.
+    """
+    defaults = dict(
+        size_distribution="pareto",
+        size_alpha=1.5,
+        record_sizes=(8, 8192),
+        n_disks=32,
+        n_requests=64,
+        concurrency=4,
+        layout="random",
+        priority_levels=2,
+        deadline_slack=ADMISSION_DEADLINE_SLACK,
+    )
+    defaults.update(overrides)
+    target = defaults.pop("controller_target_p99", ADMISSION_TARGET_P99)
+    shed_age = defaults.pop("controller_shed_age", ADMISSION_SHED_AGE)
+    interval = defaults.pop("controller_interval", ADMISSION_CONTROL_INTERVAL)
+    configs = []
+    for load in loads:
+        for row in rows:
+            if row == "controller":
+                extra = dict(admission_policy="fifo",
+                             controller_target_p99=target,
+                             controller_interval=interval,
+                             controller_shed=True,
+                             controller_shed_age=shed_age)
+            else:
+                extra = dict(admission_policy=row)
+            configs.append(ServiceExperimentConfig(
+                method="disk-directed",
+                arrival_rate=load,
+                label=f"{row}@{load:g}",
+                **extra,
+                **defaults,
+            ))
+    return configs
+
+
+def service_admission_figure(loads=ADMISSION_LOADS, rows=ADMISSION_ROWS,
+                             trials=1, progress=None, workers=None,
+                             cache=None, json_path=None, **overrides):
+    """Which admission discipline protects the tail at 4x saturation?
+
+    The overload figure shows FIFO admission destroying p99 under a Pareto
+    stream: one giant session at the head of the K-slot queue stalls every
+    small session behind it.  The driver knows each session's size, class
+    and deadline *at admission time*, so this figure sweeps the disciplines
+    of :mod:`repro.workload.admission` over the same overload workload and
+    reports, per row: goodput (the disciplines that drop work must stay
+    honest about it — ``shed_mb`` and conservation are in the table), p50
+    and p99 response time of completed sessions, the urgent class's p99
+    (what the priority discipline exists to protect), and drop/shed counts.
+    The ``controller`` row adds the adaptive-K SLO controller with load
+    shedding; ``slo_met`` records whether the measured p99 held the target
+    that the FIFO/static-K row demonstrably misses at 4x saturation.
+
+    Byte conservation (``moved + failed + shed == requested``) is asserted
+    for every trial.  When *json_path* is given the rows are also written
+    as the ``docs/data/service_admission.json`` artifact quoted by the
+    docs.  Returns ``(summaries, text)``; extra keyword arguments override
+    :class:`ServiceExperimentConfig` fields (tests shrink the run).
+    """
+    import json as _json
+
+    from repro.experiments.runner import sweep_parallel
+
+    configs = service_admission_configs(loads=loads, rows=rows, **overrides)
+    summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                               workers=workers, cache=cache)
+    p99_series = {}
+    goodput_series = {}
+    table_rows = []
+    for summary in summaries:
+        config = summary.config
+        row = config.label.split("@", 1)[0]
+        load = config.arrival_rate
+        for result in summary.results:
+            if not result.conserves_bytes():
+                raise AssertionError(
+                    f"byte conservation violated in {config.label}: "
+                    f"moved + failed + shed != requested")
+        goodput = _mean(result.goodput_mb for result in summary.results)
+        p50 = _mean(result.response_percentile(0.50)
+                    for result in summary.results)
+        p99 = _mean(result.response_percentile(0.99)
+                    for result in summary.results)
+        urgent_p99 = _mean(_class_p99(result, "0")
+                           for result in summary.results)
+        target = config.controller_target_p99
+        entry = {
+            "policy": row,
+            "load_req_s": load,
+            "goodput_mb": goodput,
+            "p50_s": p50,
+            "p99_s": p99,
+            "urgent_p99_s": urgent_p99,
+            "dropped": _mean(result.dropped_requests
+                             for result in summary.results),
+            "shed": _mean(result.shed_requests
+                          for result in summary.results),
+            "shed_mb": _mean(result.shed_bytes / MEGABYTE
+                             for result in summary.results),
+            "trials": len(summary.results),
+        }
+        if target > 0:
+            entry["slo_target_s"] = target
+            entry["slo_met"] = p99 <= target
+        p99_series.setdefault(row, []).append((load, p99))
+        goodput_series.setdefault(row, []).append((load, goodput))
+        table_rows.append(entry)
+    sample = configs[0]
+    text = (
+        f"Admission control under overload (disk-directed I/O): "
+        f"{sample.arrival} arrivals to {max(loads):g} req/s, "
+        f"{sample.size_distribution} file sizes (mean "
+        f"{sample.file_size // KILOBYTE} KB, alpha={sample.size_alpha:g}), "
+        f"{sample.n_requests} sessions, {sample.priority_levels} priority "
+        f"classes, ~{sample.deadline_slack:g} s deadlines, K={sample.concurrency} "
+        f"static, {sample.n_cps} CPs / {sample.n_iops} IOPs / "
+        f"{sample.n_disks} disks\n\n"
+        + format_table(table_rows,
+                       columns=["policy", "load_req_s", "goodput_mb", "p50_s",
+                                "p99_s", "urgent_p99_s", "dropped", "shed",
+                                "shed_mb", "trials"])
+        + "\n\n99th-percentile response time (s) vs offered load (req/s)\n"
+        + format_series_table(p99_series, x_label="load")
+        + "\n\nGoodput (Mbytes/s) vs offered load (req/s)\n"
+        + format_series_table(goodput_series, x_label="load")
+    )
+    if json_path:
+        artifact = {
+            "figure": "service-admission",
+            "regenerate": "PYTHONPATH=src python -m repro.experiments.figures "
+                          "service-admission --json docs/data/"
+                          "service_admission.json",
+            "config": {
+                "arrival": sample.arrival,
+                "loads": list(loads),
+                "n_requests": sample.n_requests,
+                "concurrency": sample.concurrency,
+                "size_distribution": sample.size_distribution,
+                "size_alpha": sample.size_alpha,
+                "file_size": sample.file_size,
+                "record_sizes": list(sample.record_sizes),
+                "layout": sample.layout,
+                "n_cps": sample.n_cps,
+                "n_iops": sample.n_iops,
+                "n_disks": sample.n_disks,
+                "priority_levels": sample.priority_levels,
+                "deadline_slack": sample.deadline_slack,
+                "controller_target_p99": ADMISSION_TARGET_P99,
+                "controller_shed_age": ADMISSION_SHED_AGE,
+                "controller_interval": ADMISSION_CONTROL_INTERVAL,
+                "trials": trials,
+                "seed": sample.seed,
+            },
+            "rows": [{key: (round(value, 4)
+                            if isinstance(value, float) else value)
+                      for key, value in row.items()} for row in table_rows],
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            _json.dump(artifact, handle, indent=2)
+            handle.write("\n")
+    return summaries, text
+
+
+def _class_p99(result, class_key):
+    """p99 of one priority class's response sketch (0.0 when absent)."""
+    from repro.workload.aggregate import QuantileSketch
+
+    data = result.class_sketches.get(class_key)
+    if not data:
+        return 0.0
+    return QuantileSketch.from_dict(data).quantile(0.99)

@@ -7,6 +7,9 @@
 * :mod:`repro.workload.driver` — the :class:`ServiceDriver`: multiple open
   files, a K-slot admission scheduler, streaming per-session accounting
   (constant memory in the session count).
+* :mod:`repro.workload.admission` — pluggable admission disciplines (FIFO,
+  size-aware SJF with aging, static priorities, EDF with deadline drop) and
+  the adaptive-K p99-target controller.
 * :mod:`repro.workload.aggregate` — the mergeable quantile sketch and
   running stats the driver folds each completed session into.
 * :mod:`repro.workload.checkpoint` — checkpoint/restart of the fold state
@@ -16,6 +19,22 @@ See ``docs/workloads.md`` for how this maps onto (and extends) the paper's
 single-collective experiments.
 """
 
+from repro.workload.admission import (
+    ADMISSION_POLICIES,
+    ADMITTED,
+    DROPPED,
+    SHED,
+    AdaptiveConcurrencyController,
+    AdmissionPolicy,
+    AdmissionQueue,
+    AdmissionTicket,
+    ControllerConfig,
+    EDFPolicy,
+    FIFOPolicy,
+    PriorityPolicy,
+    SJFPolicy,
+    make_admission_policy,
+)
 from repro.workload.aggregate import (
     DEFAULT_PRECISION,
     QuantileSketch,
@@ -28,6 +47,7 @@ from repro.workload.arrival import (
     PoissonArrivals,
     make_arrival,
     request_rng,
+    session_qos,
 )
 from repro.workload.checkpoint import (
     CheckpointError,
@@ -51,21 +71,35 @@ from repro.workload.sizes import (
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "ADMITTED",
+    "AdaptiveConcurrencyController",
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "AdmissionTicket",
     "ArrivalProcess",
     "CheckpointError",
     "ClosedLoopArrivals",
+    "ControllerConfig",
     "DEFAULT_PRECISION",
+    "DROPPED",
+    "EDFPolicy",
+    "FIFOPolicy",
     "IndexRanges",
     "PoissonArrivals",
+    "PriorityPolicy",
     "QuantileSketch",
     "RunCheckpoint",
     "RunningStats",
+    "SHED",
     "SIZE_DISTRIBUTIONS",
+    "SJFPolicy",
     "ServiceDriver",
     "ServiceResult",
     "ServiceWorkload",
     "build_service_machine",
     "file_size_rng",
+    "make_admission_policy",
     "make_arrival",
     "percentile",
     "relative_error_bound",
@@ -74,4 +108,5 @@ __all__ = [
     "run_service",
     "sample_file_size",
     "sample_file_sizes",
+    "session_qos",
 ]

@@ -29,6 +29,7 @@ REQUEST_STREAM_TAG = 359_245
 #: never silently change another's values.
 PURPOSE_ARRIVAL = 1
 PURPOSE_PLAN = 2
+PURPOSE_QOS = 3
 
 _EXPONENTIAL_FLOOR = 1e-12
 
@@ -45,6 +46,40 @@ def request_rng(trial_seed, request_index, purpose=PURPOSE_PLAN):
     """
     return np.random.default_rng(np.random.SeedSequence(
         [REQUEST_STREAM_TAG, trial_seed, request_index, purpose]))
+
+
+def session_qos(trial_seed, request_index, priority_levels=1,
+                deadline_slack=0.0):
+    """The QoS stamp of request *request_index*: ``(priority, slack)``.
+
+    *priority* is a static class in ``[0, priority_levels)`` (0 most urgent),
+    drawn uniformly; *slack* is the session's deadline budget in seconds
+    after arrival (its absolute deadline is ``arrival_time + slack``), drawn
+    uniformly from ``[0.5, 1.5] * deadline_slack`` so earliest-deadline order
+    differs from arrival order.  ``None`` slack means no deadline.
+
+    Both draws come from the dedicated ``PURPOSE_QOS`` stream of
+    :func:`request_rng` — deterministic per ``(trial_seed, request_index)``
+    and independent of the arrival and plan streams, so stamping QoS never
+    perturbs interarrival gaps or request plans.  The default stamp
+    (one class, no deadline) makes **no** draws at all: workloads that do not
+    opt in are bit-identical to pre-admission builds.
+    """
+    if priority_levels < 1:
+        raise ValueError(
+            f"need at least one priority level, got {priority_levels}")
+    if deadline_slack < 0:
+        raise ValueError(
+            f"deadline slack must be >= 0, got {deadline_slack}")
+    priority = 0
+    slack = None
+    if priority_levels > 1 or deadline_slack > 0:
+        rng = request_rng(trial_seed, request_index, purpose=PURPOSE_QOS)
+        if priority_levels > 1:
+            priority = int(rng.integers(priority_levels))
+        if deadline_slack > 0:
+            slack = float(deadline_slack * rng.uniform(0.5, 1.5))
+    return priority, slack
 
 
 class ArrivalProcess:

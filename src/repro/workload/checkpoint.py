@@ -35,7 +35,10 @@ import tempfile
 from bisect import bisect_right
 
 #: Bump when the checkpoint layout changes; older files are rejected.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: per-priority-class sketches and the admission controller snapshot
+#: joined the payload, and the fingerprint gained the admission discipline
+#: and controller configuration.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 
 class CheckpointError(ValueError):
@@ -100,11 +103,16 @@ def _canonical(payload):
 
 def run_fingerprint(workload_dict, method, machine_dict, trial_seed,
                     disk_scheduler="fcfs", shared_queue_workers=2,
-                    fault_description=None):
+                    fault_description=None, admission="fifo",
+                    controller=None):
     """Stable hash naming one run: its workload, machine, method and seed.
 
     Two runs with the same fingerprint replay identically, so a checkpoint
     may only be restored into a driver whose fingerprint matches.
+    ``admission`` (the policy's ``describe()`` string) and ``controller``
+    (the :class:`~repro.workload.admission.ControllerConfig` dict, or None)
+    are part of that identity: admission order is load-bearing for the
+    replay, so a checkpoint from a different discipline must be rejected.
     """
     payload = {
         "workload": workload_dict,
@@ -114,6 +122,8 @@ def run_fingerprint(workload_dict, method, machine_dict, trial_seed,
         "disk_scheduler": disk_scheduler,
         "shared_queue_workers": shared_queue_workers,
         "faults": fault_description,
+        "admission": admission,
+        "controller": controller,
     }
     return hashlib.sha256(
         _canonical(payload).encode("utf-8")).hexdigest()[:32]
@@ -123,16 +133,21 @@ class RunCheckpoint:
     """The driver's folded measurement state at one fold boundary."""
 
     __slots__ = ("fingerprint", "folded", "response_sketch", "service_sketch",
-                 "aggregates", "max_in_flight")
+                 "aggregates", "max_in_flight", "class_sketches", "controller")
 
     def __init__(self, fingerprint, folded, response_sketch, service_sketch,
-                 aggregates, max_in_flight):
+                 aggregates, max_in_flight, class_sketches=None,
+                 controller=None):
         self.fingerprint = fingerprint
         self.folded = folded                  # IndexRanges
         self.response_sketch = response_sketch  # serialised dict
         self.service_sketch = service_sketch    # serialised dict
         self.aggregates = aggregates            # scalar totals dict
         self.max_in_flight = max_in_flight
+        #: per-priority-class serialised sketches, keyed by class string
+        self.class_sketches = class_sketches if class_sketches else {}
+        #: the adaptive controller's state snapshot (None when none ran)
+        self.controller = controller
 
     def _payload(self):
         return {
@@ -143,6 +158,8 @@ class RunCheckpoint:
             "service_sketch": self.service_sketch,
             "aggregates": self.aggregates,
             "max_in_flight": self.max_in_flight,
+            "class_sketches": self.class_sketches,
+            "controller": self.controller,
         }
 
     def save(self, path):
@@ -193,6 +210,8 @@ class RunCheckpoint:
                 service_sketch=payload["service_sketch"],
                 aggregates=dict(payload["aggregates"]),
                 max_in_flight=int(payload["max_in_flight"]),
+                class_sketches=dict(payload.get("class_sketches") or {}),
+                controller=payload.get("controller"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise CheckpointError(

@@ -60,8 +60,18 @@ from repro.machine import Machine, MachineConfig
 from repro.patterns import make_pattern
 from repro.sim.events import AllOf
 from repro.sim.resources import Resource
+from repro.workload.admission import (
+    ADMITTED,
+    DROPPED,
+    AdaptiveConcurrencyController,
+    AdmissionQueue,
+    AdmissionTicket,
+    ControllerConfig,
+    FIFOPolicy,
+    make_admission_policy,
+)
 from repro.workload.aggregate import QuantileSketch
-from repro.workload.arrival import make_arrival, request_rng
+from repro.workload.arrival import make_arrival, request_rng, session_qos
 from repro.workload.checkpoint import (
     CheckpointError,
     IndexRanges,
@@ -125,6 +135,13 @@ class ServiceWorkload:
     #: cap on any single heavy-tailed size draw, bytes
     #: (0 means ``DEFAULT_SIZE_CAP_FACTOR * file_size``)
     max_file_size: int = 0
+    #: static QoS classes sessions are stamped with (1: everyone equal; >1:
+    #: class drawn uniformly per (seed, index) — see the priority admission
+    #: policy in :mod:`repro.workload.admission`)
+    priority_levels: int = 1
+    #: mean deadline budget, seconds after arrival (0: no deadlines; >0:
+    #: per-session slack drawn in [0.5, 1.5] x this — the EDF policy's input)
+    deadline_slack: float = 0.0
     #: default trial seed (overridable per run)
     seed: int = 0
 
@@ -144,6 +161,12 @@ class ServiceWorkload:
             raise ValueError(
                 f"file assignment must be 'random' or 'round-robin', "
                 f"got {self.file_assignment!r}")
+        if self.priority_levels < 1:
+            raise ValueError(
+                f"need at least one priority level, got {self.priority_levels}")
+        if self.deadline_slack < 0:
+            raise ValueError(
+                f"deadline slack must be >= 0, got {self.deadline_slack}")
         if any(size < 1 for size in self.effective_record_sizes):
             raise ValueError(
                 f"record sizes must be positive, got {self.record_sizes}")
@@ -233,8 +256,16 @@ class ServiceResult:
     #: serialised sketch of admission-to-completion service times
     service_sketch: dict = field(default_factory=dict)
     #: scalar fold totals: completed count, bytes requested/failed/lost,
-    #: retries, degraded completions, and the running conservation check
+    #: retries, degraded completions, drop/shed tallies, and the running
+    #: conservation check
     aggregates: dict = field(default_factory=dict)
+    #: the admission discipline that ordered the run (policy ``describe()``)
+    admission: str = "fifo"
+    #: final state of the adaptive-K controller (empty when none ran)
+    controller: dict = field(default_factory=dict)
+    #: per-priority-class response-time sketches, keyed by class as a string
+    #: (empty unless the workload stamps more than one class)
+    class_sketches: dict = field(default_factory=dict)
 
     # -- whole-run metrics -------------------------------------------------------
     @property
@@ -257,17 +288,20 @@ class ServiceResult:
     # -- per-request metrics -----------------------------------------------------
     @property
     def response_times(self):
-        """Arrival-to-completion time of every retained request, in request
-        order.  Empty for streaming runs — use the sketch instead."""
+        """Arrival-to-completion time of every retained *completed* request,
+        in request order (dropped/shed sessions never complete).  Empty for
+        streaming runs — use the sketch instead."""
         return [record["completed_time"] - record["arrival_time"]
-                for record in self.requests]
+                for record in self.requests
+                if record.get("admitted_time") is not None]
 
     @property
     def service_times(self):
-        """Admission-to-completion time of every retained request, in request
-        order.  Empty for streaming runs — use the sketch instead."""
+        """Admission-to-completion time of every retained completed request,
+        in request order.  Empty for streaming runs — use the sketch instead."""
         return [record["completed_time"] - record["admitted_time"]
-                for record in self.requests]
+                for record in self.requests
+                if record.get("admitted_time") is not None]
 
     def _sketch(self, attribute):
         """Deserialise (and memoise) one of the two quantile sketches."""
@@ -335,6 +369,23 @@ class ServiceResult:
         """Number of requests that completed degraded (partial data)."""
         return self._aggregate("degraded", "degraded")
 
+    # -- admission accounting ----------------------------------------------------
+    @property
+    def shed_bytes(self):
+        """Bytes of sessions rejected at admission (deadline drops + load
+        shedding) — requested work the server explicitly declined."""
+        return self._aggregate("bytes_shed", "bytes_shed")
+
+    @property
+    def dropped_requests(self):
+        """Sessions dropped by the admission policy (unmeetable deadlines)."""
+        return self._aggregate("dropped", "dropped")
+
+    @property
+    def shed_requests(self):
+        """Sessions shed by the controller's SLO load shedder."""
+        return self._aggregate("shed", "shed")
+
     @property
     def goodput(self):
         """Useful bytes per second: delivered traffic minus write data the
@@ -350,17 +401,27 @@ class ServiceResult:
         return self.goodput / MEGABYTE
 
     def conserves_bytes(self):
-        """True when every requested byte is delivered or accounted failed.
+        """True when every requested byte is delivered or explicitly accounted.
 
-        On a healthy machine ``bytes_failed`` is always zero and this reduces
-        to the original ``bytes_moved == bytes_requested`` invariant.  The
-        check is folded per session at completion (so streaming runs keep
-        it without retaining records); results assembled without aggregates
-        fall back to checking the retained records.
+        On a healthy FIFO machine this reduces to the original
+        ``bytes_moved == bytes_requested`` invariant; under fault injection
+        failed bytes join the left side, and under drop/shed admission the
+        rejected sessions' bytes do too: ``bytes_moved + bytes_failed +
+        bytes_shed == bytes_requested``.  The check is folded per session at
+        its terminal event (so streaming runs keep it without retaining
+        records); results assembled without aggregates fall back to checking
+        the retained records.
         """
         if self.aggregates:
-            return bool(self.aggregates.get("conserved", False))
+            totals_balance = (
+                self.aggregates.get("bytes_moved", 0)
+                + self.aggregates.get("bytes_failed", 0)
+                + self.aggregates.get("bytes_shed", 0)
+                == self.aggregates.get("bytes_requested", 0))
+            return bool(self.aggregates.get("conserved", False)) \
+                and totals_balance
         return all(record["bytes_moved"] + record.get("bytes_failed", 0)
+                   + record.get("bytes_shed", 0)
                    == record["bytes_requested"]
                    for record in self.requests)
 
@@ -410,7 +471,9 @@ class ServiceDriver:
 
     def __init__(self, machine, implementation, files, workload,
                  retain_requests=True, checkpoint_every=0,
-                 checkpoint_path=None, resume_from=None):
+                 checkpoint_path=None, resume_from=None,
+                 admission_policy="fifo", controller=None,
+                 legacy_admission=False):
         self.machine = machine
         self.env = machine.env
         self.implementation = implementation
@@ -422,8 +485,33 @@ class ServiceDriver:
         if isinstance(resume_from, (str, os.PathLike)):
             resume_from = RunCheckpoint.load(resume_from)
         self._resume = resume_from
-        self.admission = Resource(machine.env, capacity=workload.concurrency,
-                                  name="service-admission")
+        self.admission_policy = make_admission_policy(admission_policy)
+        self._legacy = legacy_admission
+        if isinstance(controller, dict):
+            controller = ControllerConfig(**controller)
+        self._controller_config = controller
+        self._controller = None
+        if legacy_admission:
+            # The pre-admission-layer reference path (a plain FIFO counting
+            # Resource), kept so the differential tests can pin the FIFO
+            # policy bit-identical against the code it replaced.
+            if controller is not None \
+                    or not isinstance(self.admission_policy, FIFOPolicy):
+                raise ValueError(
+                    "the legacy admission path is FIFO-only, no controller")
+            self.admission = Resource(machine.env,
+                                      capacity=workload.concurrency,
+                                      name="service-admission")
+        else:
+            self.admission = AdmissionQueue(machine.env,
+                                            capacity=workload.concurrency,
+                                            policy=self.admission_policy,
+                                            name="service-admission")
+            if controller is not None:
+                max_k = controller.max_k if controller.max_k > 0 \
+                    else 4 * workload.concurrency
+                self._controller = AdaptiveConcurrencyController(
+                    controller, self.admission, max_k=max_k)
         self._in_flight = 0
         self.max_in_flight = 0
         self._records = []
@@ -432,6 +520,8 @@ class ServiceDriver:
     def _reset_fold_state(self):
         self._response_sketch = QuantileSketch()
         self._service_sketch = QuantileSketch()
+        self._class_sketches = {} if self.workload.priority_levels > 1 \
+            else None
         self._folded = IndexRanges()
         self._totals = {
             "completed": 0,
@@ -439,8 +529,11 @@ class ServiceDriver:
             "bytes_moved": 0,
             "bytes_failed": 0,
             "bytes_lost": 0,
+            "bytes_shed": 0,
             "retries": 0,
             "degraded": 0,
+            "dropped": 0,
+            "shed": 0,
             "conserved": True,
             "first_arrival": None,
             "last_completion": None,
@@ -508,6 +601,8 @@ class ServiceDriver:
         if self._resume is not None:
             self._restore(self._resume)
         run_start = self.env.now
+        if self._controller is not None:
+            self.env.process(self._controller_loop())
 
         if arrival.closed_loop:
             streams = [
@@ -523,8 +618,7 @@ class ServiceDriver:
             else:
                 # Streaming: bound live handlers by the spawn window; the
                 # backlog stays implicit in the deterministic arrival cursor.
-                self._window = max(2 * workload.concurrency,
-                                   STREAM_SPAWN_WINDOW)
+                self._window = self._spawn_window()
                 self._window_pending = 0
                 self._complete_event = handlers_done
                 self.env.process(self._open_loop_streaming(seed, arrival))
@@ -560,7 +654,55 @@ class ServiceDriver:
             response_sketch=self._response_sketch.as_dict(),
             service_sketch=self._service_sketch.as_dict(),
             aggregates=dict(totals),
+            admission=self.admission_policy.describe(),
+            controller=self._controller.state()
+            if self._controller is not None else {},
+            class_sketches=self._serialised_class_sketches(),
         )
+
+    def _serialised_class_sketches(self):
+        if not self._class_sketches:
+            return {}
+        return {str(cls): sketch.as_dict()
+                for cls, sketch in sorted(self._class_sketches.items())}
+
+    def _spawn_window(self):
+        """Live-handler bound for the streaming open loop.
+
+        FIFO admission only ever grants the earliest-index waiters, so a
+        fixed window that exceeds the slots that can free at one instant is
+        enough for admission instants to match the materialised reference.
+        A non-FIFO policy (or a shedding controller) must see the *whole*
+        arrived backlog to pick (or drop) the same session the retained
+        driver would, so the window opens to the full stream: memory becomes
+        O(admission queue length) — the floor any online size/deadline-aware
+        discipline needs — instead of O(1), and the streaming-vs-retained
+        differential matrix still holds bit-identically.
+        """
+        window = max(2 * self.workload.concurrency, STREAM_SPAWN_WINDOW)
+        controller = self._controller
+        if controller is not None:
+            window = max(window, 2 * controller.max_k)
+            if controller.config.shed:
+                return self.workload.n_requests
+        if not isinstance(self.admission_policy, FIFOPolicy):
+            return self.workload.n_requests
+        return window
+
+    def _controller_loop(self):
+        """The control-interval heartbeat of the adaptive-K controller.
+
+        Stops when the stream completes, or after the controller's idle
+        limit (so a wedged protocol run stays visible to the watchdog
+        instead of ticking simulated time forever).
+        """
+        controller = self._controller
+        interval = controller.config.interval
+        while self._completions < self.workload.n_requests:
+            yield self.env.timeout(interval)
+            controller.tick(self.env.now)
+            if controller.exhausted:
+                return
 
     # -- checkpoint/restart ------------------------------------------------------
     def run_fingerprint(self, trial_seed):
@@ -577,6 +719,9 @@ class ServiceDriver:
             fault_description=[plan.describe()
                                for plan in getattr(machine, "fault_plans", [])
                                if plan is not None],
+            admission=self.admission_policy.describe(),
+            controller=self._controller_config.describe()
+            if self._controller_config is not None else None,
         )
 
     def write_checkpoint(self, path=None):
@@ -591,6 +736,9 @@ class ServiceDriver:
             service_sketch=self._service_sketch.as_dict(),
             aggregates=dict(self._totals),
             max_in_flight=self.max_in_flight,
+            class_sketches=self._serialised_class_sketches(),
+            controller=self._controller.state()
+            if self._controller is not None else None,
         ).save(target)
 
     def _restore(self, checkpoint):
@@ -606,8 +754,17 @@ class ServiceDriver:
         if checkpoint.service_sketch:
             self._service_sketch = QuantileSketch.from_dict(
                 checkpoint.service_sketch)
+        if checkpoint.class_sketches and self._class_sketches is not None:
+            self._class_sketches = {
+                int(cls): QuantileSketch.from_dict(data)
+                for cls, data in checkpoint.class_sketches.items()}
         self._totals.update(checkpoint.aggregates)
         self.max_in_flight = max(self.max_in_flight, checkpoint.max_in_flight)
+        # The controller's state is *not* restored: the resumed replay
+        # re-runs the whole simulation deterministically (only re-folding is
+        # skipped), so the controller re-derives every observation, K change
+        # and shed decision exactly.  The checkpoint still carries the
+        # snapshot so operators can inspect a run's control state offline.
 
     def _closed_loop_client(self, trial_seed, arrival, client_index):
         """One closed-loop client: its share of the stream, one at a time.
@@ -685,7 +842,7 @@ class ServiceDriver:
             waiter.succeed()
 
     def _fold_session(self, arrival_time, admitted_time, completed_time,
-                      session):
+                      session, priority=0):
         """Fold one completed session into the mergeable aggregates."""
         counters = session.result.counters
         moved = session.bytes_moved
@@ -709,9 +866,28 @@ class ServiceDriver:
             totals["last_completion"] = completed_time
         self._response_sketch.add(completed_time - arrival_time)
         self._service_sketch.add(completed_time - admitted_time)
+        if self._class_sketches is not None:
+            self._class_sketches.setdefault(priority, QuantileSketch()).add(
+                completed_time - arrival_time)
         if self.checkpoint_every and self.checkpoint_path \
                 and totals["completed"] % self.checkpoint_every == 0:
             self.write_checkpoint()
+
+    def _fold_drop(self, arrival_time, ticket, outcome):
+        """Fold one rejected session (deadline drop or load shed).
+
+        Its bytes move to ``bytes_shed`` so conservation stays exact:
+        ``bytes_moved + bytes_failed + bytes_shed == bytes_requested``.
+        A rejected session still marks the first arrival (it was offered
+        load) but never a completion.
+        """
+        totals = self._totals
+        totals["bytes_requested"] += ticket.size_bytes
+        totals["bytes_shed"] += ticket.size_bytes
+        totals["dropped" if outcome == DROPPED else "shed"] += 1
+        if totals["first_arrival"] is None \
+                or arrival_time < totals["first_arrival"]:
+            totals["first_arrival"] = arrival_time
 
     def _handle_request(self, trial_seed, index, arrival_time=None):
         """Admit, run and account one collective request.
@@ -723,8 +899,51 @@ class ServiceDriver:
         striped_file, pattern = self.plan_request(trial_seed, index)
         if arrival_time is None:
             arrival_time = self.env.now
-        slot = self.admission.request()
+        priority = 0
+        if self._legacy:
+            slot = self.admission.request()
+        else:
+            priority, slack = session_qos(trial_seed, index,
+                                          self.workload.priority_levels,
+                                          self.workload.deadline_slack)
+            slot = self.admission.request(AdmissionTicket(
+                index=index,
+                arrival_time=arrival_time,
+                enqueue_time=self.env.now,
+                size_bytes=pattern.total_transfer_bytes(),
+                priority=priority,
+                deadline=None if slack is None else arrival_time + slack,
+            ))
         yield slot
+        if not self._legacy and not slot.admitted:
+            # Rejected at admission (deadline drop or load shed): the
+            # session is terminal without ever running; account its bytes
+            # as shed so conservation holds, free the streaming window
+            # slot, and count the completion so the run can finish.
+            self._note_admitted()
+            if index not in self._folded:
+                self._folded.add(index)
+                self._fold_drop(arrival_time, slot.ticket, slot.outcome)
+            if self._records is not None:
+                self._records[index] = {
+                    "index": index,
+                    "file": striped_file.name,
+                    "pattern": pattern.name,
+                    "mode": pattern.mode,
+                    "arrival_time": arrival_time,
+                    "admitted_time": None,
+                    "completed_time": None,
+                    "outcome": slot.outcome,
+                    "record_size": pattern.record_size,
+                    "bytes_requested": slot.ticket.size_bytes,
+                    "bytes_moved": 0,
+                    "bytes_shed": slot.ticket.size_bytes,
+                }
+            self._completions += 1
+            if self._complete_event is not None \
+                    and self._completions == self.workload.n_requests:
+                self._complete_event.succeed()
+            return
         admitted_time = self.env.now
         self._in_flight += 1
         self.max_in_flight = max(self.max_in_flight, self._in_flight)
@@ -734,12 +953,17 @@ class ServiceDriver:
         self._in_flight -= 1
         self.admission.release(slot)
         completed_time = self.env.now
+        if self._controller is not None:
+            # The controller is part of the simulation (it drives K), so it
+            # observes *every* completion — including ones a resumed replay
+            # skips re-folding below.
+            self._controller.observe(completed_time - arrival_time)
         if index not in self._folded:
             # Resumed replays skip sessions the checkpoint already folded;
             # their aggregate contribution was restored from the checkpoint.
             self._folded.add(index)
             self._fold_session(arrival_time, admitted_time, completed_time,
-                               session)
+                               session, priority=priority)
         if self._records is not None:
             self._records[index] = {
                 "index": index,
@@ -810,7 +1034,10 @@ def run_service(method, workload, machine_config=None, seed=None,
                 disk_scheduler="fcfs", shared_queue_workers=2,
                 fault_config=None, on_fault="retry", watchdog=None,
                 retain_requests=True, checkpoint_every=0,
-                checkpoint_path=None, resume_from=None, **fs_kwargs):
+                checkpoint_path=None, resume_from=None,
+                admission_policy="fifo", admission_aging=0.0,
+                edf_service_rate=0.0, controller=None,
+                legacy_admission=False, **fs_kwargs):
     """Build a machine, drive *workload* through it, return the :class:`ServiceResult`.
 
     Extra keyword arguments are forwarded to the file-system implementation
@@ -825,6 +1052,15 @@ def run_service(method, workload, machine_config=None, seed=None,
     sketch — they always do).  ``checkpoint_every``/``checkpoint_path``
     write periodic fold-state checkpoints and ``resume_from`` restores one
     (see :mod:`repro.workload.checkpoint`).
+
+    ``admission_policy`` names the admission discipline (``fifo`` | ``sjf``
+    | ``priority`` | ``edf`` — see :mod:`repro.workload.admission`);
+    ``admission_aging`` and ``edf_service_rate`` parameterise SJF's aging
+    bound and EDF's meetability estimate.  ``controller`` (a
+    :class:`~repro.workload.admission.ControllerConfig` or kwargs dict)
+    enables the adaptive-K p99 controller.  ``legacy_admission=True`` runs
+    the pre-admission-layer FIFO ``Resource`` path — the differential
+    reference only.
     """
     machine, implementation, files = build_service_machine(
         workload, machine_config=machine_config, seed=seed, method=method,
@@ -835,6 +1071,12 @@ def run_service(method, workload, machine_config=None, seed=None,
                            retain_requests=retain_requests,
                            checkpoint_every=checkpoint_every,
                            checkpoint_path=checkpoint_path,
-                           resume_from=resume_from)
+                           resume_from=resume_from,
+                           admission_policy=make_admission_policy(
+                               admission_policy,
+                               aging_bound=admission_aging,
+                               service_rate=edf_service_rate),
+                           controller=controller,
+                           legacy_admission=legacy_admission)
     return driver.run(trial_seed=workload.seed if seed is None else seed,
                       watchdog=watchdog)

@@ -23,7 +23,8 @@ class TestFigureGenerators:
         assert set(FIGURES) == {"table1", "figure3", "figure4", "figure5",
                                 "figure6", "figure7", "figure8", "service",
                                 "service-sched", "service-overload",
-                                "service-faults", "service-millions"}
+                                "service-faults", "service-millions",
+                                "service-admission"}
 
     def test_figure3_runs_subset(self):
         summaries, text = figure3(record_sizes=(8192,), patterns=("rb", "rc"), **FAST)

@@ -134,6 +134,113 @@ class TestRejection:
             driver.write_checkpoint()
 
 
+def stamped_workload(seed=0, n_requests=30):
+    """The checkpoint workload with the QoS axes lit (classes + deadlines)."""
+    return ServiceWorkload(n_requests=n_requests, arrival="poisson",
+                           arrival_rate=200.0, concurrency=3, n_files=4,
+                           file_size=96 * KILOBYTE, layout="random",
+                           read_fraction=0.7, pattern_specs=("b", "c"),
+                           record_size=8192, seed=seed,
+                           priority_levels=2, deadline_slack=0.5)
+
+
+#: An adaptive controller that actually acts in the tiny run: sheds overdue
+#: sessions every 0.1 s, so checkpoints land mid-control-interval with both
+#: completions and rejections already folded.
+CONTROLLER = {"target_p99": 0.4, "interval": 0.1, "min_samples": 3,
+              "shed": True, "shed_age": 0.3}
+
+
+def run_stamped(seed=0, **kwargs):
+    return run_service("disk-directed", stamped_workload(seed),
+                       machine_config=MachineConfig(**MACHINE), seed=seed,
+                       retain_requests=False, **kwargs)
+
+
+class TestAdmissionCheckpointing:
+    """Checkpoint/resume with the admission layer engaged.
+
+    The checkpoint deliberately does *not* restore controller state — a
+    resumed replay re-runs the whole simulation and re-derives every
+    observation, K change and shed decision — so the pin is the same as
+    ever: the resumed envelope equals the uninterrupted one, controller
+    field included.
+    """
+
+    @pytest.mark.parametrize("every", (1, 7))
+    def test_resume_with_active_controller(self, tmp_path, every):
+        reference = run_stamped(controller=CONTROLLER)
+        assert reference.shed_requests > 0   # the shedder really folded
+        path = tmp_path / "run.ckpt"
+        checkpointed = run_stamped(controller=CONTROLLER,
+                                   checkpoint_every=every,
+                                   checkpoint_path=path)
+        assert envelope(checkpointed) == envelope(reference)
+        resumed = run_stamped(controller=CONTROLLER, resume_from=path)
+        assert envelope(resumed) == envelope(reference)
+
+    def test_resume_with_edf_drops(self, tmp_path):
+        reference = run_stamped(admission_policy="edf")
+        assert reference.dropped_requests > 0
+        path = tmp_path / "run.ckpt"
+        run_stamped(admission_policy="edf", checkpoint_every=7,
+                    checkpoint_path=path)
+        resumed = run_stamped(admission_policy="edf", resume_from=path)
+        assert envelope(resumed) == envelope(reference)
+
+    def test_checkpoint_carries_admission_state(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        run_stamped(controller=CONTROLLER, checkpoint_every=7,
+                    checkpoint_path=path)
+        checkpoint = RunCheckpoint.load(path)
+        # Two priority classes were stamped, so the per-class sketches are
+        # part of the fold state; the controller snapshot rides along for
+        # offline inspection.
+        assert set(checkpoint.class_sketches) <= {"0", "1"}
+        assert checkpoint.class_sketches
+        assert checkpoint.controller["target_p99"] == \
+            CONTROLLER["target_p99"]
+        assert checkpoint.aggregates["shed"] + \
+            checkpoint.aggregates["dropped"] + \
+            checkpoint.aggregates["completed"] == len(checkpoint.folded)
+
+    def test_idle_controller_only_changes_the_controller_field(self):
+        # A controller that can never act (interval past the makespan, no
+        # shedding) must leave the simulation bit-identical to running
+        # without one; only the result's controller snapshot differs.
+        plain = run_stamped()
+        idle = run_stamped(controller={"target_p99": 1000.0,
+                                       "interval": 1000.0, "shed": False})
+        plain_env, idle_env = envelope(plain), envelope(idle)
+        assert plain_env.pop("controller") == {}
+        assert idle_env.pop("controller")["k_changes"] == 0
+        assert idle_env == plain_env
+
+    def test_policy_change_rejects_foreign_checkpoint(self, tmp_path):
+        # The admission discipline is part of the run's identity: a FIFO
+        # checkpoint must not seed an SJF run.
+        path = tmp_path / "run.ckpt"
+        run_stamped(checkpoint_every=7, checkpoint_path=path)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            run_stamped(admission_policy="sjf", resume_from=path)
+
+    def test_round_trip_preserves_admission_payload(self, tmp_path):
+        sketch = {"format": 1, "precision": 0.01, "zero": 0,
+                  "buckets": [], "stats": {"count": 0, "total": 0.0,
+                                           "min": None, "max": None}}
+        saved = RunCheckpoint(
+            fingerprint="f" * 64, folded=IndexRanges([[0, 4]]),
+            response_sketch=dict(sketch), service_sketch=dict(sketch),
+            aggregates={"completed": 4}, max_in_flight=2,
+            class_sketches={"0": dict(sketch), "1": dict(sketch)},
+            controller={"k": 3, "intervals": 11, "last_p99": 0.25})
+        path = tmp_path / "admission.ckpt"
+        saved.save(path)
+        loaded = RunCheckpoint.load(path)
+        assert loaded.class_sketches == saved.class_sketches
+        assert loaded.controller == saved.controller
+
+
 class TestRunFingerprint:
     BASE = dict(workload_dict={"n_requests": 10}, method="disk-directed",
                 machine_dict={"n_disks": 4}, trial_seed=0)
@@ -148,10 +255,18 @@ class TestRunFingerprint:
         {"machine_dict": {"n_disks": 8}},
         {"disk_scheduler": "shared-cscan"},
         {"fault_description": [{"disk": 0}]},
+        {"admission": "sjf(aging=30)"},
+        {"controller": {"target_p99": 2.0}},
     ))
     def test_every_axis_changes_it(self, change):
         assert run_fingerprint(**{**self.BASE, **change}) != \
             run_fingerprint(**self.BASE)
+
+    def test_defaults_match_explicit_fifo(self):
+        # The default axes spell the pre-admission-layer identity, so old
+        # call sites and new ones produce the same fingerprint.
+        assert run_fingerprint(**self.BASE) == run_fingerprint(
+            **self.BASE, admission="fifo", controller=None)
 
 
 class TestIndexRanges:

@@ -119,6 +119,149 @@ class TestStreamingAcrossMethods:
         assert envelope(streaming) == envelope(retained)
 
 
+def run_legacy_pair(seed, arrival_kwargs, fault_config):
+    """The same trial on the pre-admission-layer Resource path and the new
+    FIFO AdmissionQueue, both retained."""
+    results = []
+    for legacy in (True, False):
+        workload = tiny_workload(seed, **arrival_kwargs)
+        results.append(run_service(
+            "disk-directed", workload,
+            machine_config=MachineConfig(n_cps=2, n_iops=2, n_disks=4),
+            seed=seed, fault_config=fault_config,
+            legacy_admission=legacy))
+    return results
+
+
+@pytest.mark.parametrize("fault_name,fault_config", FAULTS,
+                         ids=[name for name, _ in FAULTS])
+@pytest.mark.parametrize("arrival_kwargs", ARRIVALS,
+                         ids=[spec["arrival"] for spec in ARRIVALS])
+@pytest.mark.parametrize("seed", SEEDS)
+class TestFIFOMatchesLegacyResource:
+    """The admission layer's FIFO policy against the counting semaphore it
+    replaced — full-result bit-identity, per-request records included, across
+    the same seed x arrival x fault matrix (each axis shifts grant order)."""
+
+    def test_bit_identical_including_records(self, seed, arrival_kwargs,
+                                             fault_name, fault_config):
+        legacy, modern = run_legacy_pair(seed, arrival_kwargs, fault_config)
+        assert dataclasses.asdict(modern) == dataclasses.asdict(legacy)
+        assert modern.admission == "fifo" and modern.controller == {}
+
+    def test_streaming_fifo_matches_legacy_envelope(self, seed,
+                                                    arrival_kwargs,
+                                                    fault_name, fault_config):
+        legacy, _ = run_legacy_pair(seed, arrival_kwargs, fault_config)
+        workload = tiny_workload(seed, **arrival_kwargs)
+        streaming = run_service(
+            "disk-directed", workload,
+            machine_config=MachineConfig(n_cps=2, n_iops=2, n_disks=4),
+            seed=seed, fault_config=fault_config, retain_requests=False)
+        assert envelope(streaming) == envelope(legacy)
+
+
+def stamped_workload(seed, **arrival_kwargs):
+    """The differential workload with the QoS axes lit: two priority
+    classes, ~0.6 s deadlines and Pareto sizes (so size-aware ordering,
+    deadline drops and class sketches all engage)."""
+    return ServiceWorkload(n_requests=24, concurrency=3, n_files=4,
+                           file_size=96 * KILOBYTE, layout="random",
+                           read_fraction=0.7, pattern_specs=("b", "c"),
+                           record_size=8192, seed=seed,
+                           priority_levels=2, deadline_slack=0.6,
+                           size_distribution="pareto", size_alpha=1.5,
+                           **arrival_kwargs)
+
+
+#: Non-FIFO disciplines (and the shedding controller) whose streaming mode
+#: must still reproduce the retained reference exactly.
+POLICY_ROWS = (
+    ("sjf", dict(admission_policy="sjf", admission_aging=0.5)),
+    ("priority", dict(admission_policy="priority")),
+    ("edf", dict(admission_policy="edf")),
+    ("controller", dict(controller={"target_p99": 0.4, "interval": 0.1,
+                                    "shed": True, "shed_age": 0.3})),
+)
+
+
+@pytest.mark.parametrize("fault_name,fault_config", FAULTS,
+                         ids=[name for name, _ in FAULTS])
+@pytest.mark.parametrize("policy_name,run_kwargs", POLICY_ROWS,
+                         ids=[name for name, _ in POLICY_ROWS])
+class TestPolicyStreamingMatchesRetained:
+    """Streaming == retained for every admission discipline, drops and
+    sheds included, with the PR 6 fault plans active — and conservation
+    (moved + failed + shed == requested) holds throughout."""
+
+    def run_policy_pair(self, run_kwargs, fault_config):
+        results = []
+        for retain in (True, False):
+            workload = stamped_workload(0, arrival="poisson",
+                                        arrival_rate=200.0)
+            results.append(run_service(
+                "disk-directed", workload,
+                machine_config=MachineConfig(n_cps=2, n_iops=2, n_disks=4),
+                seed=0, fault_config=fault_config, retain_requests=retain,
+                **run_kwargs))
+        return results
+
+    def test_envelope_bit_identical(self, policy_name, run_kwargs,
+                                    fault_name, fault_config):
+        retained, streaming = self.run_policy_pair(run_kwargs, fault_config)
+        assert envelope(streaming) == envelope(retained)
+        assert streaming.controller == retained.controller
+        assert streaming.class_sketches == retained.class_sketches
+
+    def test_conservation_with_rejections(self, policy_name, run_kwargs,
+                                          fault_name, fault_config):
+        retained, streaming = self.run_policy_pair(run_kwargs, fault_config)
+        for result in (retained, streaming):
+            assert result.conserves_bytes()
+            aggregates = result.aggregates
+            assert aggregates["bytes_moved"] + aggregates["bytes_failed"] \
+                + aggregates["bytes_shed"] == aggregates["bytes_requested"]
+            assert aggregates["completed"] + result.dropped_requests \
+                + result.shed_requests == retained.n_requests
+        # The retained records re-derive the shed totals exactly.
+        rejected = [record for record in retained.requests
+                    if record.get("admitted_time") is None]
+        assert len(rejected) == \
+            retained.dropped_requests + retained.shed_requests
+        assert sum(record["bytes_shed"] for record in rejected) == \
+            retained.shed_bytes
+
+
+class TestRejectionsHappenUnderOverload:
+    """The drop/shed paths really fire in the matrix above (so the
+    conservation pins are not vacuous)."""
+
+    MACHINE = dict(n_cps=2, n_iops=2, n_disks=4)
+
+    def test_edf_drops_under_overload(self):
+        workload = stamped_workload(0, arrival="poisson", arrival_rate=200.0)
+        result = run_service("disk-directed", workload,
+                             machine_config=MachineConfig(**self.MACHINE),
+                             seed=0, admission_policy="edf")
+        assert result.dropped_requests > 0
+        assert result.shed_requests == 0
+        assert result.shed_bytes > 0
+
+    def test_controller_sheds_under_overload(self):
+        workload = stamped_workload(0, arrival="poisson", arrival_rate=200.0)
+        result = run_service("disk-directed", workload,
+                             machine_config=MachineConfig(**self.MACHINE),
+                             seed=0,
+                             controller={"target_p99": 0.4, "interval": 0.1,
+                                         "shed": True, "shed_age": 0.3})
+        assert result.shed_requests > 0
+        assert result.dropped_requests == 0
+        assert result.controller["shed"] == result.shed_requests
+        assert result.controller["intervals"] > 0
+        assert result.controller["observed"] == \
+            result.aggregates["completed"]
+
+
 class TestStreamingUnderPressure:
     def test_window_smaller_than_backlog(self):
         # More requests than the spawn window, arriving far faster than the
