@@ -15,11 +15,16 @@ The paper's results depend on a validated model of the HP 97560 SCSI drive
   shared sorted queue per drive, merging requests from all active
   collective sessions (``Machine(disk_scheduler="shared-cscan")``),
 * :mod:`repro.disk.drive` — the :class:`~repro.disk.drive.Disk` device process
-  that services block requests under a shared SCSI bus.
+  that services block requests under a shared SCSI bus,
+* :mod:`repro.disk.flash` — the :class:`~repro.disk.flash.SSD` flash device
+  (FTL, erase-block GC, write cache, NCQ), duck-compatible with ``Disk``
+  behind the ``Machine(device=...)`` axis.
 """
 
 from repro.disk.cache import ReadAheadCache
 from repro.disk.drive import Disk, DiskRequest, DiskStats, SessionDiskStats
+from repro.disk.flash import (SSD, FlashTranslationLayer, SSDSpec,
+                              matched_ssd_spec)
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import SeekModel
 from repro.disk.scheduler import (
@@ -39,11 +44,15 @@ __all__ = [
     "DiskSpec",
     "DiskStats",
     "FcfsScheduler",
+    "FlashTranslationLayer",
     "HP97560_SPEC",
     "ReadAheadCache",
+    "SSD",
+    "SSDSpec",
     "SeekModel",
     "SessionDiskStats",
     "SharedDiskQueue",
     "SstfScheduler",
     "make_scheduler",
+    "matched_ssd_spec",
 ]

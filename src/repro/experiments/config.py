@@ -31,6 +31,10 @@ class ExperimentConfig:
     #: ``sstf`` / ``cscan``) or a cross-collective IOP policy
     #: (``shared-cscan`` etc.) — see :class:`repro.machine.Machine`.
     disk_scheduler: str = "fcfs"
+    #: storage backend: ``disk`` (the paper's HP 97560) or ``ssd`` (the
+    #: flash model of :mod:`repro.disk.flash`, bandwidth-matched to the
+    #: disk) — see :class:`repro.machine.Machine`.
+    device: str = "disk"
     seed: int = 0
     label: str = ""
 

@@ -21,6 +21,7 @@ from repro.experiments.service import (
     service_admission_figure,
     service_faults_figure,
     service_figure,
+    service_flash_figure,
     service_millions_figure,
     service_overload_figure,
     service_scheduler_figure,
@@ -238,6 +239,9 @@ def table1():
 #: ``service-admission`` sweeps the admission disciplines (FIFO, SJF,
 #: priority, EDF, adaptive-K SLO controller) over the overload workload
 #: (docs/workloads.md); pass ``--json`` to refresh its docs/data artifact.
+#: ``ddio-flash`` re-asks the paper's question on flash: DDIO vs TC on the
+#: disk and on a bandwidth-matched SSD (docs/flash.md); pass ``--json`` to
+#: refresh its docs/data artifact.
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -252,6 +256,7 @@ FIGURES = {
     "service-faults": service_faults_figure,
     "service-millions": service_millions_figure,
     "service-admission": service_admission_figure,
+    "ddio-flash": service_flash_figure,
 }
 
 
@@ -288,8 +293,8 @@ def main(argv=None):
                              "figure only simulates changed data points")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="also write the figure's docs/data JSON "
-                             "artifact (service-millions and "
-                             "service-admission only)")
+                             "artifact (service-millions, service-admission "
+                             "and ddio-flash only)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
 
@@ -307,9 +312,10 @@ def main(argv=None):
             _rows, text = generator()
         elif name in ("service", "service-sched", "service-overload",
                       "service-faults", "service-millions",
-                      "service-admission"):
+                      "service-admission", "ddio-flash"):
             extra = {"json_path": args.json} \
-                if name in ("service-millions", "service-admission") \
+                if name in ("service-millions", "service-admission",
+                            "ddio-flash") \
                 and args.json else {}
             summaries, text = generator(
                 trials=args.trials, progress=progress,

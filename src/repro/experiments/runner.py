@@ -68,7 +68,12 @@ from repro.patterns import make_pattern
 #:     ``controller`` and ``class_sketches`` fields plus drop/shed
 #:     aggregates, and the service config grew the admission/controller
 #:     knobs; schema-7 envelopes lack all of these.
-CACHE_SCHEMA_VERSION = 8
+#: v9: the flash backend landed — ``device`` joined both config families
+#:     (and hence every cache key).  Disk results are bit-identical (the
+#:     68-trial matrix of repro.experiments.matrix pins this), but schema-8
+#:     envelopes were keyed without the device axis and must not be
+#:     replayed against keys that now include it.
+CACHE_SCHEMA_VERSION = 9
 
 
 # -- experiment families --------------------------------------------------------
@@ -122,7 +127,8 @@ def run_experiment(config, seed=None):
     trial_seed = config.seed if seed is None else seed
     machine_config = build_machine_config(config)
     machine = Machine(machine_config, seed=trial_seed,
-                      disk_scheduler=config.disk_scheduler)
+                      disk_scheduler=config.disk_scheduler,
+                      device=config.device)
     filesystem = FileSystem(machine_config, layout_seed=trial_seed)
     striped_file = filesystem.create_file(
         "experiment-file", config.file_size, layout=config.layout)

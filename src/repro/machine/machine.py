@@ -2,6 +2,7 @@
 
 from repro.disk.drive import Disk
 from repro.disk.faults import build_fault_plan
+from repro.disk.flash import SSD, matched_ssd_spec
 from repro.disk.shared_queue import SharedDiskQueue
 from repro.machine.bus import ScsiBus
 from repro.machine.node import ComputeNode, IONode
@@ -14,6 +15,9 @@ from repro.sim.rng import RandomStreams
 #: :class:`~repro.disk.shared_queue.SharedDiskQueue` per drive, ordered by
 #: the named policy, and leaves the drive's own queue FCFS.
 SHARED_PREFIX = "shared-"
+
+#: The storage backends the ``device=`` axis selects between.
+DEVICES = ("disk", "ssd")
 
 
 class Machine:
@@ -36,15 +40,35 @@ class Machine:
     per-collective ``buffers_per_disk`` threads.  File-system
     implementations reach whichever is configured through
     :meth:`disk_handle` / ``IONode.local_disk_handle``.
+
+    ``device`` selects the storage backend: ``"disk"`` (the paper's HP 97560
+    model) or ``"ssd"`` (the flash model of :mod:`repro.disk.flash`, by
+    default bandwidth-matched to ``config.disk_spec``).  Both expose the
+    same request/stats/fault surface, so everything above this layer is
+    device-agnostic; an SSD ignores the drive-queue policy (the FTL
+    virtualises addresses) but shared IOP queues still apply.
     """
 
     def __init__(self, config, seed=0, env=None, disk_scheduler="fcfs",
-                 shared_queue_workers=2, fault_config=None):
+                 shared_queue_workers=2, fault_config=None, device="disk",
+                 ssd_spec=None):
+        if device not in DEVICES:
+            raise ValueError(
+                f"unknown device {device!r} (choose from {DEVICES})")
         self.config = config
         self.seed = seed
+        self.device = device
         self.disk_scheduler = disk_scheduler
         self.shared_queue_workers = shared_queue_workers
         self.fault_config = fault_config
+        #: the flash drive model when ``device="ssd"``: an explicit
+        #: :class:`~repro.disk.flash.SSDSpec`, or (by default) one matched to
+        #: ``config.disk_spec``'s sequential bandwidth and sector count —
+        #: so file-system layouts and experiment scales carry over unchanged
+        self.ssd_spec = None
+        if device == "ssd":
+            self.ssd_spec = ssd_spec if ssd_spec is not None \
+                else matched_ssd_spec(config.disk_spec)
         if isinstance(disk_scheduler, str) \
                 and disk_scheduler.startswith(SHARED_PREFIX):
             self.iop_scheduling = disk_scheduler[len(SHARED_PREFIX):]
@@ -90,15 +114,28 @@ class Machine:
             fault_plan = build_fault_plan(
                 fault_config, seed, disk_index,
                 total_sectors=config.disk_spec.total_sectors)
-            disk = Disk(
-                self.env,
-                spec=config.disk_spec,
-                bus_port=iop.bus.port(),
-                name=f"disk{disk_index}",
-                scheduler=drive_scheduler,
-                initial_angle_fraction=float(rotation_rng.random()),
-                fault_plan=fault_plan,
-            )
+            # The rotation draw is consumed for every drive index regardless
+            # of device, so per-index rng streams stay aligned across the
+            # device axis (flash has no platter; the draw is discarded).
+            angle = float(rotation_rng.random())
+            if device == "ssd":
+                disk = SSD(
+                    self.env,
+                    spec=self.ssd_spec,
+                    bus_port=iop.bus.port(),
+                    name=f"ssd{disk_index}",
+                    fault_plan=fault_plan,
+                )
+            else:
+                disk = Disk(
+                    self.env,
+                    spec=config.disk_spec,
+                    bus_port=iop.bus.port(),
+                    name=f"disk{disk_index}",
+                    scheduler=drive_scheduler,
+                    initial_angle_fraction=angle,
+                    fault_plan=fault_plan,
+                )
             self.fault_plans.append(fault_plan)
             if self.iop_scheduling is not None:
                 queue = SharedDiskQueue(self.env, disk,
@@ -165,6 +202,26 @@ class Machine:
             totals["bytes_written"] += disk.stats.bytes_written
             totals["cache_hits"] += disk.stats.cache_hits
             totals["cache_misses"] += disk.stats.cache_misses
+        return totals
+
+    def total_flash_counters(self):
+        """Aggregate FTL work counters across all drives (``device="ssd"``).
+
+        Returns None on a disk machine.  ``write_amplification`` is the
+        machine-wide ratio (total flash programs / total host programs),
+        not a mean of per-drive ratios.
+        """
+        if self.device != "ssd":
+            return None
+        totals = {"host_pages_written": 0, "flash_pages_written": 0,
+                  "relocated_pages": 0, "erases": 0, "trims": 0}
+        for disk in self.disks:
+            counters = disk.ftl.counters()
+            for key in totals:
+                totals[key] += counters[key]
+        host = totals["host_pages_written"]
+        totals["write_amplification"] = \
+            totals["flash_pages_written"] / host if host else 1.0
         return totals
 
     def session_disk_stats(self, session_id):

@@ -993,7 +993,7 @@ class ServiceDriver:
 def build_service_machine(workload, machine_config=None, seed=None,
                           method="disk-directed", disk_scheduler="fcfs",
                           shared_queue_workers=2, fault_config=None,
-                          on_fault="retry", **fs_kwargs):
+                          on_fault="retry", device="disk", **fs_kwargs):
     """Construct (machine, implementation, files) ready for a :class:`ServiceDriver`.
 
     The trial seed controls disk layout seeds, rotational positions and —
@@ -1016,7 +1016,7 @@ def build_service_machine(workload, machine_config=None, seed=None,
     trial_seed = workload.seed if seed is None else seed
     machine = Machine(config, seed=trial_seed, disk_scheduler=disk_scheduler,
                       shared_queue_workers=shared_queue_workers,
-                      fault_config=fault_config)
+                      fault_config=fault_config, device=device)
     if fault_config is not None and fault_config.enabled:
         fs_kwargs.setdefault("fault_policy", FaultPolicy(on_fault=on_fault))
     filesystem = FileSystem(config, layout_seed=trial_seed)
@@ -1037,7 +1037,7 @@ def run_service(method, workload, machine_config=None, seed=None,
                 checkpoint_path=None, resume_from=None,
                 admission_policy="fifo", admission_aging=0.0,
                 edf_service_rate=0.0, controller=None,
-                legacy_admission=False, **fs_kwargs):
+                legacy_admission=False, device="disk", **fs_kwargs):
     """Build a machine, drive *workload* through it, return the :class:`ServiceResult`.
 
     Extra keyword arguments are forwarded to the file-system implementation
@@ -1066,7 +1066,8 @@ def run_service(method, workload, machine_config=None, seed=None,
         workload, machine_config=machine_config, seed=seed, method=method,
         disk_scheduler=disk_scheduler,
         shared_queue_workers=shared_queue_workers,
-        fault_config=fault_config, on_fault=on_fault, **fs_kwargs)
+        fault_config=fault_config, on_fault=on_fault, device=device,
+        **fs_kwargs)
     driver = ServiceDriver(machine, implementation, files, workload,
                            retain_requests=retain_requests,
                            checkpoint_every=checkpoint_every,

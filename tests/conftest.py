@@ -34,10 +34,11 @@ def paper_config():
 
 
 def run_transfer(method, pattern_name, *, config=None, record_size=8192,
-                 layout="contiguous", file_size=256 * KILOBYTE, seed=1):
+                 layout="contiguous", file_size=256 * KILOBYTE, seed=1,
+                 device="disk"):
     """Build a machine + file + pattern, run one transfer, return the result."""
     config = config or MachineConfig(n_cps=4, n_iops=4, n_disks=4)
-    machine = Machine(config, seed=seed)
+    machine = Machine(config, seed=seed, device=device)
     filesystem = FileSystem(config, layout_seed=seed)
     striped = filesystem.create_file("test-file", file_size, layout=layout)
     pattern = make_pattern(pattern_name, file_size, record_size, config.n_cps)

@@ -1,0 +1,290 @@
+"""Unit tests for the flash translation layer and SSD spec (repro.disk.flash)."""
+
+import pytest
+
+from repro.disk import HP97560_SPEC
+from repro.disk.flash import FlashTranslationLayer, SSDSpec, matched_ssd_spec
+
+MEGABYTE = 2 ** 20
+
+
+def small_ftl(logical=24, pages_per_block=4, blocks=8, **kwargs):
+    """A tiny FTL: 24 logical pages over 8 x 4-page blocks (33% headroom)."""
+    return FlashTranslationLayer(logical, pages_per_block, blocks, **kwargs)
+
+
+class TestSpecDerivedQuantities:
+    def test_sectors_per_page(self):
+        assert SSDSpec().sectors_per_page == 4096 // 512
+
+    def test_logical_pages_round_up(self):
+        spec = SSDSpec(total_sectors=10, sector_size=512, page_size=4096)
+        assert spec.logical_pages == 2  # 10 sectors -> 1.25 pages -> 2
+
+    def test_overprovision_adds_physical_blocks(self):
+        spec = SSDSpec()
+        assert spec.physical_pages > spec.logical_pages
+        assert spec.physical_pages >= spec.logical_pages * 1.07 - \
+            spec.pages_per_block
+        assert spec.physical_pages == spec.physical_blocks \
+            * spec.pages_per_block
+
+    def test_capacity_matches_the_hp97560_address_space(self):
+        spec = SSDSpec()
+        assert spec.total_sectors == HP97560_SPEC.total_sectors
+        assert spec.capacity_bytes == HP97560_SPEC.total_sectors * 512
+
+    def test_sequential_rates_scale_with_channels(self):
+        narrow = SSDSpec(channels=1)
+        wide = SSDSpec(channels=8)
+        assert wide.sequential_read_rate == 8 * narrow.sequential_read_rate
+        assert wide.sequential_write_rate == 8 * narrow.sequential_write_rate
+
+
+class TestMatchedSpec:
+    def test_sequential_bandwidth_equals_the_disk_in_both_directions(self):
+        spec = matched_ssd_spec(HP97560_SPEC)
+        rate = HP97560_SPEC.sustained_transfer_rate
+        assert spec.sequential_read_rate == pytest.approx(rate)
+        assert spec.sequential_write_rate == pytest.approx(rate)
+
+    def test_address_space_carries_over(self):
+        spec = matched_ssd_spec(HP97560_SPEC)
+        assert spec.total_sectors == HP97560_SPEC.total_sectors
+        assert spec.sector_size == HP97560_SPEC.sector_size
+
+    def test_channel_override_stays_matched(self):
+        # More channels -> each page op slower, aggregate rate unchanged.
+        spec = matched_ssd_spec(HP97560_SPEC, channels=8)
+        assert spec.channels == 8
+        assert spec.sequential_read_rate == pytest.approx(
+            HP97560_SPEC.sustained_transfer_rate)
+
+    def test_explicit_page_time_override_wins(self):
+        spec = matched_ssd_spec(HP97560_SPEC, read_page_time=1e-3)
+        assert spec.read_page_time == 1e-3
+
+
+class TestFtlValidation:
+    def test_rejects_no_overprovision(self):
+        with pytest.raises(ValueError):
+            FlashTranslationLayer(32, 4, 8)   # 8*4 == 32: zero headroom
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            small_ftl(gc_policy="oracle")
+
+    def test_rejects_low_water_below_two(self):
+        # GC relocation allocates mid-collection; one spare block of slack
+        # below the trigger is mandatory.
+        with pytest.raises(ValueError):
+            small_ftl(gc_low_water=1, gc_high_water=3)
+
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(ValueError):
+            small_ftl(gc_low_water=3, gc_high_water=3)
+
+    def test_rejects_out_of_range_lpn(self):
+        ftl = small_ftl()
+        with pytest.raises(ValueError):
+            ftl.write(24)
+        with pytest.raises(ValueError):
+            ftl.write(-1)
+
+
+class TestMappingBasics:
+    def test_write_maps_and_read_returns_the_page(self):
+        ftl = small_ftl()
+        ppn, report = ftl.write(5)
+        assert ftl.read(5) == ppn
+        assert report.relocated == 0 and report.erases == 0
+
+    def test_unmapped_page_reads_none(self):
+        assert small_ftl().read(3) is None
+
+    def test_overwrite_moves_the_mapping(self):
+        ftl = small_ftl()
+        first, _ = ftl.write(5)
+        second, _ = ftl.write(5)
+        assert second != first
+        assert ftl.read(5) == second
+        assert ftl.live_pages == 1
+
+    def test_pages_allocate_sequentially_within_a_block(self):
+        ftl = small_ftl()
+        ppns = [ftl.write(lpn)[0] for lpn in range(4)]
+        assert ppns == [0, 1, 2, 3]
+
+    def test_payload_rides_the_mapping(self):
+        ftl = small_ftl()
+        ftl.write(2, payload=b"two")
+        assert ftl.read_payload(2) == b"two"
+        ftl.write(2, payload=b"new")
+        assert ftl.read_payload(2) == b"new"
+        assert ftl.read_payload(3) is None
+
+
+class TestTrim:
+    def test_trim_unmaps_and_counts(self):
+        ftl = small_ftl()
+        ftl.write(7)
+        ftl.trim(7)
+        assert ftl.read(7) is None
+        assert ftl.live_pages == 0
+        assert ftl.trims == 1
+
+    def test_trim_of_unmapped_page_is_a_noop(self):
+        ftl = small_ftl()
+        ftl.trim(7)
+        assert ftl.trims == 0
+
+    def test_trimmed_space_is_reclaimable(self):
+        # Fill, trim everything, then refill: GC must find wholly-dead
+        # blocks and the device never runs out.
+        ftl = small_ftl()
+        for round_ in range(4):
+            for lpn in range(24):
+                ftl.write(lpn)
+            for lpn in range(24):
+                ftl.trim(lpn)
+        ftl.check_consistency()
+        assert ftl.live_pages == 0
+
+
+class TestWriteAmplification:
+    def test_sequential_fill_has_wa_exactly_one(self):
+        ftl = small_ftl()
+        for lpn in range(24):
+            ftl.write(lpn)
+        assert ftl.write_amplification == 1.0
+        assert ftl.erases == 0
+        assert ftl.relocated_pages == 0
+
+    def test_wa_is_one_before_any_write(self):
+        assert small_ftl().write_amplification == 1.0
+
+    def test_random_overwrites_force_gc_and_wa_above_one(self):
+        ftl = small_ftl()
+        for lpn in range(24):
+            ftl.write(lpn)
+        # Hammer a hot subset: victims always carry live pages, so GC
+        # relocates and write amplification rises above 1.
+        for step in range(200):
+            ftl.write(step % 8)
+        assert ftl.erases > 0
+        assert ftl.write_amplification > 1.0
+        ftl.check_consistency()
+
+    def test_flash_pages_written_decomposes(self):
+        ftl = small_ftl()
+        for step in range(120):
+            ftl.write(step % 10)
+        assert ftl.flash_pages_written \
+            == ftl.host_pages_written + ftl.relocated_pages
+        assert ftl.host_pages_written == 120
+
+    def test_counters_snapshot_is_complete(self):
+        ftl = small_ftl()
+        ftl.write(0)
+        counters = ftl.counters()
+        assert counters["host_pages_written"] == 1
+        assert counters["live_pages"] == 1
+        assert set(counters) == {
+            "host_pages_written", "flash_pages_written", "relocated_pages",
+            "erases", "trims", "live_pages", "free_blocks",
+            "write_amplification"}
+
+
+class TestVictimSelection:
+    def _sealed_blocks_with_valid(self, ftl):
+        return {block: ftl._valid[block] for block in ftl._sealed}
+
+    def test_greedy_picks_the_emptiest_sealed_block(self):
+        # 12 logical pages, 4 pages/block, 5 blocks, watermarks 2/3: fill
+        # three blocks, then dirty block 0 completely and block 1 partially.
+        ftl = FlashTranslationLayer(12, 4, 5, gc_policy="greedy",
+                                    gc_low_water=2, gc_high_water=3)
+        for lpn in range(12):
+            ftl.write(lpn)          # blocks 0,1,2 sealed; 3,4 free
+        ftl.write(0)                # invalidates one page of block 0 ...
+        ftl.write(1)                # ... opens block 3, free == 1 <= low
+        # The trigger collected the emptiest sealed block (block 0, two
+        # dead pages) first — its survivors moved, the block was erased.
+        assert ftl.erases >= 1
+        assert ftl.erase_counts[0] == 1
+        ftl.check_consistency()
+
+    def test_full_blocks_are_never_victims(self):
+        ftl = FlashTranslationLayer(12, 4, 5, gc_policy="greedy",
+                                    gc_low_water=2, gc_high_water=3)
+        for lpn in range(12):
+            ftl.write(lpn)
+        before = ftl.erase_counts[:]
+        ftl.write(0)
+        ftl.write(0)
+        # Blocks 1 and 2 are still fully valid; whatever GC ran, it only
+        # ever erased blocks with dead pages (0 and later allocations).
+        assert ftl.erase_counts[1] == before[1] == 0
+        assert ftl.erase_counts[2] == before[2] == 0
+
+    def test_cost_benefit_prefers_the_old_cold_block(self):
+        # Two candidate victims with equal utilisation: cost-benefit picks
+        # the one sealed earlier (greater age); greedy would tie-break by id
+        # the same way here, so distinguish via seal order instead — make
+        # the *younger* block slightly emptier, which flips greedy only.
+        def build(policy):
+            ftl = FlashTranslationLayer(12, 4, 6, gc_policy=policy,
+                                        gc_low_water=2, gc_high_water=3)
+            for lpn in range(12):
+                ftl.write(lpn)      # seals blocks 0,1,2 in that order
+            ftl.write(4)            # block 1: 3 valid (young-ish, emptier
+            ftl.write(5)            # after second hit: 2 valid)
+            ftl.write(0)            # block 0: 3 valid, oldest seal
+            return ftl
+
+        greedy = build("greedy")
+        cost = build("cost-benefit")
+        # Both triggered GC by now; greedy reclaimed the emptiest (block 1,
+        # 2 valid), cost-benefit weighed age into the score.
+        assert greedy.erase_counts[1] >= 1
+        assert cost.erases >= 1
+        greedy.check_consistency()
+        cost.check_consistency()
+
+    def test_gc_keeps_the_device_from_exhausting(self):
+        # Steady-state round-robin overwrites: free blocks may dip to one
+        # mid-relocation, but the pool never empties and writes never fail.
+        ftl = small_ftl(gc_low_water=2, gc_high_water=4)
+        for step in range(400):
+            ftl.write(step % 24)
+        assert ftl.free_blocks >= 1
+        assert ftl.erases > 0
+        ftl.check_consistency()
+
+    def test_erase_counts_accumulate_wear(self):
+        ftl = small_ftl()
+        for step in range(400):
+            ftl.write(step % 6)
+        assert sum(ftl.erase_counts) == ftl.erases
+        assert ftl.erases > 1
+
+
+class TestConsistency:
+    def test_fresh_ftl_is_consistent(self):
+        small_ftl().check_consistency()
+
+    def test_consistency_detects_tampering(self):
+        ftl = small_ftl()
+        ftl.write(0)
+        ftl._map[0] = 99    # corrupt the map behind the block tables
+        with pytest.raises(AssertionError):
+            ftl.check_consistency()
+
+    def test_consistency_detects_double_mapping(self):
+        ftl = small_ftl()
+        ftl.write(0)
+        ftl.write(1)
+        block = ftl._block_live[0]
+        block[1] = 0        # physical page 1 claims lpn 0 too
+        with pytest.raises(AssertionError):
+            ftl.check_consistency()

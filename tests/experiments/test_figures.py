@@ -24,7 +24,7 @@ class TestFigureGenerators:
                                 "figure6", "figure7", "figure8", "service",
                                 "service-sched", "service-overload",
                                 "service-faults", "service-millions",
-                                "service-admission"}
+                                "service-admission", "ddio-flash"}
 
     def test_figure3_runs_subset(self):
         summaries, text = figure3(record_sizes=(8192,), patterns=("rb", "rc"), **FAST)
