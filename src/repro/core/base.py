@@ -87,9 +87,21 @@ class CollectiveSession:
         return self.pattern.total_transfer_bytes()
 
     def count(self, name, amount=1):
-        """Increment a session counter (and its file-system lifetime twin)."""
-        self.counters[name].add(amount)
-        self.fs.counters[name].add(amount)
+        """Increment a session counter (and its file-system lifetime twin).
+
+        Counters outside :data:`SESSION_COUNTERS` (e.g. ``scrub_errors``
+        from checksum verification) are created lazily on first use, so
+        result snapshots only grow keys on runs that actually exercise the
+        corresponding machinery.
+        """
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        counter.add(amount)
+        fs_counter = self.fs.counters.get(name)
+        if fs_counter is None:
+            fs_counter = self.fs.counters[name] = Counter(name)
+        fs_counter.add(amount)
 
     def __repr__(self):
         state = "in-flight" if self.in_flight else \
@@ -115,7 +127,8 @@ class CollectiveFileSystem:
 
     method_name = "abstract"
 
-    def __init__(self, machine, striped_file=None, fault_policy=None):
+    def __init__(self, machine, striped_file=None, fault_policy=None,
+                 checksums=False):
         self.machine = machine
         self.env = machine.env
         self.config = machine.config
@@ -126,6 +139,11 @@ class CollectiveFileSystem:
         #: degrade immediately, which only matters when the machine injects
         #: faults — a healthy machine never produces an errored request).
         self.fault_policy = fault_policy
+        #: End-to-end integrity: verify per-block checksums at the client
+        #: on every read.  Off by default — without it, silently-corrupted
+        #: payloads (``DiskRequest.corrupt``) are delivered as if clean; see
+        #: :meth:`_verify_read`.
+        self.checksums = checksums
         #: Distinguishes this instance's mailbox traffic from any other
         #: instance sharing the machine (e.g. a DDIO and a TC file system
         #: being compared on the same simulated hardware).
@@ -266,6 +284,34 @@ class CollectiveFileSystem:
             if session is not None else None
         request = yield from retry_fragment(
             self.env, self.fault_policy, attempt, on_retry)
+        return request
+
+    def _verify_read(self, session, disk, request):
+        """Process fragment: client-side checksum check of a completed read.
+
+        With ``checksums`` off (the default) this is free and returns the
+        request untouched — a corrupt payload is delivered as if clean,
+        which is exactly the invisibility the knob exists to close.  With
+        them on, a ``corrupt`` payload is always detected (counted as
+        ``scrub_errors``) and, when the handle is a parity wrapper, repaired
+        in place via :meth:`~repro.disk.redundancy.ParityDisk.repair`;
+        without redundancy (or if reconstruction fails) the request is
+        downgraded to ``status="error"`` / ``error="checksum"`` and the
+        caller's ordinary read-failure accounting takes over.
+        """
+        if not self.checksums or request.status != "ok" \
+                or not request.corrupt:
+            return request
+            yield  # pragma: no cover - makes this a generator even when skipped
+        session.count("scrub_errors")
+        repair = getattr(disk, "repair", None)
+        if repair is not None:
+            repaired = yield repair(request.lbn, request.n_sectors,
+                                    session_id=request.session_id)
+            if repaired.status == "ok":
+                return repaired
+        request.status = "error"
+        request.error = "checksum"
         return request
 
     def _record_read_failure(self, session, n_bytes):

@@ -52,8 +52,9 @@ class DiskDirectedFS(CollectiveFileSystem):
     DONE_TAG = "ddio-done"
 
     def __init__(self, machine, striped_file=None, presort=True, buffers_per_disk=2,
-                 fault_policy=None, collapse_single_piece=True):
-        super().__init__(machine, striped_file, fault_policy=fault_policy)
+                 fault_policy=None, collapse_single_piece=True, checksums=False):
+        super().__init__(machine, striped_file, fault_policy=fault_policy,
+                         checksums=checksums)
         if buffers_per_disk < 1:
             raise ValueError("need at least one buffer per disk")
         self.presort = presort
@@ -268,6 +269,10 @@ class DiskDirectedFS(CollectiveFileSystem):
                 session,
                 lambda: disk.read(lbn, sectors_per_block, tag=block,
                                   session_id=session.session_id))
+            # End-to-end integrity: with checksums on, a corrupt payload is
+            # caught here (and parity-repaired when the machine has
+            # redundancy); otherwise it falls through as a failed read.
+            request = yield from self._verify_read(session, disk, request)
             if request.status != "ok":
                 self._record_read_failure(
                     session, sum(piece.n_bytes for piece in pieces))

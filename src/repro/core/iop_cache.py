@@ -82,7 +82,7 @@ class IOPCache:
 
     def __init__(self, env, iop, striped_file, disk_lookup, capacity_blocks,
                  sectors_per_block, stats=None, fault_policy=None,
-                 session_lookup=None):
+                 session_lookup=None, checksums=False):
         """
         ``disk_lookup`` maps a global disk index to that IOP's local
         :class:`~repro.disk.drive.Disk` object.  ``striped_file`` is the
@@ -106,6 +106,11 @@ class IOPCache:
         self.sectors_per_block = sectors_per_block
         self.fault_policy = fault_policy
         self.session_lookup = session_lookup
+        #: Verify per-block checksums on every fetch (end-to-end integrity);
+        #: a corrupt payload is then never cached — it is parity-repaired
+        #: through the handle's ``repair`` method when the machine has
+        #: redundancy, or surfaced as a :class:`BlockFault` otherwise.
+        self.checksums = checksums
         self.stats = stats if stats is not None else IOPCacheStats()
         self._entries = {}
         #: misses that have been accepted but whose buffer/disk work has not
@@ -228,6 +233,20 @@ class IOPCache:
             lambda: disk.read(location.lbn, self.sectors_per_block,
                               session_id=session_id),
             self._count_retry(session_id))
+        if self.checksums and request.status == "ok" and request.corrupt:
+            # End-to-end integrity: the checksum over the fetched payload
+            # does not match.  Count the detection, then reconstruct from
+            # parity when the handle supports it; without redundancy the
+            # fetch degrades to a BlockFault below — never a poisoned
+            # VALID entry serving corrupt hits.
+            self._count_scrub(session_id)
+            repair = getattr(disk, "repair", None)
+            if repair is not None:
+                request = yield repair(location.lbn, self.sectors_per_block,
+                                       session_id=session_id)
+            else:
+                request.status = "error"
+                request.error = "checksum"
         if request.status != "ok":
             # Permanently unreadable: drop the buffer rather than leave a
             # poisoned VALID entry serving garbage hits.  A FETCHING entry
@@ -480,6 +499,14 @@ class IOPCache:
             if session is not None:
                 session.count("retries")
         return on_retry
+
+    def _count_scrub(self, session_id):
+        """Count one checksum-detected corrupt fetch against its session."""
+        if self.session_lookup is None or session_id is None:
+            return
+        session = self.session_lookup(session_id)
+        if session is not None:
+            session.count("scrub_errors")
 
     def _record_write_loss(self, session_id):
         """Account one lost write-back buffer against its owning session."""

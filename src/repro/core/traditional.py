@@ -62,8 +62,9 @@ class TraditionalCachingFS(CollectiveFileSystem):
 
     def __init__(self, machine, striped_file=None, cache_blocks_per_cp_per_disk=2,
                  prefetch_blocks=1, outstanding_per_disk=1, batch_requests=True,
-                 fault_policy=None):
-        super().__init__(machine, striped_file, fault_policy=fault_policy)
+                 fault_policy=None, checksums=False):
+        super().__init__(machine, striped_file, fault_policy=fault_policy,
+                         checksums=checksums)
         if outstanding_per_disk < 1:
             raise ValueError("need at least one outstanding request per disk")
         self.prefetch_blocks = prefetch_blocks
@@ -97,6 +98,7 @@ class TraditionalCachingFS(CollectiveFileSystem):
                 # whose id is on the disk request; the lookup returns None
                 # once the session has completed and been released.
                 session_lookup=self.active_sessions.get,
+                checksums=checksums,
             )
             self.caches.append(cache)
             self.env.process(self._iop_dispatcher(iop, cache))

@@ -55,6 +55,12 @@ class DiskRequest:
     #: Error kind when ``status == "error"`` (one of the
     #: :mod:`repro.disk.faults` constants).
     error: str = None
+    #: True when a read returned flipped payload bytes *without* an error
+    #: status (the drive's silent-corruption ranges, see
+    #: :mod:`repro.disk.faults`).  The device never acts on this flag — it
+    #: models a wrong checksum over the returned data, visible only to
+    #: clients that verify checksums.
+    corrupt: bool = False
 
     @property
     def n_bytes(self):
@@ -440,6 +446,13 @@ class Disk:
         if session is not None:
             session.reads += 1
             session.bytes_read += request.n_bytes
+        # Silent corruption: the read *succeeds* — same timing, same status —
+        # but the payload is marked corrupt for checksum-verifying clients.
+        # (plan is None on the fused path, so this costs nothing there.)
+        if plan is not None and plan.silently_corrupts(request):
+            request.corrupt = True
+            self.stats.faults["silent_corruption"] = \
+                self.stats.faults.get("silent_corruption", 0) + 1
         request.completion.succeed(request)
         self._signal_media(request)
 

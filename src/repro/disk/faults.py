@@ -23,6 +23,16 @@ Fail-slow is not an error at all: requests complete normally but mechanical
 work on the sick drive is stretched by ``slow_factor`` inside the episode
 window, which is exactly the failure mode retry deadlines are for.
 
+Silent corruption is not an error either — that is the whole point.  A read
+overlapping one of the drive's ``silent_ranges`` completes with
+``status == "ok"`` and flipped payload bytes, marked only by the
+``corrupt`` flag on the request (the simulation's stand-in for a wrong
+checksum over the returned data).  A client that verifies checksums
+(``checksums=True`` on the collective file system) detects every such read;
+a client that does not delivers the corrupt bytes silently.  Detection is
+what checksums buy; *repair* additionally needs parity
+(:mod:`repro.disk.redundancy`).
+
 Client-side policy lives in :class:`FaultPolicy` (bounded exponential-backoff
 retry with a deadline, or degrade/abort); :class:`BlockFault` is the marker
 the TC cache delivers to readers instead of data when a block is
@@ -74,13 +84,24 @@ class FaultConfig:
     fail_stop_disk: int = -1
     #: Instant the fail-stop drive dies.
     fail_stop_time: float = 0.0
+    #: Number of silently-corrupting LBN ranges per drive: reads overlapping
+    #: one complete with ``status == "ok"`` but flipped payload bytes
+    #: (``DiskRequest.corrupt``) — no error status, so only client-side
+    #: checksums can see them.
+    silent_range_count: int = 0
+    #: Length of each silently-corrupting range, in sectors.
+    silent_range_sectors: int = 64
+    #: Restrict silent ranges to one drive index (-1: every drive draws its
+    #: own) — the single-bad-drive case parity can fully repair.
+    silent_disk: int = -1
 
     @property
     def enabled(self):
         """Whether this scenario injects anything at all."""
         return (self.transient_rate > 0.0 or self.bad_range_count > 0
                 or (self.slow_disk >= 0 and self.slow_factor != 1.0)
-                or self.fail_stop_disk >= 0)
+                or self.fail_stop_disk >= 0
+                or self.silent_range_count > 0)
 
 
 class FaultPlan:
@@ -95,7 +116,7 @@ class FaultPlan:
 
     __slots__ = ("seed", "disk_index", "transient_rate", "bad_ranges",
                  "slow_factor", "slow_start", "slow_end", "fail_stop_time",
-                 "_rng")
+                 "silent_ranges", "_rng")
 
     def __init__(self, config, seed, disk_index, total_sectors):
         self.seed = seed
@@ -112,6 +133,23 @@ class FaultPlan:
                 start = int(start)
                 ranges.append((start, min(start + length, total_sectors)))
         self.bad_ranges = tuple(ranges)
+        # Silent ranges are drawn *after* bad ranges, and only when the count
+        # is positive, so every pre-existing scenario's draw stream — bad
+        # ranges and per-request transients — is byte-identical to plans
+        # built before silent corruption existed.
+        silent = []
+        silent_count = getattr(config, "silent_range_count", 0)
+        if silent_count > 0 and getattr(config, "silent_disk", -1) >= 0 \
+                and config.silent_disk != disk_index:
+            silent_count = 0
+        if silent_count > 0:
+            length = max(1, int(config.silent_range_sectors))
+            highest = max(1, total_sectors - length)
+            for start in sorted(self._rng.integers(
+                    0, highest, size=silent_count)):
+                start = int(start)
+                silent.append((start, min(start + length, total_sectors)))
+        self.silent_ranges = tuple(silent)
         if config.slow_disk == disk_index and config.slow_factor != 1.0:
             self.slow_factor = float(config.slow_factor)
             self.slow_start = float(config.slow_start)
@@ -149,9 +187,28 @@ class FaultPlan:
             return self.slow_factor
         return 1.0
 
+    def silently_corrupts(self, request):
+        """Whether this read returns flipped bytes without an error status.
+
+        Pure overlap test — no RNG draw, so plans with silent ranges perturb
+        nothing about the transient draw stream.
+        """
+        if not self.silent_ranges:
+            return False
+        end = request.lbn + request.n_sectors
+        for lo, hi in self.silent_ranges:
+            if request.lbn < hi and lo < end:
+                return True
+        return False
+
     def describe(self):
-        """JSON-serialisable snapshot for the result envelope."""
-        return {
+        """JSON-serialisable snapshot for the result envelope.
+
+        The ``silent_ranges`` key appears only when the plan has any: result
+        envelopes of pre-existing scenarios must stay byte-identical (the
+        pinned digest matrix hashes them).
+        """
+        description = {
             "disk": self.disk_index,
             "seed": self.seed,
             "transient_rate": self.transient_rate,
@@ -160,6 +217,9 @@ class FaultPlan:
             "slow_window": [self.slow_start, self.slow_end],
             "fail_stop_time": self.fail_stop_time,
         }
+        if self.silent_ranges:
+            description["silent_ranges"] = [list(r) for r in self.silent_ranges]
+        return description
 
 
 def build_fault_plan(config, seed, disk_index, total_sectors):
@@ -174,7 +234,8 @@ def build_fault_plan(config, seed, disk_index, total_sectors):
         return None
     plan = FaultPlan(config, seed, disk_index, total_sectors)
     if (plan.transient_rate <= 0.0 and not plan.bad_ranges
-            and plan.slow_factor == 1.0 and plan.fail_stop_time is None):
+            and plan.slow_factor == 1.0 and plan.fail_stop_time is None
+            and not plan.silent_ranges):
         return None
     return plan
 

@@ -702,6 +702,12 @@ class SSD:
             session.reads += 1
             session.bytes_read += request.n_bytes
         self._last_lbn = request.lbn + request.n_sectors
+        # Silent corruption: the read succeeds with flipped payload bytes;
+        # only checksum-verifying clients can tell (same model as Disk).
+        if plan is not None and plan.silently_corrupts(request):
+            request.corrupt = True
+            self.stats.faults["silent_corruption"] = \
+                self.stats.faults.get("silent_corruption", 0) + 1
         request.completion.succeed(request)
         self._signal_media(request)
 

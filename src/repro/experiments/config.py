@@ -35,6 +35,11 @@ class ExperimentConfig:
     #: flash model of :mod:`repro.disk.flash`, bandwidth-matched to the
     #: disk) — see :class:`repro.machine.Machine`.
     device: str = "disk"
+    #: redundancy scheme: ``none`` or ``parity`` (the declustered RAID-5
+    #: layer of :mod:`repro.disk.redundancy`: rotated parity, hot spare,
+    #: degraded reads and background rebuild) — see
+    #: :class:`repro.machine.Machine`.
+    redundancy: str = "none"
     seed: int = 0
     label: str = ""
 

@@ -24,6 +24,7 @@ from repro.experiments.service import (
     service_flash_figure,
     service_millions_figure,
     service_overload_figure,
+    service_rebuild_figure,
     service_scheduler_figure,
 )
 from repro.machine import MachineConfig
@@ -242,6 +243,10 @@ def table1():
 #: ``ddio-flash`` re-asks the paper's question on flash: DDIO vs TC on the
 #: disk and on a bandwidth-matched SSD (docs/flash.md); pass ``--json`` to
 #: refresh its docs/data artifact.
+#: ``service-rebuild`` kills a drive under declustered parity and follows
+#: goodput through degraded reads and the online rebuild, asserting zero
+#: failed bytes (docs/redundancy.md); pass ``--json`` to refresh its
+#: docs/data artifact.
 FIGURES = {
     "table1": table1,
     "figure3": figure3,
@@ -257,6 +262,7 @@ FIGURES = {
     "service-millions": service_millions_figure,
     "service-admission": service_admission_figure,
     "ddio-flash": service_flash_figure,
+    "service-rebuild": service_rebuild_figure,
 }
 
 
@@ -293,8 +299,9 @@ def main(argv=None):
                              "figure only simulates changed data points")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="also write the figure's docs/data JSON "
-                             "artifact (service-millions, service-admission "
-                             "and ddio-flash only)")
+                             "artifact (service-millions, service-admission, "
+                             "service-faults, ddio-flash and service-rebuild "
+                             "only)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
 
@@ -312,10 +319,12 @@ def main(argv=None):
             _rows, text = generator()
         elif name in ("service", "service-sched", "service-overload",
                       "service-faults", "service-millions",
-                      "service-admission", "ddio-flash"):
+                      "service-admission", "ddio-flash",
+                      "service-rebuild"):
             extra = {"json_path": args.json} \
                 if name in ("service-millions", "service-admission",
-                            "ddio-flash") \
+                            "service-faults", "ddio-flash",
+                            "service-rebuild") \
                 and args.json else {}
             summaries, text = generator(
                 trials=args.trials, progress=progress,

@@ -1,4 +1,4 @@
-"""The 68-trial bit-identical differential matrix.
+"""The bit-identical differential matrix (77 pinned trials).
 
 PR 5 verified its kernel rework by diffing a 68-trial matrix of full result
 objects across both experiment families — but that diff lived offline.  This
@@ -65,7 +65,7 @@ def _service(label, **overrides):
 
 
 def matrix_trials():
-    """The fixed trial list: ``[(key, config, seed), ...]`` — 68 entries.
+    """The fixed trial list: ``[(key, config, seed), ...]`` — 77 entries.
 
     Keys are human-readable (``label#s<seed>``) and stable: they name trials
     in the pinned JSON so a digest mismatch points at the exact trial that
@@ -168,6 +168,36 @@ def matrix_trials():
     for method in _METHODS:
         add(_service(f"svc:{method}:poisson", method=method,
                      arrival="poisson", arrival_rate=8.0), seed=2)
+
+    # -- parity redundancy + end-to-end integrity (appended; the 68 trials
+    # above pin the redundancy="none" path bit-identical) ------------------
+    # Declustered parity on the healthy path (parity needs >= 3 drives).
+    for method in _METHODS:
+        add(_single(f"{method}:rb:parity", method=method, pattern="rb",
+                    n_disks=4, redundancy="parity"))
+    add(_single("disk-directed:wb:parity", pattern="wb", n_disks=4,
+                redundancy="parity"))
+    # Fail-stop under parity: degraded reads + the online rebuild stream.
+    for method in _METHODS:
+        add(_service(f"svc:{method}:parity-failstop", method=method,
+                     n_disks=4, redundancy="parity",
+                     rebuild_bandwidth=2.0 * 1024 * 1024,
+                     fault_fail_stop_disk=0, fault_fail_stop_time=0.05))
+    # Silent corruption over the whole drive (sectors >= capacity pins the
+    # range to the full LBN span): undetected, detected, detected+repaired.
+    add(_service("svc:disk-directed:silent", fault_silent_ranges=1,
+                 fault_silent_range_sectors=10 ** 9))
+    add(_service("svc:disk-directed:silent-chk", fault_silent_ranges=1,
+                 fault_silent_range_sectors=10 ** 9, checksums=True,
+                 on_fault="degrade"))
+    add(_service("svc:disk-directed:silent-chk-parity", n_disks=4,
+                 redundancy="parity", checksums=True, fault_silent_ranges=1,
+                 fault_silent_range_sectors=10 ** 9))
+    # One corrupt drive only: clean survivors, so parity repairs every
+    # detected read instead of giving the stripe up.
+    add(_service("svc:disk-directed:silent-disk0-repair", n_disks=4,
+                 redundancy="parity", checksums=True, fault_silent_ranges=1,
+                 fault_silent_range_sectors=10 ** 9, fault_silent_disk=0))
 
     keys = [key for key, _, _ in trials]
     if len(set(keys)) != len(keys):

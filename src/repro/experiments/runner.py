@@ -73,7 +73,14 @@ from repro.patterns import make_pattern
 #:     68-trial matrix of repro.experiments.matrix pins this), but schema-8
 #:     envelopes were keyed without the device axis and must not be
 #:     replayed against keys that now include it.
-CACHE_SCHEMA_VERSION = 9
+#: v10: the redundancy layer landed — ``redundancy`` joined both config
+#:     families (plus ``checksums``/``rebuild_bandwidth`` and the
+#:     silent-corruption fault knobs on the service side, all defaulting
+#:     off).  ``redundancy="none"`` results are bit-identical (the digest
+#:     matrix pins this), but schema-9 envelopes were keyed without the
+#:     redundancy axis and must not be replayed against keys that include
+#:     it.
+CACHE_SCHEMA_VERSION = 10
 
 
 # -- experiment families --------------------------------------------------------
@@ -128,10 +135,14 @@ def run_experiment(config, seed=None):
     machine_config = build_machine_config(config)
     machine = Machine(machine_config, seed=trial_seed,
                       disk_scheduler=config.disk_scheduler,
-                      device=config.device)
-    filesystem = FileSystem(machine_config, layout_seed=trial_seed)
+                      device=config.device,
+                      redundancy=config.redundancy)
+    filesystem = FileSystem(machine_config, layout_seed=trial_seed,
+                            redundancy=config.redundancy)
     striped_file = filesystem.create_file(
         "experiment-file", config.file_size, layout=config.layout)
+    if machine.parity is not None:
+        machine.parity.register_file(striped_file)
     pattern = make_pattern(
         config.pattern, config.file_size, config.record_size, config.n_cps)
     implementation = make_filesystem(config.method, machine, striped_file)

@@ -100,8 +100,27 @@ class ServiceExperimentConfig:
     #: drive ``fault_fail_stop_disk`` dies at ``fault_fail_stop_time`` (-1: none)
     fault_fail_stop_disk: int = -1
     fault_fail_stop_time: float = 0.0
+    #: silently-corrupting LBN ranges per drive: reads overlapping one
+    #: complete ``ok`` with flipped payload bytes — only client checksums
+    #: (``checksums=True``) can see them
+    fault_silent_ranges: int = 0
+    fault_silent_range_sectors: int = 64
+    #: confine the silent ranges to one drive index (-1: every drive)
+    fault_silent_disk: int = -1
     #: client response to errored requests: ``retry`` | ``degrade`` | ``abort``
     on_fault: str = "retry"
+    # -- redundancy & integrity (all-defaults == no parity, no checksums,
+    # -- bit-identical to pre-redundancy builds; see repro.disk.redundancy
+    # -- and docs/redundancy.md) -------------------------------------------
+    #: ``none`` or ``parity`` (declustered RAID-5 layer: rotated parity,
+    #: hot spare, degraded reads, background rebuild)
+    redundancy: str = "none"
+    #: rebuild bandwidth cap, bytes/s of reconstructed data (0: the module
+    #: default, ~4 MB/s)
+    rebuild_bandwidth: float = 0.0
+    #: verify per-block checksums at the client on every read (end-to-end
+    #: integrity; detects silent corruption, repaired via parity when on)
+    checksums: bool = False
     #: run the driver in constant-memory streaming mode: no per-request
     #: record list, percentiles from the mergeable sketch only (they come
     #: from the sketch either way) — required for million-session points
@@ -194,6 +213,9 @@ class ServiceExperimentConfig:
             slow_duration=self.fault_slow_duration,
             fail_stop_disk=self.fault_fail_stop_disk,
             fail_stop_time=self.fault_fail_stop_time,
+            silent_range_count=self.fault_silent_ranges,
+            silent_range_sectors=self.fault_silent_range_sectors,
+            silent_disk=self.fault_silent_disk,
         )
         return config if config.enabled else None
 
@@ -228,6 +250,9 @@ def run_service_experiment(config, seed=None):
         disk_scheduler=config.disk_scheduler,
         shared_queue_workers=config.shared_queue_workers,
         device=config.device,
+        redundancy=config.redundancy,
+        rebuild_bandwidth=config.rebuild_bandwidth,
+        checksums=config.checksums,
         fault_config=fault_config,
         on_fault=config.on_fault,
         retain_requests=not config.streaming,
@@ -776,19 +801,22 @@ FAULT_LOAD = 8.0
 
 
 def service_faults_configs(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
-                           load=FAULT_LOAD, **overrides):
+                           load=FAULT_LOAD, device="disk", **overrides):
     """The config grid of the fault figure: one point per (scenario, method).
 
     Defaults mirror the overload machine (32 disks over 16 IOPs, random
     layout) so "one fail-stop drive" means losing 1/32 of the spindles, but
     with fixed file sizes and a single near-saturation load so every delta
     against the healthy row is attributable to the injected faults.
+    *device* swaps the storage backend (``disk`` / ``ssd``) so the same
+    fault taxonomy can be priced on flash.
     """
     defaults = dict(
         n_disks=32,
         n_requests=32,
         concurrency=4,
         layout="random",
+        device=device,
     )
     defaults.update(overrides)
     # An arrival_rate override (tests shrink the run this way) wins over the
@@ -809,7 +837,8 @@ def service_faults_configs(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
 
 def service_faults_figure(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
                           load=FAULT_LOAD, trials=1, progress=None,
-                          workers=None, cache=None, **overrides):
+                          workers=None, cache=None, json_path=None,
+                          device="disk", **overrides):
     """Goodput and p99 under injected disk faults, DDIO vs TC.
 
     The robustness question the paper never asks: disk-directed I/O wins by
@@ -821,13 +850,20 @@ def service_faults_figure(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
     and how many requests completed degraded.  Byte conservation
     (``delivered + failed == requested``) is asserted per trial.
 
-    Returns ``(summaries, text)``; extra keyword arguments override
+    *device* re-runs the whole sweep on another storage backend (``ssd``
+    prices the same fault taxonomy on flash: no positioning to recover, so
+    fail-stop costs capacity, not schedule); when *json_path* is given the
+    rows are written as a JSON artifact (``docs/data/service_faults_ssd.
+    json`` is the flash run quoted by ``docs/faults.md``).  Returns
+    ``(summaries, text)``; extra keyword arguments override
     :class:`ServiceExperimentConfig` fields (tests run a tiny machine).
     """
+    import json as _json
+
     from repro.experiments.runner import sweep_parallel
 
     configs = service_faults_configs(scenarios=scenarios, methods=methods,
-                                     load=load, **overrides)
+                                     load=load, device=device, **overrides)
     summaries = sweep_parallel(configs, trials=trials, progress=progress,
                                workers=workers, cache=cache)
     goodput_series = {}
@@ -864,7 +900,8 @@ def service_faults_figure(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
         })
     sample = configs[0]
     text = (
-        f"Fault injection: {len(scenarios)} scenarios x DDIO/TC under "
+        f"Fault injection on {sample.device}: {len(scenarios)} scenarios x "
+        f"DDIO/TC under "
         f"bounded retry (on_fault={sample.on_fault!r}), "
         f"{sample.arrival}@{sample.arrival_rate:g} req/s, "
         f"{sample.n_requests} mixed "
@@ -879,6 +916,236 @@ def service_faults_figure(scenarios=FAULT_SCENARIOS, methods=FAULT_METHODS,
         + "\n\n99th-percentile response time (ms) per fault scenario\n"
         + format_series_table(p99_series, x_label="scenario")
     )
+    if json_path:
+        artifact = {
+            "figure": "service-faults",
+            "regenerate": "PYTHONPATH=src python -m repro.experiments.figures "
+                          "service-faults --json <path>",
+            "config": {
+                "device": sample.device,
+                "scenarios": [name for name, _ in scenarios],
+                "methods": list(methods),
+                "load_req_s": sample.arrival_rate,
+                "on_fault": sample.on_fault,
+                "n_requests": sample.n_requests,
+                "concurrency": sample.concurrency,
+                "layout": sample.layout,
+                "n_cps": sample.n_cps,
+                "n_iops": sample.n_iops,
+                "n_disks": sample.n_disks,
+                "trials": trials,
+                "seed": sample.seed,
+            },
+            "rows": [{key: (round(value, 4)
+                            if isinstance(value, float) else value)
+                      for key, value in row.items()} for row in rows],
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            _json.dump(artifact, handle, indent=2)
+            handle.write("\n")
+    return summaries, text
+
+
+# -- the rebuild figure ------------------------------------------------------------
+
+#: Storage backends swept by the ``service-rebuild`` figure.
+REBUILD_DEVICES = ("disk", "ssd")
+
+#: When the victim drive fail-stops (simulated seconds): late enough that
+#: the healthy phase has a measured goodput, early enough that most of the
+#: run exercises degraded reads and the rebuild stream.
+REBUILD_KILL_TIME = 1.0
+
+#: Background rebuild bandwidth cap, bytes/second of reconstructed data.
+#: Deliberately a small fraction of a drive's ~2.2 Mbytes/s so the degraded
+#: window is wide and the foreground-vs-rebuild contention is visible.
+REBUILD_BANDWIDTH = 512 * 1024
+
+
+def service_rebuild_configs(methods=FAULT_METHODS, devices=REBUILD_DEVICES,
+                            load=FAULT_LOAD, **overrides):
+    """The ``service-rebuild`` grid: one point per (device, method).
+
+    Every cell runs ``redundancy="parity"`` with one drive killed at
+    :data:`REBUILD_KILL_TIME` and the spare rebuilding at
+    :data:`REBUILD_BANDWIDTH`; the machine otherwise mirrors the fault
+    figure (32 drives, random layout, near-saturation load).
+    """
+    defaults = dict(
+        n_disks=32,
+        n_requests=32,
+        concurrency=4,
+        layout="random",
+        redundancy="parity",
+        rebuild_bandwidth=float(REBUILD_BANDWIDTH),
+        fault_fail_stop_disk=0,
+        fault_fail_stop_time=REBUILD_KILL_TIME,
+    )
+    defaults.update(overrides)
+    load = defaults.pop("arrival_rate", load)
+    configs = []
+    for device in devices:
+        for method in methods:
+            configs.append(ServiceExperimentConfig(
+                method=method,
+                arrival_rate=load,
+                device=device,
+                label=f"{device}:{method}",
+                **defaults,
+            ))
+    return configs
+
+
+def _phase_goodputs(result, kill_time):
+    """Goodput (Mbytes/s) in the healthy / degraded / rebuilt phases.
+
+    Buckets the retained request records by completion time against the
+    kill instant and the rebuild-completion instant (``kill_time +
+    rebuild_seconds`` from the parity counters).  A phase with no time span
+    inside the run reports 0.0.
+    """
+    rebuild_end = kill_time + result.aggregates.get("rebuild_seconds", 0.0)
+    spans = {
+        "healthy": (result.start_time, kill_time),
+        "degraded": (kill_time, rebuild_end),
+        "rebuilt": (rebuild_end, result.end_time),
+    }
+    goodputs = {}
+    for phase, (begin, end) in spans.items():
+        width = end - begin
+        if width <= 0:
+            goodputs[phase] = 0.0
+            continue
+        moved = sum(record["bytes_moved"] for record in result.requests
+                    if record.get("completed_time") is not None
+                    and begin <= record["completed_time"] < end)
+        goodputs[phase] = moved / width / MEGABYTE
+    return goodputs
+
+
+def service_rebuild_figure(methods=FAULT_METHODS, devices=REBUILD_DEVICES,
+                           load=FAULT_LOAD, trials=1, progress=None,
+                           workers=None, cache=None, json_path=None,
+                           **overrides):
+    """Goodput timeline through kill-drive -> degraded service -> rebuilt.
+
+    The redundancy question: with declustered parity, losing a drive
+    mid-run must cost *throughput*, never *data*.  Each cell kills one of
+    32 drives under near-saturation service load and reports goodput in
+    three phases — before the kill, while reads on the dead drive are
+    reconstructed from survivors (with the rebuild stream competing for
+    the same spindles), and after the hot spare holds every rebuilt row —
+    plus the reconstruction volume, the parity write overhead, and the
+    rebuild duration.  Two invariants are asserted per trial: byte
+    conservation, and **zero failed bytes** — under parity the fail-stop
+    that made the fault figure give up data loses none.
+
+    When *json_path* is given the rows are written as the
+    ``docs/data/service_rebuild.json`` artifact quoted by
+    ``docs/redundancy.md``.  Returns ``(summaries, text)``; extra keyword
+    arguments override :class:`ServiceExperimentConfig` fields (tests and
+    the CI smoke step shrink the run).
+    """
+    import json as _json
+
+    from repro.experiments.runner import sweep_parallel
+
+    configs = service_rebuild_configs(methods=methods, devices=devices,
+                                      load=load, **overrides)
+    summaries = sweep_parallel(configs, trials=trials, progress=progress,
+                               workers=workers, cache=cache)
+    rows = []
+    phase_series = {}
+    for summary in summaries:
+        config = summary.config
+        name = "DDIO" if config.method.startswith("disk-directed") else "TC"
+        series = f"{config.device}:{name}"
+        for result in summary.results:
+            if not result.conserves_bytes():
+                raise AssertionError(
+                    f"byte conservation violated in {config.label}: "
+                    f"delivered + failed != requested")
+            if result.failed_bytes or result.lost_bytes:
+                raise AssertionError(
+                    f"parity lost data in {config.label}: "
+                    f"failed={result.failed_bytes} lost={result.lost_bytes}")
+        phases = [_phase_goodputs(result, config.fault_fail_stop_time)
+                  for result in summary.results]
+        row = {
+            "device": config.device,
+            "method": config.method,
+            "healthy_mb": _mean(p["healthy"] for p in phases),
+            "degraded_mb": _mean(p["degraded"] for p in phases),
+            "rebuilt_mb": _mean(p["rebuilt"] for p in phases),
+            "p99_ms": _mean(result.response_percentile(0.99)
+                            for result in summary.results) * 1e3,
+            "reconstructed_mb": _mean(
+                result.aggregates.get("reconstructed_bytes", 0) / MEGABYTE
+                for result in summary.results),
+            "parity_overhead_mb": _mean(
+                result.aggregates.get("parity_overhead_bytes", 0) / MEGABYTE
+                for result in summary.results),
+            "rebuild_s": _mean(result.aggregates.get("rebuild_seconds", 0.0)
+                               for result in summary.results),
+            "rebuilt_rows": _mean(result.aggregates.get("rebuilt_rows", 0)
+                                  for result in summary.results),
+            "failed_mb": 0.0,
+            "trials": len(summary.results),
+        }
+        rows.append(row)
+        for phase in ("healthy", "degraded", "rebuilt"):
+            phase_series.setdefault(series, []).append(
+                (phase, row[f"{phase}_mb"]))
+    sample = configs[0]
+    text = (
+        f"Declustered parity under fail-stop: drive {sample.fault_fail_stop_disk} "
+        f"of {sample.n_disks} killed at t={sample.fault_fail_stop_time:g}s, "
+        f"rebuild capped at "
+        f"{sample.rebuild_bandwidth / MEGABYTE:.2f} Mbytes/s, "
+        f"{sample.arrival}@{sample.arrival_rate:g} req/s, "
+        f"{sample.n_requests} mixed collectives over {sample.n_files} "
+        f"{sample.layout} files, {sample.n_cps} CPs / {sample.n_iops} IOPs"
+        f"\n\n"
+        + format_table(rows, columns=["device", "method", "healthy_mb",
+                                      "degraded_mb", "rebuilt_mb", "p99_ms",
+                                      "reconstructed_mb",
+                                      "parity_overhead_mb", "rebuild_s",
+                                      "rebuilt_rows", "failed_mb", "trials"])
+        + "\n\nGoodput (Mbytes/s) per phase of the drive-loss timeline\n"
+        + format_series_table(phase_series, x_label="phase")
+        + "\n\nfailed_mb is asserted zero: parity degrades goodput, "
+          "never data."
+    )
+    if json_path:
+        artifact = {
+            "figure": "service-rebuild",
+            "regenerate": "PYTHONPATH=src python -m repro.experiments.figures "
+                          "service-rebuild --json docs/data/"
+                          "service_rebuild.json",
+            "config": {
+                "devices": list(devices),
+                "methods": list(methods),
+                "load_req_s": sample.arrival_rate,
+                "redundancy": sample.redundancy,
+                "rebuild_bandwidth": sample.rebuild_bandwidth,
+                "fail_stop_disk": sample.fault_fail_stop_disk,
+                "fail_stop_time": sample.fault_fail_stop_time,
+                "n_requests": sample.n_requests,
+                "concurrency": sample.concurrency,
+                "layout": sample.layout,
+                "n_cps": sample.n_cps,
+                "n_iops": sample.n_iops,
+                "n_disks": sample.n_disks,
+                "trials": trials,
+                "seed": sample.seed,
+            },
+            "rows": [{key: (round(value, 4)
+                            if isinstance(value, float) else value)
+                      for key, value in row.items()} for row in rows],
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            _json.dump(artifact, handle, indent=2)
+            handle.write("\n")
     return summaries, text
 
 

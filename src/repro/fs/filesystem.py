@@ -26,9 +26,14 @@ class FileSystem:
       reproducible).
     """
 
-    def __init__(self, config, layout_seed=0):
+    def __init__(self, config, layout_seed=0, redundancy="none"):
         self.config = config
         self.layout_seed = layout_seed
+        #: ``"parity"`` makes every layout parity-aware (data placement
+        #: skips each drive's rotated parity rows, see
+        #: :class:`repro.fs.layout.ParityLayout`); must match the machine's
+        #: ``redundancy`` axis.  The default changes nothing.
+        self.redundancy = redundancy
         self.files = {}
         #: creation counter; drives per-file seed derivation
         self._files_created = 0
@@ -59,7 +64,9 @@ class FileSystem:
             math.ceil(size_bytes / self.config.block_size) / self.config.n_disks)
         physical = make_layout(layout, self.config.disk_spec,
                                self.config.block_size, seed=seed,
-                               start_block=self._next_start_block)
+                               start_block=self._next_start_block,
+                               redundancy=self.redundancy,
+                               n_disks=self.config.n_disks)
         striped = StripedFile(
             name=name,
             size_bytes=size_bytes,

@@ -155,6 +155,65 @@ class RandomBlocksLayout(PhysicalLayout):
         return placement.get(local_block_index) * self.sectors_per_block
 
 
+class ParityLayout(PhysicalLayout):
+    """Steers a data layout's block slots clear of rotated parity rows.
+
+    Under ``redundancy="parity"`` physical block row ``r`` stores its parity
+    on drive ``r % D`` (see :mod:`repro.disk.redundancy`), so drive ``d``
+    must not place file data in rows where ``r % D == d``.  This wrapper
+    shrinks the inner layout's slot space to the per-drive *data* capacity
+    and remaps each chosen slot to the slot-th non-parity row: slot ``s``
+    on drive ``d`` lands in row ``(s // (D-1)) * D + j`` where ``j`` skips
+    over ``d`` within the group of ``D`` rows.  Contiguous extents stay
+    contiguous-in-data-rows; random placements stay uniform over data rows;
+    and with redundancy off nothing here is ever constructed, so existing
+    placements are untouched.
+    """
+
+    name = "parity"
+
+    def __init__(self, inner, n_disks):
+        if n_disks < 3:
+            raise ValueError(
+                f"parity layouts need at least 3 drives, got {n_disks}")
+        self.spec = inner.spec
+        self.block_size = inner.block_size
+        self.sectors_per_block = inner.sectors_per_block
+        self.n_disks = n_disks
+        #: rows physically present per drive (data + parity)
+        self.physical_rows = inner.blocks_per_disk
+        # Shrink the inner layout's slot space to the data capacity *before*
+        # any placement is drawn: contiguous bounds checks and random
+        # permutations then range over data slots, which this wrapper maps
+        # to physical rows.  Ceil keeps the capacity uniform across drives.
+        data_capacity = self.physical_rows - \
+            -(-self.physical_rows // n_disks)
+        inner.blocks_per_disk = data_capacity
+        self.inner = inner
+        self.blocks_per_disk = data_capacity
+        #: expose the inner layout's name so the file-system's contiguous
+        #: extent cursor keeps working (cursor units become data slots)
+        self.name = inner.name
+
+    def data_row(self, disk_index, slot):
+        """The physical row of drive *disk_index*'s *slot*-th data block."""
+        group, rem = divmod(slot, self.n_disks - 1)
+        j = rem if rem < disk_index else rem + 1
+        return group * self.n_disks + j
+
+    def lbn_of(self, disk_index, local_block_index):
+        slot_lbn = self.inner.lbn_of(disk_index, local_block_index)
+        row = self.data_row(disk_index, slot_lbn // self.sectors_per_block)
+        if row >= self.physical_rows:
+            raise ValueError(
+                f"data slot maps to row {row} past the last physical row "
+                f"{self.physical_rows - 1}")
+        return row * self.sectors_per_block
+
+    def check_capacity(self, blocks_needed):
+        self.inner.check_capacity(blocks_needed)
+
+
 _LAYOUTS = {
     ContiguousLayout.name: ContiguousLayout,
     RandomBlocksLayout.name: RandomBlocksLayout,
@@ -164,18 +223,32 @@ _LAYOUTS = {
 }
 
 
-def make_layout(name, spec, block_size, seed=0, start_block=0):
+def make_layout(name, spec, block_size, seed=0, start_block=0,
+                redundancy="none", n_disks=None):
     """Construct a layout by name (``contiguous`` or ``random``/``random-blocks``).
 
     ``start_block`` positions a contiguous layout's extent base, which is how
     the :class:`~repro.fs.filesystem.FileSystem` gives several concurrently
     open files disjoint physical extents; random layouts ignore it (their
     placement is scattered over the whole disk and disambiguated by seed).
+
+    ``redundancy="parity"`` (with ``n_disks`` giving the array width) wraps
+    the layout in a :class:`ParityLayout` so data placement skips each
+    drive's rotated parity rows; the default ``"none"`` changes nothing.
     """
     try:
         cls = _LAYOUTS[name]
     except KeyError:
         raise ValueError(f"unknown layout {name!r}; choose from {sorted(set(_LAYOUTS))}")
+    if redundancy not in ("none", "parity"):
+        raise ValueError(
+            f"unknown redundancy {redundancy!r} (choose from ('none', 'parity'))")
     if cls is RandomBlocksLayout:
-        return cls(spec, block_size, seed=seed)
-    return cls(spec, block_size, start_block=start_block)
+        layout = cls(spec, block_size, seed=seed)
+    else:
+        layout = cls(spec, block_size, start_block=start_block)
+    if redundancy == "parity":
+        if n_disks is None:
+            raise ValueError("parity layouts need the array width (n_disks)")
+        layout = ParityLayout(layout, n_disks)
+    return layout

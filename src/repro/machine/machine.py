@@ -3,6 +3,7 @@
 from repro.disk.drive import Disk
 from repro.disk.faults import build_fault_plan
 from repro.disk.flash import SSD, matched_ssd_spec
+from repro.disk.redundancy import REDUNDANCY_MODES, ParityArray, ParityDisk
 from repro.disk.shared_queue import SharedDiskQueue
 from repro.machine.bus import ScsiBus
 from repro.machine.node import ComputeNode, IONode
@@ -51,13 +52,18 @@ class Machine:
 
     def __init__(self, config, seed=0, env=None, disk_scheduler="fcfs",
                  shared_queue_workers=2, fault_config=None, device="disk",
-                 ssd_spec=None):
+                 ssd_spec=None, redundancy="none", rebuild_bandwidth=0.0):
         if device not in DEVICES:
             raise ValueError(
                 f"unknown device {device!r} (choose from {DEVICES})")
+        if redundancy not in REDUNDANCY_MODES:
+            raise ValueError(
+                f"unknown redundancy {redundancy!r} "
+                f"(choose from {REDUNDANCY_MODES})")
         self.config = config
         self.seed = seed
         self.device = device
+        self.redundancy = redundancy
         self.disk_scheduler = disk_scheduler
         self.shared_queue_workers = shared_queue_workers
         self.fault_config = fault_config
@@ -149,6 +155,48 @@ class Machine:
             self.disks.append(disk)
             self.shared_queues.append(queue)
             self.disk_handles.append(handle)
+        #: the hot spare(s) and the parity layer under
+        #: ``redundancy="parity"``; empty/None otherwise — and nothing else
+        #: runs, so a redundancy-free machine is built byte-identically to
+        #: one from before this axis existed (no extra rng draws, no handle
+        #: wrappers, no spare hardware).
+        self.spare_disks = []
+        self.parity = None
+        if redundancy == "parity":
+            self._build_parity(rebuild_bandwidth)
+
+    def _build_parity(self, rebuild_bandwidth):
+        """Build the spare, the parity array, and the per-drive wrappers.
+
+        The spare hangs off the bus of the IOP owning the drive scheduled
+        to fail-stop (rebuild writes then contend with that IOP's recovery
+        traffic), or IOP 0 when nothing is scheduled to die.  Its platter
+        angle comes from a *separate* rng stream so foreground rotation
+        draws — and therefore every ``redundancy="none"`` result — stay
+        untouched.
+        """
+        spare_iop = self.iops[0]
+        for disk_index, plan in enumerate(self.fault_plans):
+            if plan is not None and plan.fail_stop_time is not None:
+                spare_iop = self.iop_for_disk(disk_index)
+                break
+        angle = float(self.random.stream("spare-rotation").random())
+        if self.device == "ssd":
+            spare = SSD(self.env, spec=self.ssd_spec,
+                        bus_port=spare_iop.bus.port(), name="spare0")
+        else:
+            spare = Disk(self.env, spec=self.config.disk_spec,
+                         bus_port=spare_iop.bus.port(), name="spare0",
+                         initial_angle_fraction=angle)
+        self.spare_disks.append(spare)
+        self.parity = ParityArray(self, rebuild_bandwidth=rebuild_bandwidth)
+        for disk_index, disk in enumerate(self.disks):
+            wrapper = ParityDisk(self.parity, disk_index,
+                                 self.disk_handles[disk_index], disk)
+            self.disk_handles[disk_index] = wrapper
+            iop = self.iop_for_disk(disk_index)
+            iop.disk_handles[iop.disk_indices.index(disk_index)] = wrapper
+        self.parity.arm_rebuild()
 
     # -- lookups -----------------------------------------------------------------
     def node(self, node_id):
@@ -276,6 +324,8 @@ class Machine:
         """Drop all per-session accounting for a completed collective."""
         for disk in self.disks:
             disk.release_session(session_id)
+        for spare in self.spare_disks:
+            spare.release_session(session_id)
         for iop in self.iops:
             iop.bus.release_session(session_id)
         for queue in self.shared_queues:

@@ -626,6 +626,23 @@ class ServiceDriver:
         self.env.run(done, watchdog=watchdog)
 
         totals = self._totals
+        # Redundancy epilogue: let the background rebuild and any pending
+        # parity write-behind finish (the makespan below is taken from the
+        # last *request* completion, so foreground metrics are unaffected),
+        # then publish the array's counters as aggregate keys.  All of this
+        # is conditional on a parity machine, so redundancy-free results
+        # keep their exact pre-redundancy shape.
+        parity = getattr(self.machine, "parity", None)
+        if parity is not None:
+            if parity.rebuild is not None \
+                    and not parity.rebuild.done.triggered:
+                self.env.run(parity.rebuild.done, watchdog=watchdog)
+            if parity._parity_pending:
+                self.env.run(parity.drain_parity(), watchdog=watchdog)
+            for key in ("reconstructed_bytes", "parity_overhead_bytes",
+                        "degraded_reads", "degraded_writes", "rebuilt_rows",
+                        "rebuild_seconds"):
+                totals[key] = parity.counters[key]
         # The makespan runs from the *first arrival* to the last completion:
         # an open-loop run's idle lead-in (the first interarrival gap) is not
         # service time and must not deflate throughput.
@@ -856,6 +873,11 @@ class ServiceDriver:
         totals["bytes_lost"] += counters.get("lost_bytes", 0)
         totals["retries"] += counters.get("retries", 0)
         totals["degraded"] += counters.get("degraded", 0)
+        # Lazily-created session counters (checksum verification) surface as
+        # lazily-created aggregate keys, so healthy results keep their shape.
+        scrub = counters.get("scrub_errors", 0)
+        if scrub:
+            totals["scrub_errors"] = totals.get("scrub_errors", 0) + scrub
         if moved + failed != requested:
             totals["conserved"] = False
         if totals["first_arrival"] is None \
@@ -993,7 +1015,8 @@ class ServiceDriver:
 def build_service_machine(workload, machine_config=None, seed=None,
                           method="disk-directed", disk_scheduler="fcfs",
                           shared_queue_workers=2, fault_config=None,
-                          on_fault="retry", device="disk", **fs_kwargs):
+                          on_fault="retry", device="disk", redundancy="none",
+                          rebuild_bandwidth=0.0, **fs_kwargs):
     """Construct (machine, implementation, files) ready for a :class:`ServiceDriver`.
 
     The trial seed controls disk layout seeds, rotational positions and —
@@ -1011,21 +1034,33 @@ def build_service_machine(workload, machine_config=None, seed=None,
     ``on_fault`` (``retry`` | ``degrade`` | ``abort``) unless the caller
     passes an explicit ``fault_policy``.  A disabled/None fault config adds
     neither, keeping healthy runs bit-identical to pre-fault builds.
+
+    ``redundancy="parity"`` builds the declustered parity layer of
+    :mod:`repro.disk.redundancy` (hot spare, degraded reads, background
+    rebuild under ``rebuild_bandwidth``) and registers every file's extent
+    map with it so rebuild knows which rows hold live data; the default
+    ``"none"`` builds a byte-identical machine to the pre-redundancy tree.
     """
     config = machine_config if machine_config is not None else MachineConfig()
     trial_seed = workload.seed if seed is None else seed
     machine = Machine(config, seed=trial_seed, disk_scheduler=disk_scheduler,
                       shared_queue_workers=shared_queue_workers,
-                      fault_config=fault_config, device=device)
+                      fault_config=fault_config, device=device,
+                      redundancy=redundancy,
+                      rebuild_bandwidth=rebuild_bandwidth)
     if fault_config is not None and fault_config.enabled:
         fs_kwargs.setdefault("fault_policy", FaultPolicy(on_fault=on_fault))
-    filesystem = FileSystem(config, layout_seed=trial_seed)
+    filesystem = FileSystem(config, layout_seed=trial_seed,
+                            redundancy=redundancy)
     sizes = workload.sample_sizes(trial_seed)
     files = [
         filesystem.create_file(f"svc-{index}", sizes[index],
                                layout=workload.layout)
         for index in range(workload.n_files)
     ]
+    if machine.parity is not None:
+        for striped in files:
+            machine.parity.register_file(striped)
     implementation = make_filesystem(method, machine, **fs_kwargs)
     return machine, implementation, files
 
@@ -1037,7 +1072,8 @@ def run_service(method, workload, machine_config=None, seed=None,
                 checkpoint_path=None, resume_from=None,
                 admission_policy="fifo", admission_aging=0.0,
                 edf_service_rate=0.0, controller=None,
-                legacy_admission=False, device="disk", **fs_kwargs):
+                legacy_admission=False, device="disk", redundancy="none",
+                rebuild_bandwidth=0.0, **fs_kwargs):
     """Build a machine, drive *workload* through it, return the :class:`ServiceResult`.
 
     Extra keyword arguments are forwarded to the file-system implementation
@@ -1067,6 +1103,7 @@ def run_service(method, workload, machine_config=None, seed=None,
         disk_scheduler=disk_scheduler,
         shared_queue_workers=shared_queue_workers,
         fault_config=fault_config, on_fault=on_fault, device=device,
+        redundancy=redundancy, rebuild_bandwidth=rebuild_bandwidth,
         **fs_kwargs)
     driver = ServiceDriver(machine, implementation, files, workload,
                            retain_requests=retain_requests,

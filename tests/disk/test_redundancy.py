@@ -1,0 +1,243 @@
+"""Tests for the declustered parity layer (repro.disk.redundancy)."""
+
+import pytest
+
+from repro.disk.faults import FaultConfig
+from repro.disk.redundancy import (
+    DEFAULT_REBUILD_BANDWIDTH,
+    REDUNDANCY_MODES,
+    ParityArray,
+    ParityDisk,
+)
+from repro.fs.layout import ParityLayout, make_layout
+from repro.machine import Machine, MachineConfig
+
+KILOBYTE = 1024
+
+
+def build_machine(n_disks=4, redundancy="parity", fault_config=None,
+                  **kwargs):
+    config = MachineConfig(n_cps=2, n_iops=2, n_disks=n_disks)
+    return Machine(config, seed=3, fault_config=fault_config,
+                   redundancy=redundancy, **kwargs)
+
+
+def run_until(machine, event):
+    """Drive the simulation until *event* fires; returns its request."""
+    results = []
+
+    def waiter():
+        results.append((yield event))
+    machine.env.process(waiter())
+    machine.run()
+    assert results, "event never fired"
+    return results[0]
+
+
+class TestParityLayout:
+    def spec(self):
+        return MachineConfig().disk_spec
+
+    def test_data_rows_skip_the_rotated_parity_row(self):
+        layout = make_layout("contiguous", self.spec(), 8 * KILOBYTE,
+                             redundancy="parity", n_disks=4)
+        for drive in range(4):
+            rows = [layout.data_row(drive, slot) for slot in range(12)]
+            assert all(row % 4 != drive for row in rows)
+            assert rows == sorted(rows)          # contiguous stays ordered
+            assert len(set(rows)) == len(rows)   # and collision-free
+
+    def test_every_data_row_is_used_exactly_once_per_group(self):
+        layout = make_layout("contiguous", self.spec(), 8 * KILOBYTE,
+                             redundancy="parity", n_disks=4)
+        # Drive d's first 3 slots tile the first group of 4 physical rows
+        # minus the parity row d.
+        for drive in range(4):
+            rows = {layout.data_row(drive, slot) for slot in range(3)}
+            assert rows == set(range(4)) - {drive}
+
+    def test_capacity_shrinks_by_the_parity_share(self):
+        plain = make_layout("contiguous", self.spec(), 8 * KILOBYTE)
+        parity = make_layout("contiguous", self.spec(), 8 * KILOBYTE,
+                             redundancy="parity", n_disks=4)
+        physical = plain.blocks_per_disk
+        expected = physical - (-(-physical // 4))
+        assert parity.blocks_per_disk == expected
+        assert isinstance(parity, ParityLayout)
+        assert parity.physical_rows == physical
+
+    def test_lbn_of_lands_on_data_rows_only(self):
+        layout = make_layout("random", self.spec(), 8 * KILOBYTE,
+                             redundancy="parity", n_disks=4, seed=11)
+        spb = layout.sectors_per_block
+        for drive in range(4):
+            for slot in range(16):
+                row = layout.lbn_of(drive, slot) // spb
+                assert row % 4 != drive
+
+    def test_inner_name_is_preserved_for_the_extent_cursor(self):
+        layout = make_layout("contiguous", self.spec(), 8 * KILOBYTE,
+                             redundancy="parity", n_disks=4)
+        assert layout.name == "contiguous"
+
+    def test_rejects_unknown_redundancy_and_missing_width(self):
+        with pytest.raises(ValueError, match="redundancy"):
+            make_layout("contiguous", self.spec(), 8 * KILOBYTE,
+                        redundancy="raid6")
+        with pytest.raises(ValueError, match="n_disks"):
+            make_layout("contiguous", self.spec(), 8 * KILOBYTE,
+                        redundancy="parity")
+        with pytest.raises(ValueError, match="3 drives"):
+            make_layout("contiguous", self.spec(), 8 * KILOBYTE,
+                        redundancy="parity", n_disks=2)
+
+
+class TestMachineAxis:
+    def test_none_builds_no_parity_hardware(self):
+        machine = build_machine(redundancy="none")
+        assert machine.parity is None
+        assert machine.spare_disks == []
+        assert machine.disk_handles[0] is machine.disks[0]
+
+    def test_parity_wraps_every_handle_and_adds_a_spare(self):
+        machine = build_machine()
+        assert isinstance(machine.parity, ParityArray)
+        assert len(machine.spare_disks) == 1
+        for handle in machine.disk_handles:
+            assert isinstance(handle, ParityDisk)
+        # the owning IOPs see the same wrappers
+        for iop in machine.iops:
+            for handle in iop.disk_handles:
+                assert isinstance(handle, ParityDisk)
+
+    def test_parity_needs_three_drives(self):
+        with pytest.raises(ValueError, match="3 drives"):
+            build_machine(n_disks=2)
+
+    def test_unknown_redundancy_rejected(self):
+        with pytest.raises(ValueError, match="redundancy"):
+            build_machine(redundancy="mirror")
+        assert REDUNDANCY_MODES == ("none", "parity")
+
+    def test_default_rebuild_bandwidth_applies(self):
+        machine = build_machine()
+        assert machine.parity.rebuild_bandwidth == DEFAULT_REBUILD_BANDWIDTH
+
+
+class TestHealthyPath:
+    def test_reads_and_writes_pass_through(self):
+        machine = build_machine()
+        handle = machine.disk_handles[1]
+        spb = machine.config.sectors_per_block
+        request = run_until(machine, handle.read(0, spb))
+        assert request.status == "ok"
+        assert machine.parity.counters["degraded_reads"] == 0
+        assert machine.parity.counters["reconstructed_bytes"] == 0
+
+    def test_live_write_triggers_a_coalesced_parity_update(self):
+        machine = build_machine()
+        handle = machine.disk_handles[1]
+        spb = machine.config.sectors_per_block
+        request = run_until(machine, handle.write(0, spb))
+        assert request.status == "ok"
+        counters = machine.parity.counters
+        assert counters["parity_updates"] == 1
+        # RMW on a 3-data-column stripe: old data + old parity pre-read,
+        # then the parity write.
+        assert counters["parity_overhead_bytes"] == \
+            3 * machine.config.block_size
+
+    def test_same_row_writes_coalesce_toward_full_stripe(self):
+        machine = build_machine()
+        spb = machine.config.sectors_per_block
+        # Row 0's parity lives on drive 0: writing drives 1..3 dirties every
+        # data column of the stripe at once.
+        events = [machine.disk_handles[d].write(0, spb) for d in (1, 2, 3)]
+        for event in events:
+            run_until(machine, event)
+        counters = machine.parity.counters
+        assert counters["full_stripe_updates"] == 1
+        assert counters["parity_updates"] == 1
+        # Full stripe: no pre-reads, just the parity write.
+        assert counters["parity_overhead_bytes"] == machine.config.block_size
+
+    def test_repair_reconstructs_and_counts_a_scrub(self):
+        machine = build_machine()
+        handle = machine.disk_handles[2]
+        spb = machine.config.sectors_per_block
+        request = run_until(machine, handle.repair(0, spb))
+        assert request.status == "ok"
+        assert machine.parity.counters["scrub_repairs"] == 1
+        assert machine.parity.counters["reconstructed_bytes"] == \
+            machine.config.block_size
+
+    def test_repair_from_corrupt_survivors_fails_with_checksum(self):
+        # Full-drive silent ranges on *every* drive: the survivors feeding
+        # the reconstruction are themselves corrupt, so parity can only
+        # produce garbage and must say so.
+        fault = FaultConfig(silent_range_count=1,
+                            silent_range_sectors=10 ** 9)
+        machine = build_machine(fault_config=fault)
+        handle = machine.disk_handles[2]
+        spb = machine.config.sectors_per_block
+        request = run_until(machine, handle.repair(0, spb))
+        assert request.status == "error"
+        assert request.error == "checksum"
+        assert machine.parity.counters["scrub_repairs"] == 0
+
+
+class TestDegradedPath:
+    def dead_machine(self, **kwargs):
+        fault = FaultConfig(fail_stop_disk=0, fail_stop_time=0.0)
+        return build_machine(fault_config=fault, **kwargs)
+
+    def test_read_on_dead_drive_reconstructs(self):
+        machine = self.dead_machine()
+        spb = machine.config.sectors_per_block
+        # Row 1 (lbn == spb): drive 0 holds data there (parity is on 1).
+        request = run_until(machine, machine.disk_handles[0].read(spb, spb))
+        assert request.status == "ok"
+        counters = machine.parity.counters
+        assert counters["degraded_reads"] == 1
+        assert counters["reconstructed_bytes"] == machine.config.block_size
+        # One read per survivor hit the other drives.
+        for survivor in range(1, 4):
+            assert machine.disks[survivor].stats.reads >= 1
+
+    def test_write_to_dead_drive_degrades_without_loss(self):
+        machine = self.dead_machine()
+        spb = machine.config.sectors_per_block
+        request = run_until(machine, machine.disk_handles[0].write(spb, spb))
+        assert request.status == "ok"
+        counters = machine.parity.counters
+        assert counters["degraded_writes"] == 1
+        assert counters["parity_overhead_bytes"] > 0
+
+    def test_rebuild_streams_used_rows_onto_the_spare(self):
+        machine = self.dead_machine(
+            rebuild_bandwidth=float(64 * 1024 * 1024))
+        parity = machine.parity
+        spb = machine.config.sectors_per_block
+        for row in (1, 2, 5):
+            parity.note_used_row(0, row)
+        machine.run()
+        assert parity.rebuild is not None
+        assert parity.rebuild.rows_done == 3
+        assert parity.counters["rebuilt_rows"] == 3
+        assert parity.rebuild.done.triggered
+        assert machine.spare_disks[0].stats.writes == 3
+        assert parity.counters["rebuild_seconds"] > 0.0
+
+    def test_reads_after_rebuild_come_from_the_spare(self):
+        machine = self.dead_machine(
+            rebuild_bandwidth=float(64 * 1024 * 1024))
+        parity = machine.parity
+        spb = machine.config.sectors_per_block
+        parity.note_used_row(0, 1)
+        machine.run()
+        spare_reads_before = machine.spare_disks[0].stats.reads
+        request = run_until(machine, machine.disk_handles[0].read(spb, spb))
+        assert request.status == "ok"
+        assert machine.spare_disks[0].stats.reads == spare_reads_before + 1
+        # Served from the spare, not by reconstruction.
+        assert parity.counters["degraded_reads"] == 0

@@ -24,7 +24,8 @@ class TestFigureGenerators:
                                 "figure6", "figure7", "figure8", "service",
                                 "service-sched", "service-overload",
                                 "service-faults", "service-millions",
-                                "service-admission", "ddio-flash"}
+                                "service-admission", "ddio-flash",
+                                "service-rebuild"}
 
     def test_figure3_runs_subset(self):
         summaries, text = figure3(record_sizes=(8192,), patterns=("rb", "rc"), **FAST)

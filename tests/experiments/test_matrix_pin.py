@@ -1,13 +1,15 @@
-"""The zero-perturbation differential: 68 pinned trial digests.
+"""The zero-perturbation differential: 77 pinned trial digests.
 
 The flash backend merged a new device axis through ``Machine``, the
-experiment configs, the cache keys and the figures CLI.  None of that is
-allowed to move a single bit of any existing ``device="disk"`` result.
-The matrix in :mod:`repro.experiments.matrix` runs 68 trials spanning both
-experiment families — every pattern, both methods, both layouts, all
-schedulers, faults, admission disciplines, streaming, multiple seeds — and
-this suite compares their result digests against the pins captured from
-the pre-flash tree (``tests/data/disk_matrix_digests.json``).
+experiment configs, the cache keys and the figures CLI; the redundancy PR
+then merged a parity layer the same way.  None of that is allowed to move
+a single bit of any existing ``device="disk"``, ``redundancy="none"``
+result.  The matrix in :mod:`repro.experiments.matrix` runs 77 trials
+spanning both experiment families — every pattern, both methods, both
+layouts, all schedulers, faults, admission disciplines, streaming,
+multiple seeds, and (appended at PR 10) parity/integrity cells — and this
+suite compares their result digests against the committed pins
+(``tests/data/disk_matrix_digests.json``).
 """
 
 import json
@@ -26,8 +28,9 @@ from repro.experiments.service import ServiceExperimentConfig
 
 
 class TestMatrixShape:
-    def test_exactly_68_trials(self):
-        assert len(matrix_trials()) == 68
+    def test_exactly_77_trials(self):
+        # Append-only: 68 pre-redundancy cells + 9 parity/integrity cells.
+        assert len(matrix_trials()) == 77
 
     def test_keys_are_unique(self):
         keys = [key for key, _config, _seed in matrix_trials()]
@@ -75,7 +78,7 @@ class TestPinnedFile:
     def test_pin_file_is_plain_json(self):
         with open(DIGEST_PATH, encoding="utf-8") as handle:
             raw = json.load(handle)
-        assert len(raw) == 68
+        assert len(raw) == 77
 
     def test_compare_reports_mismatch_and_missing(self):
         pinned = {"a": "1", "b": "2"}
@@ -87,9 +90,9 @@ class TestPinnedFile:
 
 
 class TestBitIdentity:
-    def test_all_68_trials_match_the_pre_flash_pins(self):
-        """THE differential: flash merged, every disk digest unchanged."""
+    def test_all_77_trials_match_the_pins(self):
+        """THE differential: flash and parity merged, no digest moved."""
         diff = compare(run_matrix(), load_pinned())
         assert diff == [], (
-            f"{len(diff)} trial(s) diverged from the pre-flash pins: "
+            f"{len(diff)} trial(s) diverged from the committed pins: "
             f"{sorted(diff)}")

@@ -54,6 +54,16 @@ class TestModelFilter:
         assert needs_bump(["src/repro/experiments/runner.py"], 7, 7)
         assert not needs_bump(["src/repro/experiments/runner.py"], 6, 7)
 
+    def test_redundancy_layer_is_model_relevant(self):
+        # The parity layer changes what simulated requests cost and where
+        # they land; the disk tree prefix must keep catching new modules
+        # added under it.
+        changed = ["src/repro/disk/redundancy.py", "docs/redundancy.md"]
+        assert model_files_changed(changed) == \
+            ["src/repro/disk/redundancy.py"]
+        assert needs_bump(changed, 9, 9)
+        assert not needs_bump(changed, 9, 10)
+
 
 class TestNeedsBump:
     def test_no_model_change_never_needs_bump(self):
